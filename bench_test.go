@@ -1,0 +1,201 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artefact, trimmed to bench-friendly
+// scales), per-engine microbenchmarks, and ablations of the design
+// choices DESIGN.md calls out. Run the full-size versions with
+// `go run ./cmd/experiments -all`.
+package hybridgraph_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridgraph"
+	"hybridgraph/internal/harness"
+)
+
+func benchOpts() harness.Options {
+	return harness.Options{Scale: 0.05, Workers: 3, LargeWorkers: 4, Quick: true}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	exp, ok := harness.ByName(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// One benchmark per paper artefact.
+
+func BenchmarkFig02MessageBufferSweep(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkTable4Datasets(b *testing.B)          { benchExperiment(b, "table4") }
+func BenchmarkFig07SufficientMemory(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig08LimitedMemoryHDD(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig09LimitedMemorySSD(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10IOBytes(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11PredictMco(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12PredictCioPush(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13PredictCioBpull(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14HybridTrace(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15Scalability(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFig16Loading(b *testing.B)            { benchExperiment(b, "fig16") }
+func BenchmarkFig17BlockingTime(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18NetworkTraffic(b *testing.B)     { benchExperiment(b, "fig18") }
+func BenchmarkFig23VblockSweepLivej(b *testing.B)   { benchExperiment(b, "fig23") }
+func BenchmarkFig24VblockSweepWiki(b *testing.B)    { benchExperiment(b, "fig24") }
+func BenchmarkFig25VblockRuntime(b *testing.B)      { benchExperiment(b, "fig25") }
+func BenchmarkFig26Combining(b *testing.B)          { benchExperiment(b, "fig26") }
+func BenchmarkTable5PullScenarios(b *testing.B)     { benchExperiment(b, "table5") }
+
+// Per-engine microbenchmarks: one PageRank job per iteration under the
+// paper's limited-memory regime.
+
+func benchEngine(b *testing.B, engine hybridgraph.Engine, cfg hybridgraph.Config) {
+	g := hybridgraph.GenRMAT(2000, 30000, 0.57, 0.19, 0.19, 11)
+	prog := hybridgraph.PageRank(0.85)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hybridgraph.Run(g, prog, cfg, engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.SimSeconds, "sim-s/job")
+			b.ReportMetric(float64(res.IO.DevTotal()), "dev-bytes/job")
+		}
+	}
+}
+
+func limitedBenchCfg() hybridgraph.Config {
+	return hybridgraph.Config{Workers: 3, MsgBuf: 200, MaxSteps: 5, VertexCache: 500}
+}
+
+func BenchmarkEnginePush(b *testing.B)   { benchEngine(b, hybridgraph.Push, limitedBenchCfg()) }
+func BenchmarkEnginePushM(b *testing.B)  { benchEngine(b, hybridgraph.PushM, limitedBenchCfg()) }
+func BenchmarkEnginePull(b *testing.B)   { benchEngine(b, hybridgraph.Pull, limitedBenchCfg()) }
+func BenchmarkEngineBPull(b *testing.B)  { benchEngine(b, hybridgraph.BPull, limitedBenchCfg()) }
+func BenchmarkEngineHybrid(b *testing.B) { benchEngine(b, hybridgraph.Hybrid, limitedBenchCfg()) }
+
+// Ablations of the design choices DESIGN.md calls out.
+
+// BenchmarkAblationPrepull measures b-pull with and without pre-pulling
+// the next Vblock while the current one updates (Section 4.3).
+func BenchmarkAblationPrepull(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "prepull-on"
+		if !on {
+			name = "prepull-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := limitedBenchCfg()
+			cfg.DisablePrepull = !on
+			benchEngine(b, hybridgraph.BPull, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationCombine measures b-pull with combining on (messages
+// reduced at the sender) versus concatenation only.
+func BenchmarkAblationCombine(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "combine-on"
+		if !on {
+			name = "combine-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := limitedBenchCfg()
+			cfg.DisableCombine = !on
+			benchEngine(b, hybridgraph.BPull, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationSwitchInterval varies hybrid's Δt (the paper fixes 2).
+func BenchmarkAblationSwitchInterval(b *testing.B) {
+	for _, dt := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dt=%d", dt), func(b *testing.B) {
+			g := hybridgraph.GenRMAT(2000, 30000, 0.6, 0.15, 0.15, 12)
+			prog := hybridgraph.SSSP(0)
+			cfg := limitedBenchCfg()
+			cfg.MaxSteps = 30
+			cfg.SwitchInterval = dt
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := hybridgraph.Run(g, prog, cfg, hybridgraph.Hybrid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVblocks varies the Vblock count, the fragment-count
+// trade-off of Theorem 1.
+func BenchmarkAblationVblocks(b *testing.B) {
+	for _, v := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("V=%d", v), func(b *testing.B) {
+			cfg := limitedBenchCfg()
+			cfg.BlocksPerWorker = v
+			benchEngine(b, hybridgraph.BPull, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationReordering compares b-pull over a locality-rich graph
+// under a scrambled numbering versus a BFS renumbering (footnote 1: any
+// partitioning method applies to VE-BLOCK by re-ordering vertices; better
+// orderings mean fewer fragments and less IO(F^t)).
+func BenchmarkAblationReordering(b *testing.B) {
+	base := hybridgraph.GenWeb(2000, 24000, 40, 0.85, 13)
+	perm := make([]hybridgraph.VertexID, 2000)
+	for i := range perm {
+		perm[i] = hybridgraph.VertexID((i*803 + 7) % 2000)
+	}
+	scrambled := hybridgraph.Relabel(base, perm)
+	ordered := hybridgraph.Relabel(scrambled, hybridgraph.BFSOrder(scrambled))
+	for _, tc := range []struct {
+		name string
+		g    *hybridgraph.Graph
+	}{{"scrambled", scrambled}, {"bfs-ordered", ordered}} {
+		b.Run(tc.name, func(b *testing.B) {
+			prog := hybridgraph.PageRank(0.85)
+			cfg := limitedBenchCfg()
+			for i := 0; i < b.N; i++ {
+				res, err := hybridgraph.Run(tc.g, prog, cfg, hybridgraph.BPull)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.SimSeconds, "sim-s/job")
+					b.ReportMetric(float64(res.IO.DevTotal()), "dev-bytes/job")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTCPTransport compares the in-process fabric against loopback
+// TCP with gob framing.
+func BenchmarkTCPTransport(b *testing.B) {
+	for _, tcp := range []bool{false, true} {
+		name := "local"
+		if tcp {
+			name = "tcp"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := limitedBenchCfg()
+			cfg.TCP = tcp
+			benchEngine(b, hybridgraph.BPull, cfg)
+		})
+	}
+}

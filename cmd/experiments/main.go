@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Section 6 and the appendices, printed as text tables.
+//
+//	experiments -list
+//	experiments -run fig8
+//	experiments -all -scale 0.25 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/harness"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment to run (fig2, fig7..fig26, table4, table5)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor")
+		workers = flag.Int("workers", 5, "small-graph worker count")
+		largeW  = flag.Int("large-workers", 10, "large-graph worker count")
+		quick   = flag.Bool("quick", false, "trimmed datasets and sweeps")
+		ssd     = flag.Bool("ssd", false, "default to the SSD cost model")
+		csvDir  = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments {
+			fmt.Printf("%-8s %s\n", e.Name, e.What)
+		}
+		return
+	}
+	opts := harness.Options{Scale: *scale, Workers: *workers, LargeWorkers: *largeW, Quick: *quick}
+	if *ssd {
+		opts.Profile = diskio.SSDAmazon
+	}
+
+	var names []string
+	switch {
+	case *all:
+		for _, e := range harness.Experiments {
+			names = append(names, e.Name)
+		}
+	case *run != "":
+		names = []string{*run}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -run <name>, -all or -list")
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		exp, ok := harness.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", name)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tables, err := exp.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s — %s (took %.1fs)\n\n", exp.Name, exp.What, time.Since(start).Seconds())
+		for _, tb := range tables {
+			tb.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, tb); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, tb *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tb.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tb.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,42 @@
+package hybridgraph_test
+
+import (
+	"fmt"
+
+	"hybridgraph"
+)
+
+// ExampleRun computes single-source shortest paths over a small chain
+// with the hybrid engine.
+func ExampleRun() {
+	g, err := hybridgraph.ParseEdgeList([]byte(
+		"# vertices 5\n0 1 1\n1 2 1\n2 3 1\n3 4 1\n"))
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	res, err := hybridgraph.Run(g, hybridgraph.SSSP(0),
+		hybridgraph.Config{Workers: 2, MaxSteps: 10}, hybridgraph.Hybrid)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Printf("supersteps: %d\n", res.Supersteps())
+	fmt.Printf("distance to vertex 4: %.0f\n", res.Values[4])
+	// Output:
+	// supersteps: 6
+	// distance to vertex 4: 4
+}
+
+// ExampleRun_engines compares the network traffic of push and b-pull on
+// the same job: block-centric pulling concatenates and combines messages,
+// push cannot.
+func ExampleRun_engines() {
+	g := hybridgraph.GenUniform(500, 7500, 7)
+	cfg := hybridgraph.Config{Workers: 4, MsgBuf: 100, MaxSteps: 3}
+	push, _ := hybridgraph.Run(g, hybridgraph.PageRank(0.85), cfg, hybridgraph.Push)
+	bpull, _ := hybridgraph.Run(g, hybridgraph.PageRank(0.85), cfg, hybridgraph.BPull)
+	fmt.Println("b-pull moves fewer bytes:", bpull.NetBytes < push.NetBytes)
+	// Output:
+	// b-pull moves fewer bytes: true
+}

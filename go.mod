@@ -1,0 +1,3 @@
+module hybridgraph
+
+go 1.22

@@ -1,0 +1,106 @@
+package hybridgraph_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hybridgraph"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := hybridgraph.GenRMAT(1000, 12000, 0.57, 0.19, 0.19, 1)
+	res, err := hybridgraph.Run(g, hybridgraph.PageRank(0.85),
+		hybridgraph.Config{Workers: 4, MsgBuf: 100, MaxSteps: 5}, hybridgraph.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps() != 5 {
+		t.Fatalf("supersteps = %d, want 5", res.Supersteps())
+	}
+	var sum float64
+	for _, r := range res.Values {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	// Rank mass stays near 1 (dangling mass leaks, so <= 1 + epsilon).
+	if sum <= 0.1 || sum > 1.01 {
+		t.Fatalf("total rank mass = %g", sum)
+	}
+}
+
+func TestPublicAPIEnginesAgree(t *testing.T) {
+	g := hybridgraph.GenWeb(800, 6400, 32, 0.8, 2)
+	prog := hybridgraph.SSSP(0)
+	cfg := hybridgraph.Config{Workers: 3, MsgBuf: 100, MaxSteps: 60, VertexCache: 100}
+	var base []float64
+	for _, e := range hybridgraph.Engines {
+		if e == hybridgraph.PushM {
+			continue // combinable only; SSSP qualifies but keep parity with base run order
+		}
+		res, err := hybridgraph.Run(g, prog, cfg, e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if base == nil {
+			base = res.Values
+			continue
+		}
+		for v := range base {
+			a, b := base[v], res.Values[v]
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("%s: vertex %d = %g, want %g", e, v, b, a)
+			}
+		}
+	}
+}
+
+func TestPublicAPIDatasetRoundTrip(t *testing.T) {
+	ds, err := hybridgraph.DatasetByName("orkut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Generate(0.05)
+	path := filepath.Join(t.TempDir(), "orkut.txt")
+	if err := hybridgraph.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hybridgraph.LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d vs %d after round trip", got.NumEdges(), g.NumEdges())
+	}
+	res, err := hybridgraph.Run(got, hybridgraph.LPA(),
+		hybridgraph.Config{Workers: 2, MaxSteps: 3}, hybridgraph.BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != got.NumVertices {
+		t.Fatal("values length mismatch")
+	}
+}
+
+func TestPublicAPIProfiles(t *testing.T) {
+	if hybridgraph.HDDLocal.SRR >= hybridgraph.SSDAmazon.SRR {
+		t.Fatal("SSD must be faster at random reads")
+	}
+	g := hybridgraph.GenUniform(500, 4000, 3)
+	cfg := hybridgraph.Config{Workers: 3, MsgBuf: 50, MaxSteps: 4}
+	cfg.Profile = hybridgraph.HDDLocal
+	hdd, err := hybridgraph.Run(g, hybridgraph.PageRank(0.85), cfg, hybridgraph.Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = hybridgraph.SSDAmazon
+	ssd, err := hybridgraph.Run(g, hybridgraph.PageRank(0.85), cfg, hybridgraph.Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssd.SimSeconds >= hdd.SimSeconds {
+		t.Fatalf("SSD run (%.4f s) should beat HDD (%.4f s)", ssd.SimSeconds, hdd.SimSeconds)
+	}
+}

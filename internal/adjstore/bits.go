@@ -1,0 +1,7 @@
+package adjstore
+
+import "math"
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func floatFromBits(u uint32) float32 { return math.Float32frombits(u) }

@@ -1,0 +1,24 @@
+package adjstore
+
+import "hybridgraph/internal/graph"
+
+// BuildMem returns a memory-resident adjacency store for the paper's
+// sufficient-memory scenario: same interface, no file, no I/O charges. It
+// aliases the staged graph's storage.
+func BuildMem(g *graph.Graph, part graph.Partition) *Store {
+	n := part.Len()
+	s := &Store{lo: part.Lo, offs: make([]int64, n+1), memG: g}
+	var off int64
+	for i := 0; i < n; i++ {
+		v := part.Lo + graph.VertexID(i)
+		s.offs[i] = off
+		d := int64(g.OutDegree(v))
+		off += d * edgeSize
+		s.nEdges += d
+	}
+	s.offs[n] = off
+	return s
+}
+
+// InMemory reports whether the store is memory-resident.
+func (s *Store) InMemory() bool { return s.memG != nil }

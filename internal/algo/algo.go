@@ -1,0 +1,154 @@
+// Package algo defines the vertex-program interface shared by every
+// engine and implements the paper's four benchmark algorithms: PageRank,
+// SSSP, LPA and SA (Section 6). The interface is the decoupled form the
+// paper requires for seamless push/b-pull switching (Section 5.2):
+// compute() is split into update() — here Update — and the message-
+// generation side — here Bcast + MsgValue, playing the role of pullRes()
+// and pushRes() depending on the engine.
+package algo
+
+import (
+	"math"
+
+	"hybridgraph/internal/graph"
+)
+
+// Style is the Shang–Yu classification of graph algorithms by how the
+// active-vertex population evolves (Section 5.3), which bounds where the
+// hybrid switcher is effective.
+type Style int
+
+const (
+	// AlwaysActive: every vertex sends to all neighbours every superstep
+	// (PageRank, LPA). Predictions of Q^{t+2} are always accurate.
+	AlwaysActive Style = iota
+	// Traversal: activity spreads from starting points and varies, mostly
+	// monotonically, across supersteps (SSSP, SA).
+	Traversal
+	// MultiPhase: activity oscillates periodically; the current hybrid
+	// cannot accumulate switching gains here.
+	MultiPhase
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case AlwaysActive:
+		return "always-active"
+	case Traversal:
+		return "traversal"
+	case MultiPhase:
+		return "multi-phase"
+	}
+	return "unknown"
+}
+
+// Context carries per-superstep globals into a Program.
+type Context struct {
+	Step        int // 1-based superstep number
+	NumVertices int
+	MaxSteps    int
+	// Aggregate is the reduced aggregator value from the previous
+	// superstep, for Aggregating programs (0 before the first reduction).
+	Aggregate float64
+}
+
+// Combiner merges two commutative, associative message values.
+type Combiner func(a, b float64) float64
+
+// Program is a vertex program. All vertex and message state is a single
+// float64: rank mass, tentative distance, community label or advertisement
+// id — exact for integers below 2^53.
+type Program interface {
+	// Name reports the algorithm name used in reports.
+	Name() string
+	// Style reports the activity class.
+	Style() Style
+	// Init runs at superstep 1 in place of Update: it returns the initial
+	// value and whether the vertex responds (broadcasts) to superstep 2.
+	Init(ctx *Context, v graph.VertexID, outdeg int) (val float64, respond bool)
+	// Update consumes the messages received (already combined when
+	// Combiner is non-nil) and returns the new value and the respond flag.
+	Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (newVal float64, respond bool)
+	// Bcast converts a responding vertex's state into the broadcast value
+	// stored in the vertex record's bcast column; message generation needs
+	// only this value plus the edge weight.
+	Bcast(val float64, outdeg int) float64
+	// MsgValue produces the message value for one out-edge.
+	MsgValue(bcast float64, weight float32) float64
+	// Combiner returns the message reducer, or nil when messages are not
+	// commutative (LPA, SA) and must be concatenated instead.
+	Combiner() Combiner
+}
+
+// ByName constructs one of the four paper algorithms with its default
+// parameters. source seeds SSSP and SA.
+func ByName(name string, source graph.VertexID) (Program, bool) {
+	switch name {
+	case "pagerank", "pr":
+		return NewPageRank(0.85), true
+	case "sssp":
+		return NewSSSP(source), true
+	case "lpa":
+		return NewLPA(), true
+	case "sa":
+		return NewSA(64, 16, 55), true
+	case "wcc", "cc":
+		return NewWCC(), true
+	case "matching":
+		return NewMatching(8), true
+	case "mst-phase", "multiphase":
+		return NewMultiPhase(4), true
+	}
+	return nil, false
+}
+
+// TargetedSender is an optional Program extension for algorithms that
+// address a single chosen neighbour instead of broadcasting (Pregel's
+// SendMessageTo): MsgValueTo sees the destination vertex and may return
+// keep=false to suppress the message on that edge. Engines consult it in
+// place of MsgValue when implemented.
+type TargetedSender interface {
+	Program
+	MsgValueTo(bcast float64, dst graph.VertexID, weight float32) (val float64, keep bool)
+}
+
+// Aggregating is an optional Program extension modelled on Pregel's
+// aggregators: after each superstep the master reduces per-vertex
+// contributions into one global value, which the next superstep sees in
+// Context.Aggregate and which may signal convergence (e.g. PageRank's L1
+// rank delta falling below a threshold).
+type Aggregating interface {
+	Program
+	// Contribute returns a vertex's contribution from its values before
+	// and after update().
+	Contribute(before, after float64) float64
+	// Reduce merges two contributions; it must be commutative and
+	// associative.
+	Reduce(a, b float64) float64
+	// Converged reports whether the reduced value signals a global halt.
+	Converged(aggregate float64) bool
+}
+
+// Infinity is the SSSP "unreached" distance.
+var Infinity = math.Inf(1)
+
+// MostFrequent returns the most frequent value in msgs, breaking ties
+// toward the smaller value; ok is false when msgs is empty. Shared by LPA
+// and SA, whose updates both take a majority over received values.
+func MostFrequent(msgs []float64) (float64, bool) {
+	if len(msgs) == 0 {
+		return 0, false
+	}
+	counts := make(map[float64]int, len(msgs))
+	for _, m := range msgs {
+		counts[m]++
+	}
+	best, bestN := msgs[0], 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,199 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridgraph/internal/graph"
+)
+
+func ctx(step, n, max int) *Context {
+	return &Context{Step: step, NumVertices: n, MaxSteps: max}
+}
+
+func TestPageRankSemantics(t *testing.T) {
+	pr := NewPageRank(0.85)
+	val, respond := pr.Init(ctx(1, 100, 5), 3, 4)
+	if val != 0.01 || !respond {
+		t.Fatalf("Init = %g, %v", val, respond)
+	}
+	nv, r := pr.Update(ctx(2, 100, 5), 3, 4, val, []float64{0.1, 0.2})
+	want := 0.15/100 + 0.85*0.3
+	if math.Abs(nv-want) > 1e-15 || !r {
+		t.Fatalf("Update = %g, %v; want %g, true", nv, r, want)
+	}
+	// Last superstep votes to halt.
+	if _, r := pr.Update(ctx(5, 100, 5), 3, 4, nv, nil); r {
+		t.Fatal("should not respond at MaxSteps")
+	}
+	if b := pr.Bcast(0.8, 4); b != 0.2 {
+		t.Fatalf("Bcast = %g, want 0.2", b)
+	}
+	if b := pr.Bcast(0.8, 0); b != 0 {
+		t.Fatalf("Bcast with zero out-degree = %g, want 0", b)
+	}
+	if pr.Combiner() == nil || pr.Combiner()(1, 2) != 3 {
+		t.Fatal("PageRank combiner should sum")
+	}
+	if pr.Style() != AlwaysActive {
+		t.Fatal("PageRank is Always-Active-Style")
+	}
+}
+
+func TestSSSPSemantics(t *testing.T) {
+	s := NewSSSP(7)
+	if v, r := s.Init(ctx(1, 10, 5), 7, 2); v != 0 || !r {
+		t.Fatalf("source Init = %g, %v", v, r)
+	}
+	if v, r := s.Init(ctx(1, 10, 5), 3, 2); !math.IsInf(v, 1) || r {
+		t.Fatalf("non-source Init = %g, %v", v, r)
+	}
+	// Improvement responds; non-improvement stays silent.
+	if v, r := s.Update(ctx(2, 10, 5), 3, 2, Infinity, []float64{5, 3, 9}); v != 3 || !r {
+		t.Fatalf("Update = %g, %v; want 3, true", v, r)
+	}
+	if v, r := s.Update(ctx(3, 10, 5), 3, 2, 3, []float64{4, 8}); v != 3 || r {
+		t.Fatalf("no-improvement Update = %g, %v; want 3, false", v, r)
+	}
+	if m := s.MsgValue(3, 0.5); m != 3.5 {
+		t.Fatalf("MsgValue = %g, want 3.5", m)
+	}
+	if c := s.Combiner(); c(2, 1) != 1 || c(1, 2) != 1 {
+		t.Fatal("SSSP combiner should take the minimum")
+	}
+	if s.Style() != Traversal {
+		t.Fatal("SSSP is Traversal-Style")
+	}
+}
+
+func TestLPASemantics(t *testing.T) {
+	l := NewLPA()
+	if v, r := l.Init(ctx(1, 10, 5), 4, 1); v != 4 || !r {
+		t.Fatalf("Init = %g, %v", v, r)
+	}
+	if v, _ := l.Update(ctx(2, 10, 5), 4, 1, 4, []float64{7, 7, 2}); v != 7 {
+		t.Fatalf("majority label = %g, want 7", v)
+	}
+	// No messages: keep the label.
+	if v, _ := l.Update(ctx(2, 10, 5), 4, 1, 4, nil); v != 4 {
+		t.Fatalf("empty-update label = %g, want 4", v)
+	}
+	if l.Combiner() != nil {
+		t.Fatal("LPA labels must not combine")
+	}
+}
+
+func TestMostFrequentTieBreaksSmall(t *testing.T) {
+	if v, ok := MostFrequent([]float64{5, 2, 5, 2}); !ok || v != 2 {
+		t.Fatalf("MostFrequent tie = %g, want 2", v)
+	}
+	if _, ok := MostFrequent(nil); ok {
+		t.Fatal("MostFrequent(nil) should report !ok")
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		msgs := make([]float64, len(raw))
+		counts := map[float64]int{}
+		for i, r := range raw {
+			msgs[i] = float64(r % 8)
+			counts[msgs[i]]++
+		}
+		got, ok := MostFrequent(msgs)
+		if !ok {
+			return false
+		}
+		// No value may strictly beat the winner, and ties go to smaller.
+		for v, c := range counts {
+			if c > counts[got] {
+				return false
+			}
+			if c == counts[got] && v < got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSASemantics(t *testing.T) {
+	sa := NewSA(4, 8, 100) // always interested
+	if v, r := sa.Init(ctx(1, 100, 9), 8, 3); v != 0 || !r {
+		t.Fatalf("source Init = %g, %v (vertex 8, ad 8%%8=0)", v, r)
+	}
+	if v, r := sa.Init(ctx(1, 100, 9), 9, 3); v != noAd || r {
+		t.Fatalf("non-source Init = %g, %v", v, r)
+	}
+	// Adoption of the majority ad, forwarding once.
+	v, r := sa.Update(ctx(2, 100, 9), 9, 3, noAd, []float64{2, 2, 5})
+	if v != 2 || !r {
+		t.Fatalf("adopt = %g, %v; want 2, true", v, r)
+	}
+	// Already holding an ad: ignore further messages, never re-forward.
+	if v, r := sa.Update(ctx(3, 100, 9), 9, 3, 2, []float64{5, 5}); v != 2 || r {
+		t.Fatalf("re-update = %g, %v; want 2, false", v, r)
+	}
+	// Zero interest: never adopts.
+	cold := NewSA(4, 8, 0)
+	if _, r := cold.Update(ctx(2, 100, 9), 9, 3, noAd, []float64{2}); r {
+		t.Fatal("uninterested vertex should not forward")
+	}
+	if sa.Combiner() != nil {
+		t.Fatal("SA ads must not combine")
+	}
+}
+
+func TestSAInterestDeterministic(t *testing.T) {
+	sa := NewSA(4, 8, 50)
+	for v := graph.VertexID(0); v < 100; v++ {
+		a := sa.interested(v, 3)
+		b := sa.interested(v, 3)
+		if a != b {
+			t.Fatalf("interest of vertex %d not deterministic", v)
+		}
+	}
+}
+
+func TestPhaseOscillator(t *testing.T) {
+	m := NewMultiPhase(3)
+	if m.Style() != MultiPhase {
+		t.Fatal("style should be MultiPhase")
+	}
+	// Phase 0 (steps 1,2 with phaseLen 3... step/3 alternates): every
+	// vertex responds in even phases, a sample in odd phases.
+	_, rAll := m.Update(ctx(1, 100, 50), 5, 2, 5, nil)
+	_, rSample := m.Update(ctx(4, 100, 50), 5, 2, 5, nil)
+	if !rAll || rSample {
+		t.Fatalf("phase responses = %v, %v; want true, false for vertex 5", rAll, rSample)
+	}
+	if _, r := m.Update(ctx(4, 100, 50), 16, 2, 16, nil); !r {
+		t.Fatal("sampled vertex (16%%16==0) should respond in odd phases")
+	}
+	if _, r := m.Update(ctx(50, 100, 50), 16, 2, 16, nil); r {
+		t.Fatal("should halt at MaxSteps")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pagerank", "pr", "sssp", "lpa", "sa", "multiphase"} {
+		p, ok := ByName(name, 0)
+		if !ok || p == nil {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope", 0); ok {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if AlwaysActive.String() != "always-active" || Traversal.String() != "traversal" ||
+		MultiPhase.String() != "multi-phase" || Style(99).String() != "unknown" {
+		t.Fatal("Style.String mismatch")
+	}
+}

@@ -1,0 +1,51 @@
+package algo
+
+import (
+	"math"
+
+	"hybridgraph/internal/graph"
+)
+
+// ConvergingPageRank is PageRank with a Pregel-style aggregator: each
+// superstep sums the absolute rank change across all vertices (the L1
+// delta) and the job halts once it falls below epsilon — instead of a
+// fixed superstep budget. This is how production deployments of the
+// paper's workloads actually terminate PageRank.
+type ConvergingPageRank struct {
+	PageRank
+	epsilon float64
+}
+
+// NewConvergingPageRank returns PageRank that halts when the total L1
+// rank change drops below epsilon.
+func NewConvergingPageRank(damping, epsilon float64) *ConvergingPageRank {
+	return &ConvergingPageRank{PageRank: *NewPageRank(damping), epsilon: epsilon}
+}
+
+// Name implements Program.
+func (p *ConvergingPageRank) Name() string { return "pagerank-converging" }
+
+// Update implements Program: like PageRank, but the halt decision comes
+// from the aggregate rather than the superstep count; a vertex keeps
+// responding until the previous superstep's global delta converged.
+func (p *ConvergingPageRank) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	sum := 0.0
+	for _, m := range msgs {
+		sum += m
+	}
+	newVal := (1-p.damping)/float64(ctx.NumVertices) + p.damping*sum
+	return newVal, ctx.Step < ctx.MaxSteps
+}
+
+// Contribute implements Aggregating: the vertex's absolute rank change.
+func (p *ConvergingPageRank) Contribute(before, after float64) float64 {
+	return math.Abs(after - before)
+}
+
+// Reduce implements Aggregating.
+func (p *ConvergingPageRank) Reduce(a, b float64) float64 { return a + b }
+
+// Converged implements Aggregating.
+func (p *ConvergingPageRank) Converged(aggregate float64) bool {
+	return aggregate < p.epsilon
+}

@@ -1,0 +1,44 @@
+package algo
+
+import "hybridgraph/internal/graph"
+
+// LPA is the near-linear label propagation community detection algorithm
+// (Raghavan et al., the paper's [19]): every vertex starts in its own
+// community, and in each superstep adopts the label the majority of its
+// in-neighbours broadcast. Labels are not commutative — the whole
+// neighbour multiset is needed — so messages can only be concatenated,
+// never combined. Every vertex sends every superstep.
+type LPA struct{}
+
+// NewLPA returns the label propagation program.
+func NewLPA() *LPA { return &LPA{} }
+
+// Name implements Program.
+func (l *LPA) Name() string { return "lpa" }
+
+// Style implements Program: all vertices broadcast every superstep.
+func (l *LPA) Style() Style { return AlwaysActive }
+
+// Init implements Program: the label is the vertex's own id.
+func (l *LPA) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	return float64(v), true
+}
+
+// Update implements Program: adopt the most frequent label received.
+func (l *LPA) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	if lbl, ok := MostFrequent(msgs); ok {
+		val = lbl
+	}
+	return val, ctx.Step < ctx.MaxSteps
+}
+
+// Bcast implements Program.
+func (l *LPA) Bcast(val float64, outdeg int) float64 { return val }
+
+// MsgValue implements Program.
+func (l *LPA) MsgValue(bcast float64, weight float32) float64 { return bcast }
+
+// Combiner implements Program: labels cannot be combined (Section 6,
+// "Messages, i.e., community labels, are thereby not commutative"), which
+// is why MOCgraph's pushM does not appear in the paper's LPA plots.
+func (l *LPA) Combiner() Combiner { return nil }

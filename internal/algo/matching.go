@@ -1,0 +1,196 @@
+package algo
+
+import "hybridgraph/internal/graph"
+
+// Matching is Pregel's bipartite maximal matching with deterministic
+// (minimum-id) choice rules, the canonical real Multi-Phase-Style
+// algorithm (the class Section 5.3 says defeats hybrid's plain
+// predictor): computation cycles through phases — unmatched left vertices
+// request, right vertices grant one request, left vertices accept one
+// grant, right vertices record the match — so the responding population
+// oscillates with the cycle.
+//
+// Vertices with even id form the left side, odd ids the right side; run
+// it on a bipartite graph with edges in both directions (see GenBipartite
+// or Symmetrize). A vertex's value is its matched partner id, or a
+// negative attempt counter while unmatched. Messages are targeted
+// (TargetedSender), not broadcast, except the request phase.
+type Matching struct {
+	maxAttempts int
+}
+
+// NewMatching returns the matching program; a left vertex gives up after
+// maxAttempts fruitless request cycles, bounding termination.
+func NewMatching(maxAttempts int) *Matching {
+	if maxAttempts < 1 {
+		maxAttempts = 8
+	}
+	return &Matching{maxAttempts: maxAttempts}
+}
+
+// Broadcast-value encoding: kind in the low bits of the integer part's
+// top, target and self packed below. All ids fit 24 bits at our scales;
+// float64 is exact through 2^53.
+const (
+	matchKindRequest = 1
+	matchKindGrant   = 2
+	matchKindAccept  = 3
+	matchIDBits      = 24
+	matchIDMask      = 1<<matchIDBits - 1
+)
+
+func matchEncode(kind int, target, self graph.VertexID) float64 {
+	return float64(kind<<(2*matchIDBits) | int(target)<<matchIDBits | int(self))
+}
+
+func matchDecode(b float64) (kind int, target, self graph.VertexID) {
+	u := uint64(b)
+	return int(u >> (2 * matchIDBits)), graph.VertexID(u >> matchIDBits & matchIDMask),
+		graph.VertexID(u & matchIDMask)
+}
+
+// Name implements Program.
+func (m *Matching) Name() string { return "matching" }
+
+// Style implements Program.
+func (m *Matching) Style() Style { return MultiPhase }
+
+func matchLeft(v graph.VertexID) bool { return v%2 == 0 }
+
+// phase maps the superstep to the cycle. Pregel describes four phases;
+// here the record phase folds into the next request step (the accepted
+// right vertex records its match while unmatched left vertices issue the
+// next round of requests), so the cycle is three supersteps and every
+// superstep has responders until the matching is maximal — which is what
+// lets the BSP halt-on-silence rule terminate the job.
+func matchPhase(step int) int { return (step - 1) % 3 }
+
+// Init implements Program: everyone starts unmatched; left vertices with
+// out-edges open the first request phase.
+func (m *Matching) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	if matchLeft(v) && outdeg > 0 {
+		return -1, true
+	}
+	return -1, false
+}
+
+// Update implements Program. Values: >= 0 matched partner; -1..-(max)
+// unmatched with attempt count; respond flags drive the next phase.
+func (m *Matching) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	if val >= 0 || ctx.Step >= ctx.MaxSteps {
+		return val, false // matched vertices are done
+	}
+	left := matchLeft(v)
+	switch matchPhase(ctx.Step) {
+	case 0: // request (left) + record (right, accepts from last cycle)
+		if left {
+			if outdeg > 0 && val > -float64(m.maxAttempts) {
+				return val, true
+			}
+		} else if len(msgs) > 0 {
+			return float64(minID(msgs)), false // record the match
+		}
+	case 1: // grant: unmatched right vertices grant one request
+		if !left && len(msgs) > 0 {
+			return val, true // bcast encodes the chosen requester
+		}
+	case 2: // accept: left vertices accept one grant and match
+		if left {
+			if len(msgs) == 0 {
+				return val - 1, false // fruitless cycle: count the attempt
+			}
+			return float64(minID(msgs)), true
+		}
+	}
+	return val, false
+}
+
+// Bcast implements Program: encode the phase's message kind and target.
+// The vertex id is not available here, so Update-side state carries it:
+// we re-derive everything from the value and phase in MsgValueTo instead,
+// and Bcast packs what the phase needs. For request we only need self;
+// for grant/accept we need target and self — but Bcast's inputs are the
+// value and degree alone, so the grant/accept targets ride in the value
+// via a transient encoding set by Update... To keep Program's contract
+// honest, Matching implements the richer BcastFrom.
+func (m *Matching) Bcast(val float64, outdeg int) float64 { return val }
+
+// BcastFrom implements StatefulBcaster: the broadcast value carries the
+// message kind, the chosen target (from the phase's messages) and the
+// sender's own id.
+func (m *Matching) BcastFrom(ctx *Context, v graph.VertexID, val float64, msgs []float64) float64 {
+	switch matchPhase(ctx.Step) {
+	case 0:
+		return matchEncode(matchKindRequest, 0, v)
+	case 1:
+		return matchEncode(matchKindGrant, minID(msgs), v)
+	case 2:
+		return matchEncode(matchKindAccept, graph.VertexID(val), v)
+	}
+	return matchEncode(0, 0, v)
+}
+
+// MsgValue implements Program (unused; MsgValueTo takes precedence).
+func (m *Matching) MsgValue(bcast float64, weight float32) float64 { return bcast }
+
+// MsgValueTo implements TargetedSender: requests broadcast the sender's
+// id; grants and accepts reach only their chosen target.
+func (m *Matching) MsgValueTo(bcast float64, dst graph.VertexID, weight float32) (float64, bool) {
+	kind, target, self := matchDecode(bcast)
+	switch kind {
+	case matchKindRequest:
+		return float64(self), true
+	case matchKindGrant, matchKindAccept:
+		return float64(self), dst == target
+	}
+	return 0, false
+}
+
+// Combiner implements Program: ids must all arrive (choices are
+// deterministic minima, but grants/accepts are distinct senders).
+func (m *Matching) Combiner() Combiner { return nil }
+
+// minID returns the smallest id among message values (deterministic
+// choice rule).
+func minID(msgs []float64) graph.VertexID {
+	best := msgs[0]
+	for _, v := range msgs[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return graph.VertexID(best)
+}
+
+// StatefulBcaster is an optional Program extension for algorithms whose
+// broadcast value depends on more than the vertex value — the vertex id
+// and the superstep's messages (Pregel programs routinely use both).
+// Engines call BcastFrom instead of Bcast when implemented.
+type StatefulBcaster interface {
+	Program
+	BcastFrom(ctx *Context, v graph.VertexID, val float64, msgs []float64) float64
+}
+
+// GenBipartite builds a bipartite graph over n vertices (even ids left,
+// odd ids right) with approximately m edge *pairs* (each undirected
+// contact stored in both directions), deterministically from seed.
+func GenBipartite(n, m int, seed int64) *graph.Graph {
+	g := graph.GenUniform(n, m, seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]graph.VertexID]bool)
+	for v := 0; v < n; v++ {
+		for _, h := range g.OutEdges(graph.VertexID(v)) {
+			l, r := graph.VertexID(v), h.Dst
+			// Force bipartiteness: connect v's left form to dst's right form.
+			l = l &^ 1
+			r = r | 1
+			if l == r || seen[[2]graph.VertexID{l, r}] {
+				continue
+			}
+			seen[[2]graph.VertexID{l, r}] = true
+			b.AddEdge(l, r, h.Weight)
+			b.AddEdge(r, l, h.Weight)
+		}
+	}
+	return b.Build()
+}

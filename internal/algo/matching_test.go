@@ -1,0 +1,132 @@
+package algo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridgraph/internal/graph"
+)
+
+func TestMatchEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(kindRaw uint8, targetRaw, selfRaw uint32) bool {
+		kind := int(kindRaw%3) + 1
+		target := graph.VertexID(targetRaw & matchIDMask)
+		self := graph.VertexID(selfRaw & matchIDMask)
+		k, tg, s := matchDecode(matchEncode(kind, target, self))
+		return k == kind && tg == target && s == self
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingPhases(t *testing.T) {
+	// Superstep 1 is the request phase; the cycle has length 3.
+	for step, want := range map[int]int{1: 0, 2: 1, 3: 2, 4: 0, 7: 0} {
+		if got := matchPhase(step); got != want {
+			t.Fatalf("phase(step %d) = %d, want %d", step, got, want)
+		}
+	}
+}
+
+func TestMatchingTargeting(t *testing.T) {
+	m := NewMatching(4)
+	// Requests broadcast.
+	req := matchEncode(matchKindRequest, 0, 7)
+	if v, keep := m.MsgValueTo(req, 99, 1); !keep || v != 7 {
+		t.Fatalf("request: %g, %v", v, keep)
+	}
+	// Grants reach only the chosen target.
+	grant := matchEncode(matchKindGrant, 42, 9)
+	if _, keep := m.MsgValueTo(grant, 41, 1); keep {
+		t.Fatal("grant leaked to a non-target")
+	}
+	if v, keep := m.MsgValueTo(grant, 42, 1); !keep || v != 9 {
+		t.Fatalf("grant to target: %g, %v", v, keep)
+	}
+}
+
+func TestMatchingUpdateAttemptBudget(t *testing.T) {
+	m := NewMatching(3)
+	ctx := &Context{Step: 3, NumVertices: 10, MaxSteps: 100} // phase 2 (accept)
+	// A fruitless accept phase decrements the attempt counter.
+	val, respond := m.Update(ctx, 0, 2, -1, nil)
+	if val != -2 || respond {
+		t.Fatalf("fruitless cycle: val=%g respond=%v", val, respond)
+	}
+	// Out of attempts: the vertex stops requesting.
+	ctx.Step = 4 // phase 0
+	if _, respond := m.Update(ctx, 0, 2, -3, nil); respond {
+		t.Fatal("exhausted vertex should not request")
+	}
+	// Matched vertices never move again.
+	if val, respond := m.Update(ctx, 0, 2, 5, []float64{1}); val != 5 || respond {
+		t.Fatal("matched vertex changed state")
+	}
+}
+
+func TestGenBipartiteProperties(t *testing.T) {
+	g := GenBipartite(100, 400, 5)
+	seen := map[[2]graph.VertexID]int{}
+	for v := 0; v < g.NumVertices; v++ {
+		for _, h := range g.OutEdges(graph.VertexID(v)) {
+			if v%2 == int(h.Dst)%2 {
+				t.Fatalf("edge (%d,%d) is not bipartite", v, h.Dst)
+			}
+			seen[[2]graph.VertexID{graph.VertexID(v), h.Dst}]++
+		}
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		if seen[[2]graph.VertexID{e[1], e[0]}] != 1 {
+			t.Fatalf("edge %v missing its reverse", e)
+		}
+	}
+}
+
+func TestWCCSemantics(t *testing.T) {
+	w := NewWCC()
+	if v, r := w.Init(&Context{NumVertices: 5}, 3, 2); v != 3 || !r {
+		t.Fatalf("Init = %g, %v", v, r)
+	}
+	if v, r := w.Update(&Context{Step: 2}, 3, 2, 3, []float64{5, 1}); v != 1 || !r {
+		t.Fatalf("improving update = %g, %v", v, r)
+	}
+	if v, r := w.Update(&Context{Step: 3}, 3, 2, 1, []float64{2}); v != 1 || r {
+		t.Fatalf("non-improving update = %g, %v", v, r)
+	}
+	if c := w.Combiner(); c(3, 1) != 1 {
+		t.Fatal("WCC combiner should take the minimum")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := Symmetrize(b.Build())
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	if g.OutDegree(1) != 1 || g.OutEdges(1)[0].Dst != 0 {
+		t.Fatal("reverse edge missing")
+	}
+}
+
+func TestConvergingPageRankAggregation(t *testing.T) {
+	p := NewConvergingPageRank(0.85, 0.01)
+	if p.Contribute(0.5, 0.3) != 0.2 {
+		t.Fatal("Contribute should be |after-before|")
+	}
+	if p.Reduce(1, 2) != 3 {
+		t.Fatal("Reduce should sum")
+	}
+	if !p.Converged(0.005) || p.Converged(0.02) {
+		t.Fatal("Converged threshold wrong")
+	}
+	if p.Name() == NewPageRank(0.85).Name() {
+		t.Fatal("names should differ")
+	}
+}

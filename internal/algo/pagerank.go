@@ -1,0 +1,56 @@
+package algo
+
+import "hybridgraph/internal/graph"
+
+// PageRank is the paper's Fig. 3 PageRank: every vertex sums incoming rank
+// shares, damps them, and broadcasts its new rank divided by its
+// out-degree, for a fixed number of supersteps (the paper runs 5 or 10 and
+// reports per-superstep averages).
+type PageRank struct {
+	damping float64
+}
+
+// NewPageRank returns PageRank with the given damping factor (0.85 in the
+// literature the paper follows).
+func NewPageRank(damping float64) *PageRank { return &PageRank{damping: damping} }
+
+// Name implements Program.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// Style implements Program: PageRank is the canonical Always-Active-Style
+// algorithm.
+func (p *PageRank) Style() Style { return AlwaysActive }
+
+// Init implements Program: ranks start uniform and every vertex responds.
+func (p *PageRank) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	return 1.0 / float64(ctx.NumVertices), true
+}
+
+// Update implements Program.
+func (p *PageRank) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	sum := 0.0
+	for _, m := range msgs {
+		sum += m
+	}
+	newVal := (1-p.damping)/float64(ctx.NumVertices) + p.damping*sum
+	// Vote to halt once the superstep budget is exhausted (Fig. 3(a),
+	// lines 12-14).
+	return newVal, ctx.Step < ctx.MaxSteps
+}
+
+// Bcast implements Program: the broadcast value is the rank share per
+// out-edge, so MsgValue needs no degree lookup at the sender.
+func (p *PageRank) Bcast(val float64, outdeg int) float64 {
+	if outdeg == 0 {
+		return 0
+	}
+	return val / float64(outdeg)
+}
+
+// MsgValue implements Program.
+func (p *PageRank) MsgValue(bcast float64, weight float32) float64 { return bcast }
+
+// Combiner implements Program: rank shares sum.
+func (p *PageRank) Combiner() Combiner {
+	return func(a, b float64) float64 { return a + b }
+}

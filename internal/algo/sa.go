@@ -1,0 +1,133 @@
+package algo
+
+import "hybridgraph/internal/graph"
+
+// SA simulates advertisements on a social network (the paper's fourth
+// benchmark, from Mizan [15]): selected source vertices inject
+// advertisement ids; a vertex receiving ads adopts the one the majority of
+// its responding in-neighbours hold, and forwards it only if it matches
+// the vertex's interests — otherwise it ignores it. Advertisements are not
+// commutative (the update is a majority), so messages concatenate only.
+// The frontier grows and collapses abruptly, producing the sudden
+// active-vertex variation the paper observes in supersteps 6–10
+// (Fig. 11-13).
+type SA struct {
+	sourceEvery int // every sourceEvery-th vertex is an initial advertiser
+	numAds      int
+	interestPct uint32 // probability (%) that a vertex is interested in an ad
+}
+
+// NewSA returns the social-advertisement program. Every sourceEvery-th
+// vertex advertises one of numAds ads; a vertex forwards an adopted ad
+// with probability interestPct% (deterministic per vertex/ad pair).
+func NewSA(sourceEvery, numAds int, interestPct uint32) *SA {
+	if sourceEvery < 1 {
+		sourceEvery = 1
+	}
+	if numAds < 1 {
+		numAds = 1
+	}
+	return &SA{sourceEvery: sourceEvery, numAds: numAds, interestPct: interestPct}
+}
+
+// Name implements Program.
+func (s *SA) Name() string { return "sa" }
+
+// Style implements Program.
+func (s *SA) Style() Style { return Traversal }
+
+const noAd = -1
+
+// Init implements Program: sources adopt their own ad and respond.
+func (s *SA) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	if int(v)%s.sourceEvery == 0 {
+		return float64(int(v) % s.numAds), true
+	}
+	return noAd, false
+}
+
+// Update implements Program: adopt the majority ad among responding
+// in-neighbours; forward it only when interested and not already holding
+// an ad (each person forwards at most once).
+func (s *SA) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	if val != noAd {
+		return val, false
+	}
+	ad, ok := MostFrequent(msgs)
+	if !ok {
+		return val, false
+	}
+	if !s.interested(v, ad) {
+		return val, false
+	}
+	return ad, true
+}
+
+// Bcast implements Program.
+func (s *SA) Bcast(val float64, outdeg int) float64 { return val }
+
+// MsgValue implements Program.
+func (s *SA) MsgValue(bcast float64, weight float32) float64 { return bcast }
+
+// Combiner implements Program: majorities need every message.
+func (s *SA) Combiner() Combiner { return nil }
+
+// interested is a deterministic hash-based interest test, standing in for
+// the per-person favourite-advertisement lists of the original workload.
+func (s *SA) interested(v graph.VertexID, ad float64) bool {
+	h := uint32(v)*2654435761 + uint32(ad)*40503 + 0x9e3779b9
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	return h%100 < s.interestPct
+}
+
+// PhaseOscillator is a synthetic Multi-Phase-Style program used to probe the
+// boundary of hybrid (Section 5.3 and Appendix G): activity oscillates
+// with period 2·phaseLen — all vertices broadcast during odd phases, only
+// a 1/16 sample during even phases — mimicking the periodic behaviour of
+// algorithms like minimum spanning tree that defeat the Q^{t+2} predictor.
+type PhaseOscillator struct {
+	phaseLen int
+}
+
+// NewMultiPhase returns the synthetic multi-phase program.
+func NewMultiPhase(phaseLen int) *PhaseOscillator {
+	if phaseLen < 1 {
+		phaseLen = 1
+	}
+	return &PhaseOscillator{phaseLen: phaseLen}
+}
+
+// Name implements Program.
+func (m *PhaseOscillator) Name() string { return "multiphase" }
+
+// Style implements Program.
+func (m *PhaseOscillator) Style() Style { return MultiPhase }
+
+// Init implements Program.
+func (m *PhaseOscillator) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	return float64(v), true
+}
+
+// Update implements Program: the respond decision depends only on the
+// phase, producing a square-wave active-vertex population.
+func (m *PhaseOscillator) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	if ctx.Step >= ctx.MaxSteps {
+		return val, false
+	}
+	phase := (ctx.Step / m.phaseLen) % 2
+	if phase == 0 {
+		return val, true
+	}
+	return val, v%16 == 0
+}
+
+// Bcast implements Program.
+func (m *PhaseOscillator) Bcast(val float64, outdeg int) float64 { return val }
+
+// MsgValue implements Program.
+func (m *PhaseOscillator) MsgValue(bcast float64, weight float32) float64 { return bcast }
+
+// Combiner implements Program.
+func (m *PhaseOscillator) Combiner() Combiner { return nil }

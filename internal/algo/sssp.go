@@ -1,0 +1,61 @@
+package algo
+
+import "hybridgraph/internal/graph"
+
+// SSSP computes single-source shortest paths (the paper's second
+// benchmark): a vertex keeps the minimum distance received, and broadcasts
+// distance+weight along out-edges whenever it improves. The active-vertex
+// population grows from the source and then shrinks through a long
+// convergent tail — the Traversal-Style behaviour that makes the hybrid
+// switcher profitable (Fig. 14).
+type SSSP struct {
+	source graph.VertexID
+}
+
+// NewSSSP returns SSSP from the given source vertex.
+func NewSSSP(source graph.VertexID) *SSSP { return &SSSP{source: source} }
+
+// Name implements Program.
+func (s *SSSP) Name() string { return "sssp" }
+
+// Style implements Program.
+func (s *SSSP) Style() Style { return Traversal }
+
+// Init implements Program: the source holds distance 0 and responds;
+// everyone else is unreached and silent.
+func (s *SSSP) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	if v == s.source {
+		return 0, true
+	}
+	return Infinity, false
+}
+
+// Update implements Program: adopt the minimum incoming distance if it
+// improves, responding only on improvement.
+func (s *SSSP) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	best := val
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	return best, best < val
+}
+
+// Bcast implements Program: the broadcast value is the vertex's distance.
+func (s *SSSP) Bcast(val float64, outdeg int) float64 { return val }
+
+// MsgValue implements Program.
+func (s *SSSP) MsgValue(bcast float64, weight float32) float64 {
+	return bcast + float64(weight)
+}
+
+// Combiner implements Program: distances combine by minimum.
+func (s *SSSP) Combiner() Combiner {
+	return func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+}

@@ -1,0 +1,72 @@
+package algo
+
+import "hybridgraph/internal/graph"
+
+// WCC computes weakly connected components by min-label propagation — the
+// workload the paper's related-work discussion attributes to Blogel
+// ("block-level communication ... only for specific algorithms like
+// connected components", Section 2). Every vertex starts with its own id
+// and adopts the minimum label it hears; labels flood until components
+// stabilise. Messages combine by minimum, so every engine including pushM
+// applies.
+//
+// Correct weak connectivity requires labels to travel both edge
+// directions; callers should run WCC on a symmetrised graph (add the
+// reverse of every edge) — see Symmetrize.
+type WCC struct{}
+
+// NewWCC returns the connected-components program.
+func NewWCC() *WCC { return &WCC{} }
+
+// Name implements Program.
+func (c *WCC) Name() string { return "wcc" }
+
+// Style implements Program: after the first flood wave only improving
+// vertices stay active, the Traversal pattern.
+func (c *WCC) Style() Style { return Traversal }
+
+// Init implements Program: every vertex broadcasts its own id.
+func (c *WCC) Init(ctx *Context, v graph.VertexID, outdeg int) (float64, bool) {
+	return float64(v), true
+}
+
+// Update implements Program: adopt the minimum label heard, responding
+// only on improvement.
+func (c *WCC) Update(ctx *Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	best := val
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	return best, best < val
+}
+
+// Bcast implements Program.
+func (c *WCC) Bcast(val float64, outdeg int) float64 { return val }
+
+// MsgValue implements Program.
+func (c *WCC) MsgValue(bcast float64, weight float32) float64 { return bcast }
+
+// Combiner implements Program: labels combine by minimum.
+func (c *WCC) Combiner() Combiner {
+	return func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+// Symmetrize returns g plus the reverse of every edge, so undirected
+// reachability algorithms like WCC see both directions.
+func Symmetrize(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		for _, h := range g.OutEdges(graph.VertexID(v)) {
+			b.AddEdge(graph.VertexID(v), h.Dst, h.Weight)
+			b.AddEdge(h.Dst, graph.VertexID(v), h.Weight)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,257 @@
+// Package comm implements the message fabric between HybridGraph workers:
+// message and packet types with the wire sizes the paper's cost analysis
+// uses, network byte accounting per worker, and the three interaction
+// patterns the engines need — push-style delivery, block-centric pull
+// requests (b-pull), and per-svertex gathers (the pull baseline). The
+// default fabric is in-process (workers are goroutines, per the DESIGN.md
+// substitution); a TCP/gob fabric with the same interface demonstrates
+// multi-process distribution.
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hybridgraph/internal/graph"
+)
+
+// Wire sizes in bytes. A message is a destination vertex id plus one
+// value; when several messages share a destination they are concatenated
+// so the id travels once (Section 4.2). These constants are the paper's
+// Byte_m accounting.
+const (
+	MsgIDSize   = 4  // destination vertex id
+	MsgValSize  = 8  // one message value
+	MsgWireSize = 12 // un-concatenated message
+	// PullReqSize is the wire size of one block-centric pull request (a
+	// Vblock identifier); b-pull sends at most V·T of these per superstep.
+	PullReqSize = 8
+	// GatherIDSize is the wire size of one gather request entry in the
+	// pull baseline: a destination vertex id sent to one mirror-holding
+	// worker (vertex-cut traffic is proportional to mirrors).
+	GatherIDSize = 4
+)
+
+// Msg is one message in flight: a value addressed to a destination vertex.
+type Msg struct {
+	Dst graph.VertexID
+	Val float64
+}
+
+// Packet is a batch of messages bound for one worker.
+type Packet struct {
+	From, To int
+	Step     int
+	Msgs     []Msg
+	// WireBytes is the encoded size given the concatenation the sender
+	// applied; 0 means "compute as unconcatenated".
+	WireBytes int64
+}
+
+// Bytes reports the packet's wire size.
+func (p *Packet) Bytes() int64 {
+	if p.WireBytes > 0 {
+		return p.WireBytes
+	}
+	return int64(len(p.Msgs)) * MsgWireSize
+}
+
+// ConcatSize reports the wire size of msgs when concatenated: each
+// distinct destination id travels once, each value always travels. msgs
+// must be grouped by destination (sorted is fine).
+func ConcatSize(msgs []Msg) int64 {
+	var b int64
+	for i, m := range msgs {
+		if i == 0 || m.Dst != msgs[i-1].Dst {
+			b += MsgIDSize
+		}
+		b += MsgValSize
+	}
+	return b
+}
+
+// SortByDst orders msgs by destination id so they concatenate maximally.
+func SortByDst(msgs []Msg) {
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Dst < msgs[j].Dst })
+}
+
+// CombineSorted folds runs of equal-destination messages into one using
+// the reducer c; msgs must be sorted by destination. The result aliases
+// msgs' storage.
+func CombineSorted(msgs []Msg, c func(a, b float64) float64) []Msg {
+	if len(msgs) == 0 {
+		return msgs
+	}
+	out := msgs[:1]
+	for _, m := range msgs[1:] {
+		last := &out[len(out)-1]
+		if m.Dst == last.Dst {
+			last.Val = c(last.Val, m.Val)
+		} else {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// GatherResult is the pull baseline's response for one requested
+// destination vertex: the message values generated at the mirror from the
+// responding local source vertices (already reduced to one value when the
+// algorithm's messages combine, like PowerGraph's local gather
+// aggregation).
+type GatherResult struct {
+	Dst  graph.VertexID
+	Vals []float64
+}
+
+// GatherResultsSize reports the wire size of a gather response: each
+// non-empty result carries its destination id once plus its values.
+func GatherResultsSize(res []GatherResult) int64 {
+	var b int64
+	for _, r := range res {
+		if len(r.Vals) == 0 {
+			continue
+		}
+		b += MsgIDSize + int64(len(r.Vals))*MsgValSize
+	}
+	return b
+}
+
+// Handler is the worker-side surface the fabric calls into.
+type Handler interface {
+	// DeliverMessages accepts a push packet addressed to this worker for
+	// consumption in superstep p.Step+1.
+	DeliverMessages(p *Packet) error
+	// RespondPull runs Pull-Respond (Algorithm 2) for the given global
+	// Vblock at superstep step, returning the generated (already
+	// concatenated/combined) messages and their wire size.
+	RespondPull(reqBlock, step int) ([]Msg, int64, error)
+	// GatherValues runs the pull baseline's mirror-side gather: for each
+	// requested destination vertex, generate message values from this
+	// worker's responding source vertices along its locally-held in-edges.
+	GatherValues(ids []graph.VertexID, step int) ([]GatherResult, error)
+	// DeliverSignals activates the given local vertices for superstep
+	// step+1 (the pull baseline's scatter phase).
+	DeliverSignals(ids []graph.VertexID, step int) error
+}
+
+// Fabric routes traffic between workers and accounts bytes per worker.
+type Fabric interface {
+	Register(worker int, h Handler)
+	// Send delivers a push packet; counted as From-out / To-in bytes.
+	Send(p *Packet) error
+	// PullRequest performs a synchronous block-centric pull.
+	PullRequest(from, to, block, step int) ([]Msg, int64, error)
+	// Gather performs a synchronous vertex-cut gather.
+	Gather(from, to int, ids []graph.VertexID, step int) ([]GatherResult, error)
+	// Signal delivers scatter activations (4 bytes each on the wire).
+	Signal(from, to int, ids []graph.VertexID, step int) error
+	// Traffic reports cumulative (in, out) bytes for worker w.
+	Traffic(w int) (in, out int64)
+	// TotalBytes reports cumulative bytes moved across the fabric.
+	TotalBytes() int64
+}
+
+// Local is the in-process fabric: handlers are invoked directly, which
+// keeps superstep semantics identical to a networked run while the paper's
+// byte accounting is applied to every interaction.
+type Local struct {
+	mu       sync.RWMutex
+	handlers map[int]Handler
+	in       []atomic.Int64
+	out      []atomic.Int64
+	total    atomic.Int64
+}
+
+// NewLocal returns a Local fabric for n workers.
+func NewLocal(n int) *Local {
+	return &Local{handlers: make(map[int]Handler, n), in: make([]atomic.Int64, n), out: make([]atomic.Int64, n)}
+}
+
+// Register implements Fabric.
+func (l *Local) Register(worker int, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[worker] = h
+}
+
+func (l *Local) handler(w int) (Handler, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, ok := l.handlers[w]
+	if !ok {
+		return nil, fmt.Errorf("comm: no handler registered for worker %d", w)
+	}
+	return h, nil
+}
+
+func (l *Local) account(from, to int, bytes int64) {
+	if from == to {
+		// Loopback traffic never crosses the network; the paper's GANGLIA
+		// traffic measurements (Fig. 18) see inter-node bytes only.
+		return
+	}
+	l.out[from].Add(bytes)
+	l.in[to].Add(bytes)
+	l.total.Add(bytes)
+}
+
+// Send implements Fabric.
+func (l *Local) Send(p *Packet) error {
+	h, err := l.handler(p.To)
+	if err != nil {
+		return err
+	}
+	l.account(p.From, p.To, p.Bytes())
+	return h.DeliverMessages(p)
+}
+
+// PullRequest implements Fabric.
+func (l *Local) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
+	h, err := l.handler(to)
+	if err != nil {
+		return nil, 0, err
+	}
+	l.account(from, to, PullReqSize)
+	msgs, bytes, err := h.RespondPull(block, step)
+	if err != nil {
+		return nil, 0, err
+	}
+	l.account(to, from, bytes)
+	return msgs, bytes, nil
+}
+
+// Gather implements Fabric.
+func (l *Local) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherResult, error) {
+	h, err := l.handler(to)
+	if err != nil {
+		return nil, err
+	}
+	l.account(from, to, int64(len(ids))*GatherIDSize)
+	replies, err := h.GatherValues(ids, step)
+	if err != nil {
+		return nil, err
+	}
+	l.account(to, from, GatherResultsSize(replies))
+	return replies, nil
+}
+
+// Signal implements Fabric.
+func (l *Local) Signal(from, to int, ids []graph.VertexID, step int) error {
+	h, err := l.handler(to)
+	if err != nil {
+		return err
+	}
+	l.account(from, to, int64(len(ids))*GatherIDSize)
+	return h.DeliverSignals(ids, step)
+}
+
+// Traffic implements Fabric.
+func (l *Local) Traffic(w int) (in, out int64) {
+	return l.in[w].Load(), l.out[w].Load()
+}
+
+// TotalBytes implements Fabric.
+func (l *Local) TotalBytes() int64 { return l.total.Load() }

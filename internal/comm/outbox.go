@@ -1,0 +1,98 @@
+package comm
+
+// Outbox is the sender-side message buffer used by the push engines:
+// messages accumulate per destination worker and a packet is flushed as
+// soon as its encoded size reaches the sending threshold (the paper's
+// "distributed systems usually set a sending threshold to control the
+// communication behaviour", Appendix E; Giraph-style, 4 MB by default).
+// Push does not concatenate or combine — the paper argues the poor
+// destination locality at the sender makes it not cost-effective — so
+// packets are flushed unconcatenated.
+type Outbox struct {
+	fabric    Fabric
+	from      int
+	step      int
+	threshold int64
+	pending   [][]Msg
+	flushes   int64
+	sent      int64
+	combine   func(a, b float64) float64
+	saved     int64 // wire bytes saved by sender-side combining
+	touched   int64 // messages processed by the combiner
+}
+
+// SetCombine enables sender-side combining at flush time (the paper's
+// modified MOCgraph, pushM+com, Appendix E). Only messages that happen to
+// share a destination within one buffered packet combine — exactly the
+// limitation the paper demonstrates: once a threshold-triggered flush has
+// carried a message away, later messages to the same vertex cannot join
+// it.
+func (o *Outbox) SetCombine(c func(a, b float64) float64) { o.combine = c }
+
+// SavedBytes reports the wire bytes sender-side combining removed.
+func (o *Outbox) SavedBytes() int64 { return o.saved }
+
+// CombinedTouches reports how many messages the combiner processed (its
+// CPU cost, which a small threshold fails to amortise).
+func (o *Outbox) CombinedTouches() int64 { return o.touched }
+
+// NewOutbox returns an outbox for worker from sending via fabric at the
+// given superstep. thresholdBytes <= 0 selects the 4 MB default.
+func NewOutbox(fabric Fabric, workers, from, step int, thresholdBytes int64) *Outbox {
+	if thresholdBytes <= 0 {
+		thresholdBytes = 4 << 20
+	}
+	return &Outbox{
+		fabric:    fabric,
+		from:      from,
+		step:      step,
+		threshold: thresholdBytes,
+		pending:   make([][]Msg, workers),
+	}
+}
+
+// Add buffers one message for worker to, flushing if the buffer reaches
+// the threshold.
+func (o *Outbox) Add(to int, m Msg) error {
+	o.pending[to] = append(o.pending[to], m)
+	if int64(len(o.pending[to]))*MsgWireSize >= o.threshold {
+		return o.flush(to)
+	}
+	return nil
+}
+
+// Flush sends every non-empty buffer.
+func (o *Outbox) Flush() error {
+	for to := range o.pending {
+		if len(o.pending[to]) > 0 {
+			if err := o.flush(to); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (o *Outbox) flush(to int) error {
+	msgs := o.pending[to]
+	o.pending[to] = nil
+	o.flushes++
+	o.sent += int64(len(msgs))
+	p := &Packet{From: o.from, To: to, Step: o.step, Msgs: msgs}
+	if o.combine != nil && len(msgs) > 1 {
+		raw := int64(len(msgs)) * MsgWireSize
+		o.touched += int64(len(msgs))
+		SortByDst(msgs)
+		p.Msgs = CombineSorted(msgs, o.combine)
+		p.WireBytes = ConcatSize(p.Msgs)
+		o.saved += raw - p.WireBytes
+	}
+	return o.fabric.Send(p)
+}
+
+// Sent reports the number of messages sent (including buffered-then-
+// flushed), and Flushes the number of packets.
+func (o *Outbox) Sent() int64 { return o.sent }
+
+// Flushes reports the number of packets sent.
+func (o *Outbox) Flushes() int64 { return o.flushes }

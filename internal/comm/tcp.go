@@ -1,0 +1,257 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"hybridgraph/internal/graph"
+)
+
+// TCP is a fabric whose traffic really crosses loopback TCP sockets with
+// gob framing: each worker owns a listener, requests are dispatched to the
+// registered handler on the serving side, and responses travel back on the
+// same connection. Byte accounting uses the same semantic wire sizes as
+// the Local fabric (message ids and values, not gob framing overhead), so
+// the cost model is transport-independent; the point of TCP is
+// demonstrating that superstep semantics survive a real network hop.
+type TCP struct {
+	mu        sync.RWMutex
+	handlers  map[int]Handler
+	listeners []net.Listener
+	addrs     []string
+	conns     map[int]*tcpConn
+	in        []atomic.Int64
+	out       []atomic.Int64
+	total     atomic.Int64
+	closed    atomic.Bool
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+const (
+	tcpSend = iota
+	tcpPull
+	tcpGather
+	tcpSignal
+)
+
+type tcpRequest struct {
+	Kind  int
+	From  int
+	To    int
+	Step  int
+	Block int
+	Msgs  []Msg
+	Wire  int64
+	IDs   []graph.VertexID
+}
+
+type tcpResponse struct {
+	Msgs    []Msg
+	Wire    int64
+	Results []GatherResult
+	Err     string
+}
+
+// NewTCP starts listeners for n workers on loopback and returns the
+// fabric. Callers must Close it.
+func NewTCP(n int) (*TCP, error) {
+	f := &TCP{
+		handlers: make(map[int]Handler, n),
+		conns:    make(map[int]*tcpConn, n),
+		in:       make([]atomic.Int64, n),
+		out:      make([]atomic.Int64, n),
+	}
+	for w := 0; w < n; w++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.listeners = append(f.listeners, ln)
+		f.addrs = append(f.addrs, ln.Addr().String())
+		go f.serve(w, ln)
+	}
+	return f, nil
+}
+
+// Close shuts the listeners and cached connections down.
+func (f *TCP) Close() error {
+	f.closed.Store(true)
+	for _, ln := range f.listeners {
+		ln.Close()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.conns {
+		c.c.Close()
+	}
+	f.conns = map[int]*tcpConn{}
+	return nil
+}
+
+// Register implements Fabric.
+func (f *TCP) Register(worker int, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[worker] = h
+}
+
+func (f *TCP) serve(worker int, ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go f.serveConn(worker, c)
+	}
+}
+
+func (f *TCP) serveConn(worker int, c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	for {
+		var req tcpRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp tcpResponse
+		f.mu.RLock()
+		h := f.handlers[worker]
+		f.mu.RUnlock()
+		if h == nil {
+			resp.Err = fmt.Sprintf("comm: no handler registered for worker %d", worker)
+		} else {
+			switch req.Kind {
+			case tcpSend:
+				p := &Packet{From: req.From, To: req.To, Step: req.Step, Msgs: req.Msgs, WireBytes: req.Wire}
+				if err := h.DeliverMessages(p); err != nil {
+					resp.Err = err.Error()
+				}
+			case tcpPull:
+				msgs, wire, err := h.RespondPull(req.Block, req.Step)
+				resp.Msgs, resp.Wire = msgs, wire
+				if err != nil {
+					resp.Err = err.Error()
+				}
+			case tcpGather:
+				res, err := h.GatherValues(req.IDs, req.Step)
+				resp.Results = res
+				if err != nil {
+					resp.Err = err.Error()
+				}
+			case tcpSignal:
+				if err := h.DeliverSignals(req.IDs, req.Step); err != nil {
+					resp.Err = err.Error()
+				}
+			default:
+				resp.Err = fmt.Sprintf("comm: unknown request kind %d", req.Kind)
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// dialLocked returns a cached connection to worker w, dialing on demand.
+func (f *TCP) dial(w int) (*tcpConn, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.conns[w]; ok {
+		return c, nil
+	}
+	if w < 0 || w >= len(f.addrs) {
+		return nil, fmt.Errorf("comm: no such worker %d", w)
+	}
+	nc, err := net.Dial("tcp", f.addrs[w])
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+	f.conns[w] = c
+	return c, nil
+}
+
+func (f *TCP) roundTrip(w int, req *tcpRequest) (*tcpResponse, error) {
+	c, err := f.dial(w)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp tcpResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return &resp, nil
+}
+
+func (f *TCP) account(from, to int, bytes int64) {
+	if from == to || from < 0 || to < 0 || from >= len(f.out) || to >= len(f.in) {
+		return
+	}
+	f.out[from].Add(bytes)
+	f.in[to].Add(bytes)
+	f.total.Add(bytes)
+}
+
+// Send implements Fabric.
+func (f *TCP) Send(p *Packet) error {
+	f.account(p.From, p.To, p.Bytes())
+	_, err := f.roundTrip(p.To, &tcpRequest{Kind: tcpSend, From: p.From, To: p.To,
+		Step: p.Step, Msgs: p.Msgs, Wire: p.WireBytes})
+	return err
+}
+
+// PullRequest implements Fabric.
+func (f *TCP) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
+	f.account(from, to, PullReqSize)
+	resp, err := f.roundTrip(to, &tcpRequest{Kind: tcpPull, From: from, To: to, Block: block, Step: step})
+	if err != nil {
+		return nil, 0, err
+	}
+	f.account(to, from, resp.Wire)
+	return resp.Msgs, resp.Wire, nil
+}
+
+// Gather implements Fabric.
+func (f *TCP) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherResult, error) {
+	f.account(from, to, int64(len(ids))*GatherIDSize)
+	resp, err := f.roundTrip(to, &tcpRequest{Kind: tcpGather, From: from, To: to, IDs: ids, Step: step})
+	if err != nil {
+		return nil, err
+	}
+	f.account(to, from, GatherResultsSize(resp.Results))
+	return resp.Results, nil
+}
+
+// Signal implements Fabric.
+func (f *TCP) Signal(from, to int, ids []graph.VertexID, step int) error {
+	f.account(from, to, int64(len(ids))*GatherIDSize)
+	_, err := f.roundTrip(to, &tcpRequest{Kind: tcpSignal, From: from, To: to, IDs: ids, Step: step})
+	return err
+}
+
+// Traffic implements Fabric.
+func (f *TCP) Traffic(w int) (in, out int64) {
+	return f.in[w].Load(), f.out[w].Load()
+}
+
+// TotalBytes implements Fabric.
+func (f *TCP) TotalBytes() int64 { return f.total.Load() }

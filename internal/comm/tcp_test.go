@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"testing"
+
+	"hybridgraph/internal/graph"
+)
+
+func newTCPPair(t *testing.T) (*TCP, *recorder) {
+	t.Helper()
+	fab, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fab.Close() })
+	r := &recorder{}
+	fab.Register(1, r)
+	return fab, r
+}
+
+func TestTCPSend(t *testing.T) {
+	fab, r := newTCPPair(t)
+	p := &Packet{From: 0, To: 1, Step: 3, Msgs: []Msg{{Dst: 7, Val: 1.5}, {Dst: 8, Val: 2.5}}}
+	if err := fab.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != 1 {
+		t.Fatalf("packets = %d", len(r.packets))
+	}
+	got := r.packets[0]
+	if got.Step != 3 || len(got.Msgs) != 2 || got.Msgs[1].Val != 2.5 {
+		t.Fatalf("packet = %+v", got)
+	}
+	if fab.TotalBytes() != 2*MsgWireSize {
+		t.Fatalf("total bytes = %d", fab.TotalBytes())
+	}
+}
+
+func TestTCPPullRequest(t *testing.T) {
+	fab, r := newTCPPair(t)
+	r.mu.Lock()
+	r.pullOut = []Msg{{Dst: 3, Val: 9}}
+	r.mu.Unlock()
+	msgs, wire, err := fab.PullRequest(0, 1, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Val != 9 {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	if wire != ConcatSize(r.pullOut) {
+		t.Fatalf("wire = %d", wire)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pulls) != 1 || r.pulls[0] != 5 {
+		t.Fatalf("pulls = %v", r.pulls)
+	}
+}
+
+func TestTCPGatherAndSignal(t *testing.T) {
+	fab, r := newTCPPair(t)
+	ids := []graph.VertexID{1, 2}
+	res, err := fab.Gather(0, 1, ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Vals[0] != 1 {
+		t.Fatalf("gather = %v", res)
+	}
+	if err := fab.Signal(0, 1, ids, 4); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.signals) != 1 {
+		t.Fatalf("signals = %v", r.signals)
+	}
+}
+
+func TestTCPUnregisteredHandler(t *testing.T) {
+	fab, _ := newTCPPair(t)
+	// Worker 0 has no handler.
+	if err := fab.Send(&Packet{From: 1, To: 0, Msgs: []Msg{{Dst: 1}}}); err == nil {
+		t.Fatal("Send to unregistered worker should fail")
+	}
+	if _, _, err := fab.PullRequest(1, 9, 0, 1); err == nil {
+		t.Fatal("PullRequest to nonexistent worker should fail")
+	}
+}
+
+func TestTCPConcurrentRequests(t *testing.T) {
+	fab, _ := newTCPPair(t)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			_, _, err := fab.PullRequest(0, 1, i, 2)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

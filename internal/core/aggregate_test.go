@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+func TestConvergingPageRankHaltsByAggregate(t *testing.T) {
+	g := graph.GenUniform(400, 4800, 61)
+	fixed := algo.NewPageRank(0.85)
+	conv := algo.NewConvergingPageRank(0.85, 1e-4)
+	cfg := Config{Workers: 3, MsgBuf: 100, MaxSteps: 60}
+
+	for _, e := range []Engine{Push, BPull, Hybrid, Pull} {
+		t.Run(string(e), func(t *testing.T) {
+			cfgE := cfg
+			if e == Pull {
+				cfgE.VertexCache = 0
+			}
+			res, err := Run(g, conv, cfgE, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Supersteps() >= cfg.MaxSteps {
+				t.Fatalf("never converged: %d supersteps", res.Supersteps())
+			}
+			last := res.Steps[len(res.Steps)-1]
+			if last.Aggregate >= 1e-4 {
+				t.Fatalf("halted with aggregate %g >= epsilon", last.Aggregate)
+			}
+			// The delta series is (eventually) decreasing for PageRank.
+			if len(res.Steps) > 4 {
+				a, b := res.Steps[2].Aggregate, last.Aggregate
+				if !(b < a) {
+					t.Fatalf("delta did not shrink: step3 %g vs last %g", a, b)
+				}
+			}
+			// Converged ranks agree with a long fixed run.
+			long, err := Run(g, fixed, Config{Workers: 3, MsgBuf: 100, MaxSteps: 60}, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range long.Values {
+				if d := res.Values[v] - long.Values[v]; d > 1e-3 || d < -1e-3 {
+					t.Fatalf("vertex %d: converged %g vs long-run %g", v, res.Values[v], long.Values[v])
+				}
+			}
+		})
+	}
+}
+
+func TestWCCFindsComponents(t *testing.T) {
+	// Three disjoint cliques plus isolated vertices.
+	b := graph.NewBuilder(35)
+	addClique := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := lo; j < hi; j++ {
+				if i != j {
+					b.AddEdge(graph.VertexID(i), graph.VertexID(j), 1)
+				}
+			}
+		}
+	}
+	addClique(0, 10)
+	addClique(10, 25)
+	addClique(25, 30)
+	g := algo.Symmetrize(b.Build())
+
+	for _, e := range []Engine{Push, PushM, BPull, Hybrid} {
+		res, err := Run(g, algo.NewWCC(), Config{Workers: 3, MsgBuf: 20, MaxSteps: 40}, e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		want := func(v int) float64 {
+			switch {
+			case v < 10:
+				return 0
+			case v < 25:
+				return 10
+			case v < 30:
+				return 25
+			default:
+				return float64(v) // isolated vertices keep their own label
+			}
+		}
+		for v := 0; v < 35; v++ {
+			if res.Values[v] != want(v) {
+				t.Fatalf("%s: component of %d = %g, want %g", e, v, res.Values[v], want(v))
+			}
+		}
+	}
+}
+
+func TestWCCOnGeneratedGraphMatchesUnionFind(t *testing.T) {
+	g := algo.Symmetrize(graph.GenUniform(300, 400, 62)) // sparse: many components
+	res, err := Run(g, algo.NewWCC(), Config{Workers: 3, MsgBuf: 50, MaxSteps: 80}, BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union-find oracle.
+	parent := make([]int, g.NumVertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		for _, h := range g.OutEdges(graph.VertexID(v)) {
+			a, b := find(v), find(int(h.Dst))
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	// Same component ⇔ same label.
+	for u := 0; u < g.NumVertices; u++ {
+		for v := u + 1; v < g.NumVertices; v++ {
+			same := find(u) == find(v)
+			got := res.Values[u] == res.Values[v]
+			if same != got {
+				t.Fatalf("vertices %d,%d: union-find same=%v, labels %g/%g",
+					u, v, same, res.Values[u], res.Values[v])
+			}
+		}
+	}
+}

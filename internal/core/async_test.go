@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+// TestAsyncSSSPMatchesSyncInFewerSupersteps checks the asynchronous-
+// iteration extension: SSSP relaxes eagerly across the cluster within a
+// superstep, so it reaches the same distances in a fraction of the
+// supersteps the synchronous run needs.
+func TestAsyncSSSPMatchesSyncInFewerSupersteps(t *testing.T) {
+	// A long chain maximises the synchronous superstep count.
+	g := graph.GenChain(200, 0, 95)
+	prog := algo.NewSSSP(0)
+	cfg := Config{Workers: 4, MsgBuf: 50, MaxSteps: 300}
+	sync, err := Run(g, prog, cfg, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := cfg
+	async.Async = true
+	as, err := Run(g, prog, async, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range sync.Values {
+		a, b := sync.Values[v], as.Values[v]
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("vertex %d: async %g vs sync %g", v, b, a)
+		}
+	}
+	if as.Supersteps()*4 > sync.Supersteps() {
+		t.Fatalf("async took %d supersteps, sync %d; expected at least a 4x collapse",
+			as.Supersteps(), sync.Supersteps())
+	}
+}
+
+func TestAsyncWCC(t *testing.T) {
+	g := algo.Symmetrize(graph.GenUniform(400, 900, 96))
+	prog := algo.NewWCC()
+	cfg := Config{Workers: 3, MsgBuf: 60, MaxSteps: 200}
+	sync, err := Run(g, prog, cfg, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := cfg
+	async.Async = true
+	as, err := Run(g, prog, async, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range sync.Values {
+		if sync.Values[v] != as.Values[v] {
+			t.Fatalf("vertex %d: async %g vs sync %g", v, as.Values[v], sync.Values[v])
+		}
+	}
+	if as.Supersteps() >= sync.Supersteps() {
+		t.Fatalf("async %d supersteps should beat sync %d", as.Supersteps(), sync.Supersteps())
+	}
+}
+
+func TestAsyncIgnoredByOtherEngines(t *testing.T) {
+	// Async is a push-engine extension; b-pull runs are unaffected.
+	g := graph.GenChain(50, 0, 97)
+	cfg := Config{Workers: 2, MsgBuf: 20, MaxSteps: 100, Async: true}
+	res, err := Run(g, algo.NewSSSP(0), cfg, BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps() < 50 {
+		t.Fatalf("b-pull with Async flag took %d supersteps; flag should be inert", res.Supersteps())
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/vertexfile"
+)
+
+// stepBPull runs one block-centric pull superstep (Algorithms 1 and 2):
+// for each local Vblock, send its block id to every worker, merge the
+// returned (concatenated/combined) messages into the receiving buffer BR,
+// and run update() over the block. Superstep 1 only initialises vertices —
+// "b-pull starts exchanging messages from the 2nd superstep" (Section 6.5)
+// — which is the one extra superstep of Appendix B.
+func (w *worker) stepBPull(t int) error {
+	return w.stepBPullProduce(t, false)
+}
+
+// stepBPullThenPush is hybrid's b-pull→push switch superstep (Fig. 6):
+// pullRes() and update() run as usual, and pushRes() is invoked
+// immediately on the new values, pushing messages for superstep t+1.
+func (w *worker) stepBPullThenPush(t int) error {
+	return w.stepBPullProduce(t, true)
+}
+
+func (w *worker) stepBPullProduce(t int, pushProduce bool) error {
+	var outbox *comm.Outbox
+	scratch := make([]graph.Half, 0, 256)
+	if pushProduce {
+		outbox = comm.NewOutbox(w.job.fabric, len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
+	}
+	onUpdate := func(v graph.VertexID, rec *vertexfile.Record, responded bool) error {
+		// Estimate push's IO(E^t) from the in-memory adjacency index when
+		// hybrid carries one (edges of every updated vertex).
+		if w.adj != nil && !pushProduce && !w.job.cfg.EdgesInMemory {
+			if eb, err := w.adj.EdgeBytes(v); err == nil {
+				w.addStat(func(s *workerStat) { s.estEt += eb })
+			}
+		}
+		if !pushProduce || rec.OutDeg == 0 {
+			return nil
+		}
+		// The switch superstep really reads the adjacency list and pushes.
+		eb, err := w.adj.EdgeBytes(v)
+		if err != nil {
+			return err
+		}
+		if w.job.cfg.EdgesInMemory {
+			eb = 0
+		}
+		scratch = scratch[:0]
+		scratch, err = w.adj.Edges(v, scratch)
+		if err != nil {
+			return err
+		}
+		w.addStat(func(s *workerStat) {
+			s.parts.Et += eb
+			s.cpu.Edges += int64(len(scratch))
+		})
+		if !responded {
+			return nil
+		}
+		wp := writeParity(t)
+		var sent int64
+		for _, e := range scratch {
+			val, keep := w.msgValueFor(rec.Bcast[wp], e.Dst, e.Weight)
+			if !keep {
+				continue
+			}
+			if err := outbox.Add(w.owner(e.Dst), comm.Msg{Dst: e.Dst, Val: val}); err != nil {
+				return err
+			}
+			sent++
+		}
+		w.addStat(func(s *workerStat) {
+			s.produced += sent
+			s.cpu.Messages += sent
+		})
+		return nil
+	}
+
+	if t == 1 {
+		// Initialisation superstep: nothing to pull yet.
+		if err := w.updateBlock(t, w.part.Lo, w.part.Hi, nil, onUpdate); err != nil {
+			return err
+		}
+	} else {
+		lo, hi := w.job.layout.WorkerBlocks(w.id)
+		prepull := !w.job.cfg.DisablePrepull
+		type fetched struct {
+			msgs map[graph.VertexID][]float64
+			mem  int64
+			err  error
+		}
+		var next chan fetched
+		launch := func(b int) chan fetched {
+			ch := make(chan fetched, 1)
+			go func() {
+				m, mem, err := w.pullBlock(t, b)
+				ch <- fetched{m, mem, err}
+			}()
+			return ch
+		}
+		for b := lo; b < hi; b++ {
+			var msgs map[graph.VertexID][]float64
+			var brMem int64
+			if next != nil {
+				f := <-next
+				if f.err != nil {
+					return f.err
+				}
+				msgs, brMem = f.msgs, f.mem
+				next = nil
+			} else {
+				var err error
+				msgs, brMem, err = w.pullBlock(t, b)
+				if err != nil {
+					return err
+				}
+			}
+			if prepull && b+1 < hi {
+				// BR_i = 2·n_i/V_i: messages for b+1 arrive while b updates.
+				next = launch(b + 1)
+				brMem *= 2
+			}
+			w.addStat(func(s *workerStat) {
+				if brMem > s.memBytes {
+					s.memBytes = brMem
+				}
+			})
+			blk := w.job.layout.Blocks[b]
+			if err := w.updateBlock(t, blk.Lo, blk.Hi, msgs, onUpdate); err != nil {
+				return err
+			}
+		}
+		if next != nil {
+			if f := <-next; f.err != nil {
+				return f.err
+			}
+			return fmt.Errorf("core: b-pull prefetched past the last block")
+		}
+	}
+	if outbox != nil {
+		return outbox.Flush()
+	}
+	return nil
+}
+
+// pullBlock performs Pull-Request (Algorithm 1) for global block b:
+// request messages from every worker and merge them into BR, combining
+// when the program allows it. Returns the per-vertex message lists and the
+// buffer's memory footprint.
+func (w *worker) pullBlock(t, b int) (map[graph.VertexID][]float64, int64, error) {
+	combine := w.job.prog.Combiner()
+	if w.job.cfg.DisableCombine {
+		combine = nil
+	}
+	out := make(map[graph.VertexID][]float64)
+	var held int64
+	for y := range w.job.workers {
+		msgs, _, err := w.job.fabric.PullRequest(w.id, y, b, t)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, m := range msgs {
+			if vals := out[m.Dst]; combine != nil && len(vals) == 1 {
+				vals[0] = combine(vals[0], m.Val)
+			} else {
+				out[m.Dst] = append(vals, m.Val)
+			}
+		}
+	}
+	for _, vals := range out {
+		held += int64(len(vals))*comm.MsgValSize + comm.MsgIDSize
+	}
+	w.addStat(func(s *workerStat) {
+		s.requests += int64(len(w.job.workers))
+	})
+	return out, held, nil
+}
+
+// RespondPull implements comm.Handler: Pull-Respond (Algorithm 2). For
+// each local Vblock whose res indicator and destination bitmap allow it,
+// scan the Eblock toward the requested block; for each fragment whose
+// source vertex responded at t-1, random-read its broadcast value and
+// generate one message per clustered edge. The sending buffer BS is then
+// concatenated (and combined when legal) before crossing the wire.
+func (w *worker) RespondPull(reqBlock, step int) ([]comm.Msg, int64, error) {
+	rp := readParity(step)
+	prog := w.job.prog
+	var out []comm.Msg
+	var produced, vrr, ebar, ft int64
+	for j := 0; j < w.ve.LocalBlocks(); j++ {
+		if !w.blockRes[rp][j] || !w.ve.Meta(j).Bitmap.Get(reqBlock) {
+			continue
+		}
+		st, err := w.ve.ScanEblock(j, reqBlock, func(src graph.VertexID, edges []graph.Half) error {
+			if !w.respond[rp].Get(w.localIdx(src)) {
+				return nil
+			}
+			w.scanMu.Lock()
+			bcast, err := w.vstore.ReadBcastScan(src, rp, w.scanPages)
+			w.scanMu.Unlock()
+			if err != nil {
+				return err
+			}
+			vrr += vertexfile.BcastSize
+			for _, e := range edges {
+				val, keep := w.msgValueFor(bcast, e.Dst, e.Weight)
+				if !keep {
+					continue
+				}
+				out = append(out, comm.Msg{Dst: e.Dst, Val: val})
+				produced++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		ebar += st.EdgeBytes
+		ft += st.FragBytes
+	}
+	if w.job.cfg.EdgesInMemory {
+		ebar, ft = 0, 0
+	}
+	if w.job.cfg.VerticesInMemory {
+		vrr = 0
+	}
+
+	rawBytes := int64(len(out)) * comm.MsgWireSize
+	comm.SortByDst(out)
+	if c := prog.Combiner(); c != nil && !w.job.cfg.DisableCombine {
+		out = comm.CombineSorted(out, c)
+	}
+	wire := comm.ConcatSize(out)
+	bsMem := int64(len(out)) * comm.MsgWireSize
+
+	w.addStat(func(s *workerStat) {
+		s.produced += produced
+		s.estM += produced
+		s.mcoBytes += rawBytes - wire
+		s.parts.Vrr += vrr
+		s.parts.Ebar += ebar
+		s.parts.Ft += ft
+		s.cpu.Messages += produced
+		s.cpu.Edges += ebar / 8 // every scanned edge costs, responding or not
+		if bsMem > s.memBytes {
+			s.memBytes = bsMem
+		}
+	})
+	return out, wire, nil
+}

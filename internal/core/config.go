@@ -1,0 +1,160 @@
+// Package core is HybridGraph's contribution: the push, pushM (MOCgraph-
+// style), pull (PowerGraph-style vertex-cut baseline) and b-pull engines,
+// plus the hybrid engine that switches between push and b-pull adaptively
+// using the performance metric Q^t of Eq. (11). All engines run the same
+// vertex programs over the same per-worker disk-resident stores and report
+// the same per-superstep statistics, so the paper's comparisons fall out
+// of one code path.
+package core
+
+import (
+	"fmt"
+
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+)
+
+// Engine names one message-handling approach.
+type Engine string
+
+// The five engines of the paper's evaluation (Section 6 naming).
+const (
+	Push   Engine = "push"   // Giraph-style push with disk-spilled messages
+	PushM  Engine = "pushM"  // MOCgraph-style push with message online computing
+	Pull   Engine = "pull"   // PowerGraph-style vertex-cut pull (disk-extended)
+	BPull  Engine = "b-pull" // the paper's block-centric pull
+	Hybrid Engine = "hybrid" // adaptive switching between push and b-pull
+)
+
+// Engines lists all engines in the paper's plotting order.
+var Engines = []Engine{Push, PushM, Pull, BPull, Hybrid}
+
+// Config parameterises one job.
+type Config struct {
+	// Workers is T, the number of computational nodes (default 5).
+	Workers int
+	// MsgBuf is B_i, each worker's message buffer capacity in messages;
+	// <= 0 means unlimited.
+	MsgBuf int
+	// InMemory selects the paper's sufficient-memory scenario: all stores
+	// are memory-resident and no I/O is charged. Implies unlimited MsgBuf.
+	InMemory bool
+	// MaxSteps caps the number of supersteps (default 30; Always-Active
+	// programs also halt here).
+	MaxSteps int
+	// Profile sets the hardware cost model (default diskio.HDDLocal).
+	Profile diskio.Profile
+	// WorkDir is where per-worker files live; empty means a fresh
+	// temporary directory removed when the job closes.
+	WorkDir string
+	// BlocksPerWorker fixes the Vblock count per worker; 0 derives it from
+	// Eq. (5)/(6) using MsgBuf.
+	BlocksPerWorker int
+	// VertexCache is the pull baseline's per-worker resident vertex
+	// budget (Table 5's cache sizes); <= 0 means unbounded, i.e. the
+	// ext-edge scenario where all vertices fit in memory. Ignored by
+	// other engines.
+	VertexCache int
+	// SendThreshold is the push sender threshold in bytes (default 4 MB).
+	SendThreshold int64
+	// DisableCombine turns off message combining in b-pull even for
+	// combinable algorithms (Fig. 18's fairness setting); concatenation
+	// stays on.
+	DisableCombine bool
+	// DisablePrepull turns off b-pull's pre-pulling of the next Vblock
+	// (ablation; also the paper's concat-only configuration).
+	DisablePrepull bool
+	// SenderCombine turns on sender-side combining for the push engines
+	// (the paper's modified MOCgraph, pushM+com, Appendix E). Requires a
+	// combinable algorithm.
+	SenderCombine bool
+	// SwitchInterval is hybrid's minimum spacing Δt between switches
+	// (default 2, the paper's choice; Section 5.3 argues frequent
+	// switching is not cost effective).
+	SwitchInterval int
+	// EdgesInMemory keeps edge stores memory-resident while vertex values
+	// stay on disk (Table 5's ext-* scenarios for pull).
+	EdgesInMemory bool
+	// VerticesInMemory keeps vertex records memory-resident while edges
+	// stay on disk (Table 5 ext-edge).
+	VerticesInMemory bool
+	// Source seeds SSSP/SA-style programs (informational; programs carry
+	// their own source).
+	Source graph.VertexID
+	// KeepFiles leaves the work directory in place after the job.
+	KeepFiles bool
+	// TCP routes all worker communication over loopback TCP sockets with
+	// gob framing instead of the in-process fabric, demonstrating that
+	// superstep semantics survive a real network hop. Byte accounting is
+	// identical either way.
+	TCP bool
+	// FailStep, when > 0, injects a simulated crash of worker FailWorker
+	// at the start of that superstep, once. The master's fault detector
+	// notices it at the barrier and recovers by recomputing from scratch —
+	// the prototype's fault-tolerance policy (Appendix A).
+	FailStep   int
+	FailWorker int
+	// PhaseAware enables the Appendix G extension: hybrid analyses the
+	// history of Q^t signs for periodicity and, when a Multi-Phase-Style
+	// cycle is detected, schedules modes from the matching phase of the
+	// previous cycle instead of the (poor) persistence forecast.
+	PhaseAware bool
+	// Async enables asynchronous iteration inside the push engine (the
+	// extension the paper flags: "HybridGraph can be extended to support
+	// the asynchronous iteration"): after the superstep's scan, each
+	// worker keeps draining and applying incoming messages eagerly —
+	// local relaxations and cross-worker ping-pong alike — until
+	// quiescence, instead of parking them for the next barrier. Sound
+	// only for monotone programs with commutative, idempotent-toward-
+	// fixpoint updates (SSSP, WCC); it collapses their long convergent
+	// tails into a handful of supersteps.
+	Async bool
+	// Recovery selects the fault-tolerance policy: "scratch" (default)
+	// recomputes from superstep 1 as the paper's prototype does;
+	// "resume" implements the lightweight solution the paper motivates
+	// for self-correcting algorithms ("some algorithms always converge to
+	// the same results from any input", Appendix A) — vertex values
+	// survive and the restart's first superstep just re-announces them.
+	// Resume is only sound for algorithms whose fixpoint is independent
+	// of the starting state (WCC, SSSP, converging PageRank).
+	Recovery string
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 5
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 30
+	}
+	if c.Profile.SNet == 0 {
+		c.Profile = diskio.HDDLocal
+	}
+	if c.SendThreshold <= 0 {
+		c.SendThreshold = 4 << 20
+	}
+	if c.SwitchInterval <= 0 {
+		c.SwitchInterval = 2
+	}
+	if c.InMemory {
+		c.MsgBuf = 0
+		c.EdgesInMemory = true
+		c.VerticesInMemory = true
+	}
+	return c
+}
+
+// validate rejects configurations the engines cannot honour.
+func (c Config) validate(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: graph has no vertices")
+	}
+	if c.Workers > n {
+		return fmt.Errorf("core: %d workers for %d vertices", c.Workers, n)
+	}
+	if c.BlocksPerWorker < 0 {
+		return fmt.Errorf("core: negative BlocksPerWorker")
+	}
+	return nil
+}

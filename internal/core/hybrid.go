@@ -1,0 +1,185 @@
+package core
+
+import (
+	"hybridgraph/internal/metrics"
+)
+
+// Hybrid mode scheduling (Section 5.3-5.4, Algorithm 3).
+//
+// Modes are decided two supersteps ahead: the statistics of superstep t
+// predict Q^{t+2} (Shang-Yu persistence forecasting with Δt = 2), so while
+// superstep t runs, modes[t] and modes[t+1] are already fixed. That is
+// what makes Fig. 6's switch supersteps well-defined: superstep t consumes
+// messages per modes[t] and produces per modes[t+1]; when they differ the
+// superstep executes the switch (pullRes+update+pushRes, or load+update
+// alone).
+
+// initHybridModes picks the starting mode before any superstep has run
+// (Algorithm 3, line 2). Theorem 2's rule — b-pull when B ≤ B⊥ = |E|/2−f —
+// decides the clear cases. When B > B⊥ we additionally evaluate Eq. (11)
+// directly under the theorem's own broadcast assumption (every vertex
+// sends on every out-edge, M = |E|): the theorem drops constant factors
+// that matter when fragments are small relative to messages, and the
+// direct Qt estimate is strictly sharper. With unlimited buffers
+// (sufficient memory) communication dominates and b-pull's concatenation
+// and combining always win, so b-pull starts.
+func (j *job) initHybridModes() {
+	init := BPull
+	if j.bTotal > 0 {
+		bLower := int64(j.g.NumEdges())/2 - j.totalFrags
+		if j.bTotal > bLower {
+			m := int64(j.g.NumEdges())
+			var mdisk int64
+			if over := m - j.bTotal; over > 0 {
+				mdisk = over * 12
+			}
+			ft := j.totalFrags * 8
+			vrr := j.totalFrags * 8
+			et := m * 8
+			ebar := m * 8
+			// Mco conservatively 0: the decision rests on I/O alone,
+			// exactly as Theorem 2's derivation does.
+			if metrics.Qt(j.cfg.Profile, 0, mdisk, vrr, et, ebar, ft) < 0 {
+				init = Push
+			}
+		}
+	}
+	j.modes = make([]Engine, j.cfg.MaxSteps+3)
+	for i := range j.modes {
+		j.modes[i] = init
+	}
+	j.rco = 0.4 // prior for the combining ratio before b-pull has run
+	j.lastSwitch = -10
+	j.qtSigns = nil
+}
+
+// produceMode reports how superstep t's messages leave the node: pushed
+// now (modes[t+1] == Push) or pulled at t+1.
+func (j *job) produceMode(t int) Engine {
+	if t+1 < len(j.modes) {
+		return j.modes[t+1]
+	}
+	return j.modes[len(j.modes)-1]
+}
+
+// scheduleMode runs Algorithm 3's evaluate() after superstep t: the
+// predicted Q^{t+2} picks modes[t+2], with switches spaced at least the
+// switching interval Δt = 2 apart (frequent switching is not cost
+// effective, Section 5.3). With PhaseAware set, a detected period in the
+// Q^t sign history overrides the persistence forecast — the Appendix G
+// proposal for Multi-Phase-Style algorithms, whose oscillating activity
+// defeats Δt-delayed switching.
+func (j *job) scheduleMode(t int, st metrics.StepStats) {
+	j.qtSigns = append(j.qtSigns, st.Qt >= 0)
+	if t+2 >= len(j.modes) {
+		return
+	}
+	want := Push
+	if st.Qt >= 0 {
+		want = BPull
+	}
+	periodic := false
+	if j.cfg.PhaseAware {
+		if p, ok := detectPeriod(j.qtSigns); ok {
+			// Predict t+2's sign from the same phase one period earlier.
+			idx := len(j.qtSigns) + 1 - p // 0-based index of step t+2-p
+			if idx >= 0 && idx < len(j.qtSigns) {
+				periodic = true
+				if j.qtSigns[idx] {
+					want = BPull
+				} else {
+					want = Push
+				}
+			}
+		}
+	}
+	cur := j.modes[t+1]
+	// A confidently periodic schedule may switch every superstep; the
+	// Δt spacing exists only because *mispredicted* switches are wasted.
+	if want != cur && !periodic && (t+2)-j.lastSwitch < j.cfg.SwitchInterval {
+		want = cur
+	}
+	if want != cur {
+		j.lastSwitch = t + 2
+	}
+	for i := t + 2; i < len(j.modes); i++ {
+		j.modes[i] = want
+	}
+}
+
+// detectPeriod looks for the smallest period p (2 ≤ p ≤ len/3) such that
+// the boolean history repeats over its last three cycles; requiring three
+// keeps spurious matches on short histories out.
+func detectPeriod(signs []bool) (int, bool) {
+	n := len(signs)
+	for p := 2; p*3 <= n; p++ {
+		ok := true
+		// The last 2p entries must match the p entries before them.
+		for i := n - 2*p; i < n && ok; i++ {
+			ok = signs[i] == signs[i-p]
+		}
+		if !ok {
+			continue
+		}
+		// Reject constant histories: a period needs both signs.
+		var hasTrue, hasFalse bool
+		for _, s := range signs[n-p:] {
+			if s {
+				hasTrue = true
+			} else {
+				hasFalse = true
+			}
+		}
+		if hasTrue && hasFalse {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// finishQt evaluates Eq. (11) for the superstep from measured quantities
+// plus the estimates the other mode requires, and records the prediction
+// inputs (Figs. 11-13 report their accuracy).
+func (j *job) finishQt(t int, mode Engine, st *metrics.StepStats) {
+	p := j.cfg.Profile
+	var estEbar, estFt, estVrr, estEt int64
+	var mdisk int64
+	var mcoBytes int64
+
+	switch mode {
+	case BPull:
+		// Measured b-pull side; push side estimated.
+		mcoBytes = st.McoBytes
+		estEt = st.EstEt
+		if st.Parts.Et > 0 { // a switch superstep measured real push edges
+			estEt += st.Parts.Et
+		}
+		if j.bTotal > 0 {
+			if over := st.Produced - j.bTotal; over > 0 {
+				mdisk = over * 12
+			}
+		}
+		st.Qt = metrics.Qt(p, mcoBytes, mdisk, st.Parts.Vrr, estEt, st.Parts.Ebar, st.Parts.Ft)
+		st.Pred = metrics.Prediction{
+			Mco:      mcoBytes,
+			CioPush:  st.Parts.Vt + estEt + 2*mdisk,
+			CioBpull: st.Parts.CioBpull(),
+		}
+		if st.Produced > 0 {
+			j.rco = float64(mcoBytes) / float64(st.Produced*12)
+		}
+	case Push, PushM:
+		// Measured push side; b-pull side estimated from metadata.
+		estEbar, estFt, estVrr = st.EstEbar, st.EstFt, st.EstVrr
+		mdisk = st.Parts.MdiskW
+		mcoBytes = int64(float64(st.Produced*12) * j.rco)
+		st.Qt = metrics.Qt(p, mcoBytes, mdisk, estVrr, st.Parts.Et, estEbar, estFt)
+		st.Pred = metrics.Prediction{
+			Mco:      mcoBytes,
+			CioPush:  st.Parts.CioPush(),
+			CioBpull: st.Parts.Vt + estEbar + estFt + estVrr,
+		}
+	default:
+		st.Qt = 0
+	}
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/veblock"
+	"hybridgraph/internal/vertexfile"
+)
+
+// job is one engine run over one graph.
+type job struct {
+	cfg     Config
+	g       *graph.Graph
+	prog    algo.Program
+	engine  Engine
+	parts   []graph.Partition
+	layout  *veblock.Layout
+	fabric  comm.Fabric
+	workers []*worker
+	loadCts []*diskio.Counter
+	dir     string
+	ownDir  bool
+
+	totalFrags int64
+	bTotal     int64 // B = Σ B_i in messages (0 = unlimited)
+
+	// hybrid state
+	modes      []Engine // mode per superstep, index t (1-based)
+	lastSwitch int
+	rco        float64 // observed b-pull byte-savings ratio, for Mco estimates
+	qtSigns    []bool  // per-superstep "b-pull preferred" history (PhaseAware)
+
+	prevAgg float64 // last superstep's reduced aggregator value
+
+	failed   bool // the injected failure already fired
+	resuming bool // lightweight recovery: superstep 1 re-announces values
+}
+
+// errInjectedFailure is the sentinel the master's fault detector raises
+// when the configured worker crash fires.
+var errInjectedFailure = fmt.Errorf("core: injected worker failure")
+
+// Run executes one algorithm over one graph with the given engine and
+// returns the per-superstep statistics. It is the package's main entry
+// point.
+func Run(g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (*metrics.JobResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(g.NumVertices); err != nil {
+		return nil, err
+	}
+	j := &job{cfg: cfg, g: g, prog: prog, engine: engine}
+	if err := j.setupDir(); err != nil {
+		return nil, err
+	}
+	defer j.close()
+	res := &metrics.JobResult{
+		Engine:    string(engine),
+		Algorithm: prog.Name(),
+		Workers:   cfg.Workers,
+	}
+	if err := j.setup(engine, res); err != nil {
+		return nil, err
+	}
+	if err := j.run(engine, res); err != nil {
+		return nil, err
+	}
+	res.Finish()
+	vals, err := j.collectValues()
+	if err != nil {
+		return nil, err
+	}
+	res.Values = vals
+	return res, nil
+}
+
+// collectValues reads the final vertex values back out of the stores.
+func (j *job) collectValues() ([]float64, error) {
+	vals := make([]float64, j.g.NumVertices)
+	for _, w := range j.workers {
+		recs := make([]vertexfile.Record, w.part.Len())
+		if err := w.vstore.ReadRange(w.part.Lo, w.part.Hi, recs); err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			vals[r.ID] = r.Val
+		}
+	}
+	return vals, nil
+}
+
+func (j *job) setupDir() error {
+	if j.cfg.WorkDir != "" {
+		j.dir = j.cfg.WorkDir
+		return os.MkdirAll(j.dir, 0o755)
+	}
+	dir, err := os.MkdirTemp("", "hybridgraph-")
+	if err != nil {
+		return err
+	}
+	j.dir = dir
+	j.ownDir = true
+	return nil
+}
+
+func (j *job) close() {
+	for _, w := range j.workers {
+		if w != nil {
+			w.close()
+		}
+	}
+	if c, ok := j.fabric.(interface{ Close() error }); ok {
+		c.Close()
+	}
+	if j.ownDir && !j.cfg.KeepFiles {
+		os.RemoveAll(j.dir)
+	}
+}
+
+func (j *job) ctx(t int) *algo.Context {
+	return &algo.Context{Step: t, NumVertices: j.g.NumVertices, MaxSteps: j.cfg.MaxSteps,
+		Aggregate: j.prevAgg}
+}
+
+func (j *job) loadCt(w int) *diskio.Counter { return j.loadCts[w] }
+
+// blocksPerWorker derives each worker's Vblock count from Eq. (5)/(6), or
+// honours the explicit configuration.
+func (j *job) blocksPerWorker() []int {
+	t := j.cfg.Workers
+	out := make([]int, t)
+	for w, p := range j.parts {
+		switch {
+		case j.cfg.BlocksPerWorker > 0:
+			out[w] = j.cfg.BlocksPerWorker
+		case j.cfg.MsgBuf <= 0:
+			// Sufficient memory: the paper sets V as small as possible.
+			out[w] = 1
+		case j.prog.Combiner() != nil:
+			out[w] = veblock.BlocksCombinable(p.Len(), t, j.cfg.MsgBuf)
+		default:
+			out[w] = veblock.BlocksConcatOnly(j.inDegreeSum(p), j.cfg.MsgBuf, p.Len())
+		}
+		if out[w] < 1 {
+			out[w] = 1
+		}
+	}
+	return out
+}
+
+func (j *job) inDegreeSum(p graph.Partition) int64 {
+	var ind int64
+	for u := 0; u < j.g.NumVertices; u++ {
+		for _, h := range j.g.OutEdges(graph.VertexID(u)) {
+			if p.Contains(h.Dst) {
+				ind++
+			}
+		}
+	}
+	return ind
+}
+
+// setup partitions the graph, builds the stores each engine needs, and
+// records the loading cost (Fig. 16) into res.
+func (j *job) setup(engine Engine, res *metrics.JobResult) error {
+	if engine == PushM && j.prog.Combiner() == nil {
+		// MOCgraph's online computing needs commutative messages, which is
+		// why the paper's LPA and SA plots have no pushM bars.
+		return fmt.Errorf("core: pushM requires a combinable algorithm, %s is not", j.prog.Name())
+	}
+	t := j.cfg.Workers
+	j.parts = graph.RangePartition(j.g.NumVertices, t)
+	if j.cfg.TCP {
+		fab, err := comm.NewTCP(t)
+		if err != nil {
+			return err
+		}
+		j.fabric = fab
+	} else {
+		j.fabric = comm.NewLocal(t)
+	}
+	j.loadCts = make([]*diskio.Counter, t)
+	j.workers = make([]*worker, t)
+	if j.cfg.MsgBuf > 0 {
+		j.bTotal = int64(j.cfg.MsgBuf) * int64(t)
+	}
+
+	needVE := engine == BPull || engine == Hybrid
+	needAdj := engine == Push || engine == PushM || engine == Hybrid ||
+		(engine == Pull && j.prog.Style() != algo.AlwaysActive)
+	needMirror := engine == Pull
+
+	if needVE {
+		layout, err := veblock.NewLayout(j.parts, j.blocksPerWorker())
+		if err != nil {
+			return err
+		}
+		j.layout = layout
+	} else {
+		// A degenerate one-block-per-worker layout keeps BlockOf and the
+		// flag machinery uniform across engines.
+		layout, err := veblock.UniformLayout(j.parts, 1)
+		if err != nil {
+			return err
+		}
+		j.layout = layout
+	}
+
+	for w := 0; w < t; w++ {
+		j.loadCts[w] = &diskio.Counter{}
+		wk := &worker{id: w, job: j, part: j.parts[w], ct: &diskio.Counter{},
+			dir: filepath.Join(j.dir, fmt.Sprintf("w%d", w))}
+		if err := os.MkdirAll(wk.dir, 0o755); err != nil {
+			return err
+		}
+		if err := wk.buildVertexStore(j.g); err != nil {
+			return err
+		}
+		if needAdj {
+			if err := wk.buildAdj(j.g); err != nil {
+				return err
+			}
+		}
+		if needMirror {
+			if err := wk.buildMirror(j.g); err != nil {
+				return err
+			}
+		}
+		if needVE {
+			if err := wk.buildVE(j.g); err != nil {
+				return err
+			}
+			j.totalFrags += wk.ve.Fragments()
+		}
+		if engine == PushM {
+			wk.pickHotSet(j.g, j.cfg.MsgBuf)
+		}
+		wk.initFlags()
+		if engine == Push || engine == PushM || engine == Hybrid {
+			wk.initInboxes()
+		}
+		// Stores were built under the loading counter; computation I/O
+		// goes to the worker's own counter from here on.
+		for _, s := range []interface{ SetCounter(*diskio.Counter) }{wk.vstore, wk.adj, wk.mirror, wk.ve} {
+			if s != nil {
+				s.SetCounter(wk.ct)
+			}
+		}
+		if engine == Pull {
+			wk.vcache = newPullCache(wk.vstore, j.cfg.VertexCache)
+		}
+		j.fabric.Register(w, wk)
+		j.workers[w] = wk
+	}
+	// Loading cost: bytes written by the builders converted under the
+	// profile, plus a parse charge per edge.
+	var loadIO diskio.Snapshot
+	for _, ct := range j.loadCts {
+		loadIO = loadIO.Add(ct.Snapshot())
+	}
+	res.LoadIO = loadIO
+	res.LoadSimSeconds = j.cfg.Profile.DiskSeconds(loadIO) +
+		float64(j.g.NumEdges())*metrics.CostPerEdge*j.cfg.Profile.CPUFactor
+
+	if engine == Hybrid {
+		j.initHybridModes()
+	}
+	return nil
+}
+
+// run drives the superstep loop, restarting from scratch after a detected
+// worker failure (the prototype recomputes rather than checkpointing).
+func (j *job) run(engine Engine, res *metrics.JobResult) error {
+	for {
+		err := j.runOnce(engine, res)
+		if err != errInjectedFailure {
+			return err
+		}
+		res.Restarts++
+		for _, s := range res.Steps {
+			res.RecoverySimSeconds += s.SimSeconds
+		}
+		res.Steps = nil
+		if err := j.resetForRecovery(engine); err != nil {
+			return err
+		}
+	}
+}
+
+// resetForRecovery returns every worker to its freshly-loaded state: flag
+// vectors cleared, inboxes emptied, caches dropped. Under the default
+// scratch policy vertex values need no reset — superstep 1's Init
+// overwrites them; under "resume" they survive and are re-announced.
+func (j *job) resetForRecovery(engine Engine) error {
+	if j.cfg.Recovery == "resume" {
+		j.resuming = true
+	}
+	for _, w := range j.workers {
+		w.initFlags()
+		if engine == Push || engine == PushM || engine == Hybrid {
+			w.initInboxes()
+		}
+		if engine == Pull {
+			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache)
+		}
+	}
+	j.prevAgg = 0
+	if engine == Hybrid {
+		j.initHybridModes()
+	}
+	return nil
+}
+
+func (j *job) runOnce(engine Engine, res *metrics.JobResult) error {
+	for t := 1; t <= j.cfg.MaxSteps; t++ {
+		if j.cfg.FailStep > 0 && t == j.cfg.FailStep && !j.failed {
+			// The fault detector notices worker FailWorker died.
+			j.failed = true
+			return errInjectedFailure
+		}
+		mode := engine
+		if engine == Hybrid {
+			mode = j.modes[t]
+		}
+		st, err := j.superstep(t, engine, mode)
+		if err != nil {
+			return err
+		}
+		res.Steps = append(res.Steps, st)
+		if engine == Hybrid {
+			j.scheduleMode(t, st)
+		}
+		j.prevAgg = st.Aggregate
+		if st.Responding == 0 {
+			break
+		}
+		if ag, ok := j.prog.(algo.Aggregating); ok && t > 1 && ag.Converged(st.Aggregate) {
+			break
+		}
+	}
+	if engine == Pull {
+		// Dirty resident vertex records must reach the store before final
+		// values are read out.
+		for _, w := range j.workers {
+			if w.vcache != nil {
+				if err := w.vcache.flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// superstep runs one superstep across all workers and aggregates stats.
+func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
+	type before struct {
+		io      diskio.Snapshot
+		in, out int64
+	}
+	befores := make([]before, len(j.workers))
+	for i, w := range j.workers {
+		w.resetStat()
+		w.clearStepFlags(t)
+		in, out := j.fabric.Traffic(w.id)
+		befores[i] = before{io: w.ct.Snapshot(), in: in, out: out}
+	}
+	wallStart := time.Now()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(j.workers))
+	for i, w := range j.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			errs[i] = j.stepWorker(w, t, engine, mode)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return metrics.StepStats{}, err
+		}
+	}
+	wall := time.Since(wallStart).Seconds()
+
+	st := metrics.StepStats{Step: t, Mode: string(mode), WallSeconds: wall}
+	if engine == Hybrid && t > 1 && j.modes[t] != j.modes[t-1] {
+		st.SwitchedFrom = string(j.modes[t-1])
+	}
+	aggProg, aggregating := j.prog.(algo.Aggregating)
+	aggSet := false
+	var simMax float64
+	for i, w := range j.workers {
+		d := w.ct.Snapshot().Sub(befores[i].io)
+		in, out := j.fabric.Traffic(w.id)
+		nIn, nOut := in-befores[i].in, out-befores[i].out
+
+		w.mu.Lock()
+		s := w.stat
+		w.mu.Unlock()
+
+		// pushM/push: spill written for next superstep (M_disk).
+		if mode == Push || mode == PushM || (engine == Hybrid && j.produceMode(t) == Push) {
+			if ib := w.inboxes[writeParity(t+1)]; ib != nil {
+				s.parts.MdiskW += ib.Spilled() * 12
+			}
+		}
+
+		st.Produced += s.produced
+		st.Combined += s.mcoBytes / comm.MsgIDSize // reported in id units
+		st.NetBytes += nOut
+		st.Requests += s.requests
+		st.Responding += s.responding
+		st.Updated += s.updated
+		st.Spilled += s.parts.MdiskW / 12
+		st.IO = st.IO.Add(d)
+		addBreakdown(&st.Parts, s.parts)
+
+		mem := s.memBytes
+		if ib := w.inboxes[writeParity(t+1)]; ib != nil {
+			if m := ib.MaxMemBytes(); m > mem {
+				mem = m
+			}
+		}
+		if w.ve != nil {
+			mem += w.ve.MetaMemBytes()
+		}
+		if mem > st.MemBytes {
+			st.MemBytes = mem
+		}
+
+		cpuSec := s.cpu.Seconds(j.cfg.Profile)
+		diskSec := j.cfg.Profile.DiskSeconds(d)
+		netSec := j.cfg.Profile.NetSeconds(nIn + nOut)
+		st.CPUSeconds += cpuSec
+		st.DiskSeconds += diskSec
+		if netSec > st.NetSeconds {
+			st.NetSeconds = netSec
+		}
+		if sim := cpuSec + diskSec + netSec; sim > simMax {
+			simMax = sim
+		}
+
+		// Hybrid prediction inputs.
+		st.McoBytes += s.mcoBytes
+		st.EstEt += s.estEt
+		st.EstEbar += s.estEbar
+		st.EstFt += s.estFt
+		st.EstVrr += s.estVrr
+
+		if aggregating && s.aggSet {
+			if !aggSet {
+				st.Aggregate, aggSet = s.agg, true
+			} else {
+				st.Aggregate = aggProg.Reduce(st.Aggregate, s.agg)
+			}
+		}
+	}
+	st.SimSeconds = simMax
+	j.finishQt(t, mode, &st)
+	return st, nil
+}
+
+func addBreakdown(dst *metrics.IOBreakdown, s metrics.IOBreakdown) {
+	dst.Vt += s.Vt
+	dst.Et += s.Et
+	dst.Ebar += s.Ebar
+	dst.Ft += s.Ft
+	dst.Vrr += s.Vrr
+	dst.MdiskW += s.MdiskW
+	dst.MdiskR += s.MdiskR
+}
+
+// stepWorker dispatches one worker's superstep by mode.
+func (j *job) stepWorker(w *worker, t int, engine, mode Engine) error {
+	switch mode {
+	case Push, PushM:
+		produce := engine != Hybrid || j.produceMode(t) == Push
+		return w.stepPush(t, produce)
+	case BPull:
+		if engine == Hybrid && j.produceMode(t) == Push {
+			// Fig. 6 switch superstep b-pull→push: pullRes+update, then
+			// pushRes immediately.
+			return w.stepBPullThenPush(t)
+		}
+		return w.stepBPull(t)
+	case Pull:
+		return w.stepPull(t)
+	}
+	return fmt.Errorf("core: unknown mode %q", mode)
+}

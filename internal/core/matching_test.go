@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+// checkMatching validates a bipartite matching: matched pairs are mutual,
+// lie on real edges, and the matching is maximal (no edge joins two
+// unmatched vertices).
+func checkMatching(t *testing.T, g *graph.Graph, vals []float64, label string) {
+	t.Helper()
+	matched := func(v int) (int, bool) {
+		if vals[v] >= 0 {
+			return int(vals[v]), true
+		}
+		return -1, false
+	}
+	edge := map[[2]int]bool{}
+	for v := 0; v < g.NumVertices; v++ {
+		for _, h := range g.OutEdges(graph.VertexID(v)) {
+			edge[[2]int{v, int(h.Dst)}] = true
+		}
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if p, ok := matched(v); ok {
+			q, ok2 := matched(p)
+			if !ok2 || q != v {
+				t.Fatalf("%s: vertex %d matched to %d, but %d points to %d", label, v, p, p, q)
+			}
+			if !edge[[2]int{v, p}] {
+				t.Fatalf("%s: matched pair (%d,%d) is not an edge", label, v, p)
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if _, ok := matched(v); ok {
+			continue
+		}
+		for _, h := range g.OutEdges(graph.VertexID(v)) {
+			if _, ok := matched(int(h.Dst)); !ok {
+				t.Fatalf("%s: edge (%d,%d) joins two unmatched vertices (not maximal)", label, v, h.Dst)
+			}
+		}
+	}
+}
+
+func TestMatchingIsMaximalAcrossEngines(t *testing.T) {
+	g := algo.GenBipartite(200, 800, 91)
+	prog := algo.NewMatching(12)
+	cfg := Config{Workers: 3, MsgBuf: 100, MaxSteps: 60}
+	want := referenceRun(g, prog, cfg.withDefaults().MaxSteps)
+	checkMatching(t, g, want, "reference")
+	for _, e := range []Engine{Push, BPull, Hybrid, Pull} {
+		res, err := Run(g, prog, cfg, e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		checkMatching(t, g, res.Values, string(e))
+		// Deterministic choice rules make every engine find the same
+		// matching as the oracle.
+		for v := range want {
+			if res.Values[v] != want[v] {
+				t.Fatalf("%s: vertex %d = %g, want %g", e, v, res.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMatchingRespondsOscillate(t *testing.T) {
+	// Multi-Phase-Style: the responding population alternates between the
+	// sides through the request/grant/accept cycle.
+	g := algo.GenBipartite(300, 1500, 92)
+	res, err := Run(g, algo.NewMatching(8), Config{Workers: 3, MsgBuf: 100, MaxSteps: 40}, BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) < 6 {
+		t.Fatalf("only %d supersteps", len(res.Steps))
+	}
+	for i := 0; i < 3; i++ {
+		if res.Steps[i].Responding == 0 {
+			t.Fatalf("phase %d should respond, got 0", i)
+		}
+	}
+	// The responding count must not be monotone — it oscillates (left
+	// requesters vs right granters vs left accepters).
+	monotone := true
+	for i := 1; i < 6; i++ {
+		if res.Steps[i].Responding > res.Steps[i-1].Responding {
+			monotone = false
+		}
+	}
+	if monotone {
+		t.Fatalf("responding counts look monotone, expected oscillation: %d %d %d %d %d %d",
+			res.Steps[0].Responding, res.Steps[1].Responding, res.Steps[2].Responding,
+			res.Steps[3].Responding, res.Steps[4].Responding, res.Steps[5].Responding)
+	}
+}
+
+func TestMatchingTargetedMessagesStayNarrow(t *testing.T) {
+	// Grant/accept phases send exactly one message per responder, far
+	// fewer than a broadcast would (degree × responders).
+	g := algo.GenBipartite(200, 1600, 93)
+	res, err := Run(g, algo.NewMatching(8), Config{Workers: 2, MsgBuf: 100, MaxSteps: 8}, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := res.Steps[1] // phase 1
+	if grant.Produced > grant.Responding {
+		t.Fatalf("grant phase produced %d messages for %d responders (should be 1:1)",
+			grant.Produced, grant.Responding)
+	}
+	request := res.Steps[0]
+	if request.Produced <= request.Responding {
+		t.Fatalf("request phase should broadcast: %d messages for %d responders",
+			request.Produced, request.Responding)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+// TestEnginesMatchReferenceProperty fuzzes the whole stack: random small
+// graphs, random worker counts and buffer sizes, random engine — the
+// result must always equal the in-memory BSP oracle.
+func TestEnginesMatchReferenceProperty(t *testing.T) {
+	engines := []Engine{Push, PushM, BPull, Hybrid, Pull}
+	f := func(seed int64, wRaw, bRaw, eRaw uint8) bool {
+		n := 60 + int(seed%140+140)%140
+		g := graph.GenRMAT(n, n*6, 0.57, 0.19, 0.19, seed)
+		workers := int(wRaw%4) + 2
+		buf := int(bRaw%60) + 10
+		engine := engines[int(eRaw)%len(engines)]
+		prog := algo.NewSSSP(0)
+		cfg := Config{Workers: workers, MsgBuf: buf, MaxSteps: 25, VertexCache: 20}
+		want := referenceRun(g, prog, 25)
+		res, err := Run(g, prog, cfg, engine)
+		if err != nil {
+			t.Logf("seed %d engine %s: %v", seed, engine, err)
+			return false
+		}
+		for v := range want {
+			if !almostEqual(res.Values[v], want[v]) {
+				t.Logf("seed %d engine %s vertex %d: %g want %g",
+					seed, engine, v, res.Values[v], want[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageConservationProperty: across any push run, every message
+// produced is delivered and consumed exactly once (spilled or not).
+func TestMessageConservationProperty(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		n := 100 + int(seed%100+100)%100
+		g := graph.GenUniform(n, n*5, seed)
+		buf := int(bRaw%40) + 5
+		res, err := Run(g, algo.NewPageRank(0.85),
+			Config{Workers: 3, MsgBuf: buf, MaxSteps: 4}, Push)
+		if err != nil {
+			return false
+		}
+		// Messages produced at step t are consumed at t+1; the final
+		// step's messages are never consumed. Spills never exceed
+		// production.
+		for i, s := range res.Steps {
+			if s.Spilled > s.Produced {
+				t.Logf("step %d spilled %d > produced %d", i+1, s.Spilled, s.Produced)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/lru"
+	"hybridgraph/internal/vertexfile"
+)
+
+// pullCache models the paper's disk extension of GraphLab PowerGraph
+// (Appendix F): up to cap vertex records live in memory under LRU; while
+// resident they are read and updated for free, and a dirty record pays one
+// random write only when evicted. A miss pays one random read. With the
+// cache larger than the per-superstep working set (Table 5's ext-edge-v3
+// on small graphs) vertex I/O vanishes after warm-up; below it, cyclic
+// scans defeat LRU and every access thrashes — the v2.5 cliff.
+//
+// Safe for concurrent use: remote gathers read through the cache while the
+// owner's apply loop writes through it.
+type pullCache struct {
+	mu        sync.Mutex
+	vs        *vertexfile.Store
+	lru       *lru.Cache                         // bounded mode
+	all       map[graph.VertexID]*pullCacheEntry // unbounded mode
+	evictErr  error
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type pullCacheEntry struct {
+	rec   vertexfile.Record
+	dirty bool
+}
+
+// newPullCache returns a cache of the given capacity in vertices;
+// capacity <= 0 means unbounded (the ext-edge scenario: vertices nominally
+// memory-resident).
+func newPullCache(vs *vertexfile.Store, capacity int) *pullCache {
+	c := &pullCache{vs: vs}
+	if capacity > 0 {
+		c.lru = lru.New(capacity)
+		c.lru.SetOnEvict(func(key uint32, val any) {
+			e := val.(*pullCacheEntry)
+			if e.dirty {
+				c.evictions++
+				if err := c.vs.WriteRecord(e.rec); err != nil && c.evictErr == nil {
+					c.evictErr = err
+				}
+			}
+		})
+	} else {
+		c.all = make(map[graph.VertexID]*pullCacheEntry)
+	}
+	return c
+}
+
+func (c *pullCache) lookup(v graph.VertexID) (*pullCacheEntry, bool) {
+	if c.all != nil {
+		e, ok := c.all[v]
+		return e, ok
+	}
+	if val, ok := c.lru.Get(uint32(v)); ok {
+		return val.(*pullCacheEntry), true
+	}
+	return nil, false
+}
+
+func (c *pullCache) insert(v graph.VertexID, e *pullCacheEntry) error {
+	if c.all != nil {
+		c.all[v] = e
+		return nil
+	}
+	c.lru.Put(uint32(v), e)
+	err := c.evictErr
+	c.evictErr = nil
+	return err
+}
+
+// get reads a record through the cache; a miss random-reads it from disk
+// and may evict a dirty resident record (random write).
+func (c *pullCache) get(v graph.VertexID) (vertexfile.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.lookup(v); ok {
+		c.hits++
+		return e.rec, nil
+	}
+	c.misses++
+	rec, err := c.vs.ReadRecord(v)
+	if err != nil {
+		return rec, err
+	}
+	return rec, c.insert(v, &pullCacheEntry{rec: rec})
+}
+
+// put writes a record through the cache: resident records update in place
+// (dirty, no I/O), absent ones are inserted dirty and pay only on
+// eviction.
+func (c *pullCache) put(rec vertexfile.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.lookup(rec.ID); ok {
+		e.rec = rec
+		e.dirty = true
+		return nil
+	}
+	c.misses++
+	return c.insert(rec.ID, &pullCacheEntry{rec: rec, dirty: true})
+}
+
+// readBcast reads one broadcast column through the cache (the gather-side
+// svertex access).
+func (c *pullCache) readBcast(v graph.VertexID, parity int) (float64, error) {
+	rec, err := c.get(v)
+	if err != nil {
+		return 0, err
+	}
+	return rec.Bcast[parity&1], nil
+}
+
+// flush writes every dirty resident record back, leaving the store
+// authoritative (run at job end before values are collected).
+func (c *pullCache) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.all != nil {
+		for _, e := range c.all {
+			if e.dirty {
+				if err := c.vs.WriteRecord(e.rec); err != nil {
+					return err
+				}
+				e.dirty = false
+			}
+		}
+		return nil
+	}
+	var err error
+	c.lru.Each(func(key uint32, val any) {
+		e := val.(*pullCacheEntry)
+		if e.dirty {
+			if werr := c.vs.WriteRecord(e.rec); werr != nil && err == nil {
+				err = werr
+			}
+			e.dirty = false
+		}
+	})
+	return err
+}
+
+// stats reports hits, misses and dirty evictions.
+func (c *pullCache) stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// resident reports the number of cached records, for memory accounting.
+func (c *pullCache) resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.all != nil {
+		return len(c.all)
+	}
+	return c.lru.Len()
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/vertexfile"
+)
+
+func newTestVStore(t *testing.T, n int, ct *diskio.Counter) *vertexfile.Store {
+	t.Helper()
+	recs := make([]vertexfile.Record, n)
+	for i := range recs {
+		recs[i] = vertexfile.Record{ID: graph.VertexID(i), Val: float64(i)}
+	}
+	vs, err := vertexfile.Create(filepath.Join(t.TempDir(), "v.dat"), ct, 0, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vs.Close() })
+	return vs
+}
+
+func TestPullCacheReadThrough(t *testing.T) {
+	var ct diskio.Counter
+	vs := newTestVStore(t, 10, &ct)
+	c := newPullCache(vs, 5)
+	before := ct.Snapshot()
+	r, err := c.get(3)
+	if err != nil || r.Val != 3 {
+		t.Fatalf("get = %+v, %v", r, err)
+	}
+	d1 := ct.Snapshot().Sub(before)
+	if d1.Bytes[diskio.RandRead] != vertexfile.RecordSize {
+		t.Fatalf("miss should random-read one record, got %v", d1)
+	}
+	// Second read is a hit: no further I/O.
+	if _, err := c.get(3); err != nil {
+		t.Fatal(err)
+	}
+	d2 := ct.Snapshot().Sub(before)
+	if d2.Bytes[diskio.RandRead] != vertexfile.RecordSize {
+		t.Fatalf("hit did I/O: %v", d2)
+	}
+	hits, misses, _ := c.stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestPullCacheDirtyEvictionWritesBack(t *testing.T) {
+	var ct diskio.Counter
+	vs := newTestVStore(t, 10, &ct)
+	c := newPullCache(vs, 2)
+	// Dirty vertex 0, then push it out with two more entries.
+	r, _ := c.get(0)
+	r.Val = 100
+	if err := c.put(r); err != nil {
+		t.Fatal(err)
+	}
+	before := ct.Snapshot()
+	if _, err := c.get(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(2); err != nil { // evicts 0 (dirty)
+		t.Fatal(err)
+	}
+	d := ct.Snapshot().Sub(before)
+	if d.Bytes[diskio.RandWrite] != vertexfile.RecordSize {
+		t.Fatalf("dirty eviction should write one record, got %v", d)
+	}
+	got, err := vs.ReadRecord(0)
+	if err != nil || got.Val != 100 {
+		t.Fatalf("evicted value not persisted: %+v, %v", got, err)
+	}
+}
+
+func TestPullCacheCleanEvictionIsFree(t *testing.T) {
+	var ct diskio.Counter
+	vs := newTestVStore(t, 10, &ct)
+	c := newPullCache(vs, 1)
+	c.get(0)
+	before := ct.Snapshot()
+	c.get(1) // evicts clean 0
+	d := ct.Snapshot().Sub(before)
+	if d.Bytes[diskio.RandWrite] != 0 {
+		t.Fatalf("clean eviction wrote: %v", d)
+	}
+}
+
+func TestPullCacheUnboundedNeverEvicts(t *testing.T) {
+	var ct diskio.Counter
+	vs := newTestVStore(t, 100, &ct)
+	c := newPullCache(vs, 0)
+	for v := 0; v < 100; v++ {
+		r, err := c.get(graph.VertexID(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Val++
+		if err := c.put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.resident() != 100 {
+		t.Fatalf("resident = %d, want 100", c.resident())
+	}
+	before := ct.Snapshot()
+	// Re-touch everything: all hits, no I/O.
+	for v := 0; v < 100; v++ {
+		if _, err := c.get(graph.VertexID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := ct.Snapshot().Sub(before); d.Total() != 0 {
+		t.Fatalf("unbounded cache re-reads did I/O: %v", d)
+	}
+}
+
+func TestPullCacheFlushPersistsDirty(t *testing.T) {
+	var ct diskio.Counter
+	vs := newTestVStore(t, 10, &ct)
+	for _, capacity := range []int{0, 4} {
+		c := newPullCache(vs, capacity)
+		r, _ := c.get(5)
+		r.Val = 55
+		c.put(r)
+		if err := c.flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := vs.ReadRecord(5)
+		if got.Val != 55 {
+			t.Fatalf("capacity %d: flush did not persist (val %g)", capacity, got.Val)
+		}
+	}
+}
+
+func TestPullCacheReadBcastParity(t *testing.T) {
+	var ct diskio.Counter
+	recs := []vertexfile.Record{{ID: 0, Bcast: [2]float64{7, 9}}}
+	vs, err := vertexfile.Create(filepath.Join(t.TempDir(), "v"), &ct, 0, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	c := newPullCache(vs, 2)
+	if v, _ := c.readBcast(0, 0); v != 7 {
+		t.Fatalf("parity 0 = %g", v)
+	}
+	if v, _ := c.readBcast(0, 1); v != 9 {
+		t.Fatalf("parity 1 = %g", v)
+	}
+}
+
+// TestTable5CacheCliff reproduces Appendix F's finding in miniature: with
+// the cache above the working set, steady-state vertex I/O vanishes; just
+// below it, cyclic scans defeat LRU and every superstep thrashes.
+func TestTable5CacheCliff(t *testing.T) {
+	g := graph.GenUniform(1000, 15000, 50)
+	prog := algo.NewPageRank(0.85)
+	base := Config{Workers: 2, MsgBuf: 100, MaxSteps: 4}
+
+	big := base
+	big.VertexCache = 0 // unbounded: ext-edge
+	small := base
+	small.VertexCache = 400 // below the 500-vertex per-worker working set
+
+	rBig, err := Run(g, prog, big, Pull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := Run(g, prog, small, Pull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBig := rBig.IO.Bytes[diskio.RandRead] + rBig.IO.Bytes[diskio.RandWrite]
+	vSmall := rSmall.IO.Bytes[diskio.RandRead] + rSmall.IO.Bytes[diskio.RandWrite]
+	if vSmall < 5*vBig {
+		t.Fatalf("cache cliff missing: small-cache random I/O %d, unbounded %d", vSmall, vBig)
+	}
+}
+
+func TestSenderCombineSavesBytes(t *testing.T) {
+	// Many edges toward few destinations with a generous threshold lets
+	// the sender-side combiner collapse traffic (pushM+com, Fig. 26).
+	b := graph.NewBuilder(100)
+	for src := 10; src < 90; src++ {
+		for dst := 0; dst < 5; dst++ {
+			b.AddEdge(graph.VertexID(src), graph.VertexID(dst), 1)
+		}
+	}
+	g := b.Build()
+	prog := algo.NewPageRank(0.85)
+	cfg := Config{Workers: 2, MsgBuf: 50, MaxSteps: 3}
+	plain, err := Run(g, prog, cfg, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SenderCombine = true
+	com, err := Run(g, prog, cfg, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.NetBytes >= plain.NetBytes {
+		t.Fatalf("sender combining did not reduce traffic: %d vs %d", com.NetBytes, plain.NetBytes)
+	}
+	for v := range plain.Values {
+		if !almostEqual(plain.Values[v], com.Values[v]) {
+			t.Fatalf("sender combining changed results at vertex %d", v)
+		}
+	}
+}

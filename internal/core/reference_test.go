@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+// referenceRun is a plain in-memory BSP simulation of a vertex program,
+// with no partitioning, disk or message machinery: the oracle every engine
+// must agree with.
+func referenceRun(g *graph.Graph, prog algo.Program, maxSteps int) []float64 {
+	n := g.NumVertices
+	vals := make([]float64, n)
+	bcast := make([]float64, n)
+	respond := make([]bool, n)
+	ctx := func(t int) *algo.Context {
+		return &algo.Context{Step: t, NumVertices: n, MaxSteps: maxSteps}
+	}
+	mkBcast := func(t int, v graph.VertexID, val float64, deg int, mv []float64) float64 {
+		if sb, ok := prog.(algo.StatefulBcaster); ok {
+			return sb.BcastFrom(ctx(t), v, val, mv)
+		}
+		return prog.Bcast(val, deg)
+	}
+	mkMsg := func(b float64, dst graph.VertexID, w float32) (float64, bool) {
+		if ts, ok := prog.(algo.TargetedSender); ok {
+			return ts.MsgValueTo(b, dst, w)
+		}
+		return prog.MsgValue(b, w), true
+	}
+	anyRespond := false
+	for v := 0; v < n; v++ {
+		deg := g.OutDegree(graph.VertexID(v))
+		var r bool
+		vals[v], r = prog.Init(ctx(1), graph.VertexID(v), deg)
+		if r {
+			bcast[v] = mkBcast(1, graph.VertexID(v), vals[v], deg, nil)
+			respond[v] = true
+			anyRespond = true
+		}
+	}
+	for t := 2; t <= maxSteps && anyRespond; t++ {
+		msgs := make(map[graph.VertexID][]float64)
+		for u := 0; u < n; u++ {
+			if !respond[u] {
+				continue
+			}
+			for _, h := range g.OutEdges(graph.VertexID(u)) {
+				if mv, keep := mkMsg(bcast[u], h.Dst, h.Weight); keep {
+					msgs[h.Dst] = append(msgs[h.Dst], mv)
+				}
+			}
+		}
+		next := make([]bool, n)
+		anyRespond = false
+		for v := 0; v < n; v++ {
+			mv := msgs[graph.VertexID(v)]
+			if len(mv) == 0 && prog.Style() == algo.Traversal {
+				continue
+			}
+			deg := g.OutDegree(graph.VertexID(v))
+			var r bool
+			vals[v], r = prog.Update(ctx(t), graph.VertexID(v), deg, vals[v], mv)
+			if r {
+				bcast[v] = mkBcast(t, graph.VertexID(v), vals[v], deg, mv)
+				next[v] = true
+				anyRespond = true
+			}
+		}
+		respond = next
+	}
+	return vals
+}
+
+// almostEqual compares two float64s with a relative tolerance that absorbs
+// summation-order differences in PageRank.
+func almostEqual(a, b float64) bool {
+	if a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

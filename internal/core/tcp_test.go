@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+// TestEnginesOverTCP runs the engines with all worker communication over
+// real loopback TCP sockets and checks the results and byte accounting
+// match the in-process fabric.
+func TestEnginesOverTCP(t *testing.T) {
+	g := graph.GenRMAT(400, 3200, 0.57, 0.19, 0.19, 77)
+	cfg := Config{Workers: 3, MsgBuf: 100, MaxSteps: 6, VertexCache: 50}
+	for name, prog := range map[string]algo.Program{
+		"pagerank": algo.NewPageRank(0.85),
+		"sssp":     algo.NewSSSP(0),
+	} {
+		for _, e := range []Engine{Push, BPull, Hybrid} {
+			t.Run(name+"/"+string(e), func(t *testing.T) {
+				local, err := Run(g, prog, cfg, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tcpCfg := cfg
+				tcpCfg.TCP = true
+				tcp, err := Run(g, prog, tcpCfg, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tcp.Supersteps() != local.Supersteps() {
+					t.Fatalf("supersteps %d over TCP vs %d local", tcp.Supersteps(), local.Supersteps())
+				}
+				for v := range local.Values {
+					if !almostEqual(tcp.Values[v], local.Values[v]) {
+						t.Fatalf("vertex %d = %g over TCP, %g local", v, tcp.Values[v], local.Values[v])
+					}
+				}
+				if tcp.NetBytes != local.NetBytes {
+					t.Fatalf("net bytes %d over TCP vs %d local (accounting must be transport-independent)",
+						tcp.NetBytes, local.NetBytes)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+)
+
+// TestPaperWorkedExample reproduces Appendix B (Figs. 20-22): SSSP by
+// b-pull over a five-vertex graph split into three Vblocks on two
+// computational nodes, with v3 (index 2) as the source. The appendix's
+// observable claims: b-pull sends no messages in the 1st superstep; in the
+// 2nd superstep v2, v4 and v5 pull v3's distance and update; push and
+// b-pull converge to the same distances.
+func TestPaperWorkedExample(t *testing.T) {
+	// Vertices 0..4 stand for the paper's v1..v5. Blocks (via 2 workers,
+	// then per-worker splits below): b1={v1,v2}, b2={v3,v4}, b3={v5}.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 0.5) // v1→v2 (within b1; X1's bitmap is 100)
+	b.AddEdge(1, 0, 0.4) // v2→v1
+	b.AddEdge(2, 1, 0.8) // v3→v2, the weight-0.8 edge of Fig. 22
+	b.AddEdge(2, 3, 0.3) // v3→v4
+	b.AddEdge(2, 4, 0.6) // v3→v5
+	b.AddEdge(3, 4, 0.2) // v4→v5
+	b.AddEdge(4, 3, 0.9) // v5→v4
+	g := b.Build()
+
+	prog := algo.NewSSSP(2)
+	// Worker 0 holds b1+b2 (vertices 0..3, two Vblocks of two), worker 1
+	// holds b3 (vertex 4) — the paper's T1/T2 assignment.
+	cfg := Config{Workers: 2, MsgBuf: 10, MaxSteps: 10, BlocksPerWorker: 2}
+	res, err := Run(g, prog, cfg, BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "In the 1st superstep, the source vertex v3 only updates its value
+	// to be zero. There are no any messages sending."
+	if res.Steps[0].Produced != 0 || res.Steps[0].NetBytes != 0 {
+		t.Fatalf("superstep 1 moved messages: produced=%d net=%d",
+			res.Steps[0].Produced, res.Steps[0].NetBytes)
+	}
+	if res.Steps[0].Responding != 1 {
+		t.Fatalf("superstep 1 responders = %d, want 1 (the source)", res.Steps[0].Responding)
+	}
+	// "In the 2nd superstep, via pull requesting based on Vblock ids, v2,
+	// v4, and v5 request messages to be sent from the vertex v3."
+	if res.Steps[1].Produced != 3 {
+		t.Fatalf("superstep 2 produced %d messages, want 3", res.Steps[1].Produced)
+	}
+	if res.Steps[1].Updated != 3 || res.Steps[1].Responding != 3 {
+		t.Fatalf("superstep 2 updated/responding = %d/%d, want 3/3",
+			res.Steps[1].Updated, res.Steps[1].Responding)
+	}
+
+	want := []float64{
+		0.8 + 0.4, // v1 via v3→v2→v1
+		0.8,       // v2 via v3→v2
+		0,         // v3, the source
+		0.3,       // v4 via v3→v4
+		0.3 + 0.2, // v5 via v3→v4→v5
+	}
+	for v, d := range want {
+		if math.Abs(res.Values[v]-d) > 1e-6 {
+			t.Fatalf("distance to v%d = %g, want %g", v+1, res.Values[v], d)
+		}
+	}
+
+	// Push reaches the same distances (Fig. 21's left column).
+	push, err := Run(g, prog, cfg, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(push.Values[v]-res.Values[v]) > 1e-9 {
+			t.Fatalf("push and b-pull disagree at v%d", v+1)
+		}
+	}
+}
+
+// TestBlockResIndicatorSkipsEblocks checks the X_j res/bitmap fast path:
+// when only one Vblock's vertices respond, pull-responding must not scan
+// Eblocks of silent blocks.
+func TestBlockResIndicatorSkipsEblocks(t *testing.T) {
+	// Chain: only the frontier block has responders each superstep.
+	g := graph.GenChain(64, 0, 3)
+	res, err := Run(g, algo.NewSSSP(0), Config{Workers: 2, MsgBuf: 8, MaxSteps: 80, BlocksPerWorker: 4}, BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each superstep exactly one vertex responds, so only its Vblock's
+	// Eblocks may be scanned (one 8-vertex block: at most 8 chain edges
+	// plus the boundary edge). Whole-Eblock scans do read the silent
+	// fragments inside the responding block — the "useless edges" cost of
+	// Appendix C — but without the res/bitmap pruning all 63 edges (504
+	// bytes) would be read every superstep.
+	for _, s := range res.Steps[1:] {
+		if s.Parts.Ebar > 9*8 {
+			t.Fatalf("step %d scanned %d edge bytes; res-indicator pruning failed", s.Step, s.Parts.Ebar)
+		}
+	}
+	if math.IsInf(res.Values[63], 1) {
+		t.Fatal("chain tail unreached")
+	}
+}
+
+// TestIOBreakdownConsistency cross-checks the per-part I/O attribution
+// against the class counters for a b-pull run: logical random reads must
+// equal the Vrr part, and message spill parts must be zero.
+func TestIOBreakdownConsistency(t *testing.T) {
+	g := graph.GenRMAT(500, 5000, 0.57, 0.19, 0.19, 54)
+	res, err := Run(g, algo.NewPageRank(0.85), Config{Workers: 3, MsgBuf: 80, MaxSteps: 4}, BPull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Steps {
+		if s.Parts.Vrr != s.IO.Bytes[diskio.RandRead] {
+			t.Fatalf("step %d: Vrr part %d != random-read bytes %d",
+				s.Step, s.Parts.Vrr, s.IO.Bytes[diskio.RandRead])
+		}
+		seq := s.Parts.Vt/2 + s.Parts.Ebar + s.Parts.Ft // Vt is half reads, half writes
+		if seq != s.IO.Bytes[diskio.SeqRead] {
+			t.Fatalf("step %d: seq parts %d != seq-read bytes %d",
+				s.Step, seq, s.IO.Bytes[diskio.SeqRead])
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"hybridgraph/internal/adjstore"
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/bitset"
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/msgstore"
+	"hybridgraph/internal/veblock"
+	"hybridgraph/internal/vertexfile"
+)
+
+// inbox unifies the plain spilling Inbox with MOCgraph's OnlineInbox.
+type inbox interface {
+	Add(m comm.Msg) error
+	Drain() (map[graph.VertexID][]float64, error)
+	Spilled() int64
+	MaxMemBytes() int64
+	Received() int64
+}
+
+// worker is one computational node: a vertex partition, its disk stores,
+// flag vectors and per-superstep accumulators. Workers execute supersteps
+// as goroutines and exchange traffic through the job's fabric.
+type worker struct {
+	id   int
+	job  *job
+	part graph.Partition
+	ct   *diskio.Counter // computation-phase I/O
+	dir  string
+
+	vstore *vertexfile.Store
+	adj    *adjstore.Store // forward adjacency (push/pushM/hybrid; pull scatter)
+	mirror *adjstore.Store // pull: in-edges of every vertex whose source is local
+	ve     *veblock.Store  // b-pull/hybrid Eblocks
+
+	respond  [2]*bitset.Set // responding-flag vectors by superstep parity
+	blockRes [2][]bool      // per local Vblock: X_j.res by parity
+	active   [2]*bitset.Set // pull baseline activation flags by parity
+
+	inboxes [2]inbox                // push receive buffers by parity
+	hot     map[graph.VertexID]bool // pushM hot vertex set
+
+	vcache *pullCache // pull baseline's resident vertex set
+
+	// scanPages tracks which vertex-file pages this superstep's
+	// Pull-Respond scans have already pulled in: the value columns of the
+	// worker's Vblocks are small and stay OS-cached for the duration of a
+	// superstep, so only the first touch of each page transfers (the
+	// block-locality VE-BLOCK is designed to create). Reset per superstep
+	// because the columns are rewritten.
+	scanMu    sync.Mutex
+	scanPages vertexfile.PageSet
+
+	mu   sync.Mutex // guards stat: RespondPull/Gather run on requester goroutines
+	stat workerStat
+}
+
+// workerStat accumulates one superstep's activity on one worker.
+type workerStat struct {
+	produced   int64 // messages generated before concat/combine
+	mcoBytes   int64 // network bytes saved by concat/combine
+	updated    int64
+	responding int64
+	msgsInMem  int64 // messages held in memory at the receive side
+	requests   int64
+	cpu        metrics.CPUWork
+	parts      metrics.IOBreakdown
+	memBytes   int64 // peak buffer memory this superstep
+
+	// Hybrid prediction inputs gathered while running the other mode.
+	estEt       int64 // adjacency bytes push would read
+	estEbar     int64 // Eblock edge bytes b-pull would read
+	estFt       int64 // fragment aux bytes b-pull would read
+	estVrr      int64 // svertex bytes b-pull would random-read
+	estM        int64 // messages the superstep produced (for M_disk estimate)
+	blockedTime float64
+
+	agg    float64 // reduced aggregator contributions (Aggregating programs)
+	aggSet bool
+}
+
+// reduceAgg folds one contribution into the worker's aggregate under the
+// program's reducer. Callers hold w.mu via addStat.
+func (s *workerStat) reduceAgg(prog algo.Program, c float64) {
+	ag, ok := prog.(algo.Aggregating)
+	if !ok {
+		return
+	}
+	if !s.aggSet {
+		s.agg, s.aggSet = c, true
+		return
+	}
+	s.agg = ag.Reduce(s.agg, c)
+}
+
+func (w *worker) resetStat() {
+	w.mu.Lock()
+	w.stat = workerStat{}
+	w.mu.Unlock()
+}
+
+// addIOPart accumulates into the superstep I/O breakdown under the lock.
+func (w *worker) addStat(f func(*workerStat)) {
+	w.mu.Lock()
+	f(&w.stat)
+	w.mu.Unlock()
+}
+
+// owner maps a vertex to its worker.
+func (w *worker) owner(v graph.VertexID) int { return graph.OwnerOf(w.job.parts, v) }
+
+// localIdx converts a vertex id into the worker-local flag index.
+func (w *worker) localIdx(v graph.VertexID) int { return int(v - w.part.Lo) }
+
+// buildVertexStore writes the initial vertex records.
+func (w *worker) buildVertexStore(g *graph.Graph) error {
+	recs := make([]vertexfile.Record, w.part.Len())
+	for i := range recs {
+		v := w.part.Lo + graph.VertexID(i)
+		recs[i] = vertexfile.Record{ID: v, OutDeg: uint32(g.OutDegree(v))}
+	}
+	if w.job.cfg.VerticesInMemory {
+		w.vstore = vertexfile.CreateMem(w.part.Lo, recs)
+		return nil
+	}
+	vs, err := vertexfile.Create(filepath.Join(w.dir, "vertices.dat"), w.job.loadCt(w.id), w.part.Lo, recs)
+	if err != nil {
+		return err
+	}
+	w.vstore = vs
+	return nil
+}
+
+func (w *worker) buildAdj(g *graph.Graph) error {
+	if w.adj != nil {
+		return nil
+	}
+	if w.job.cfg.EdgesInMemory {
+		w.adj = adjstore.BuildMem(g, w.part)
+		return nil
+	}
+	a, err := adjstore.Build(filepath.Join(w.dir, "adj.dat"), w.job.loadCt(w.id), g, w.part)
+	if err != nil {
+		return err
+	}
+	w.adj = a
+	return nil
+}
+
+// buildMirror builds the pull baseline's mirror store: for every vertex in
+// the whole graph, the in-edges whose source lives on this worker
+// (vertex-cut: an edge is placed with its source).
+func (w *worker) buildMirror(g *graph.Graph) error {
+	sub := graph.NewBuilder(g.NumVertices)
+	for u := w.part.Lo; u < w.part.Hi; u++ {
+		for _, h := range g.OutEdges(u) {
+			// Reversed: mirror lists are keyed by destination vertex.
+			sub.AddEdge(h.Dst, u, h.Weight)
+		}
+	}
+	mg := sub.Build()
+	full := graph.Partition{Lo: 0, Hi: graph.VertexID(g.NumVertices)}
+	if w.job.cfg.EdgesInMemory {
+		w.mirror = adjstore.BuildMem(mg, full)
+		return nil
+	}
+	m, err := adjstore.Build(filepath.Join(w.dir, "mirror.dat"), w.job.loadCt(w.id), mg, full)
+	if err != nil {
+		return err
+	}
+	w.mirror = m
+	return nil
+}
+
+func (w *worker) buildVE(g *graph.Graph) error {
+	if w.ve != nil {
+		return nil
+	}
+	if w.job.cfg.EdgesInMemory {
+		ve, err := veblock.BuildMem(g, w.job.layout, w.id)
+		if err != nil {
+			return err
+		}
+		w.ve = ve
+		return nil
+	}
+	ve, err := veblock.Build(filepath.Join(w.dir, "veblock.dat"), w.job.loadCt(w.id), g, w.job.layout, w.id)
+	if err != nil {
+		return err
+	}
+	w.ve = ve
+	return nil
+}
+
+func (w *worker) initFlags() {
+	n := w.part.Len()
+	for p := 0; p < 2; p++ {
+		w.respond[p] = bitset.New(n)
+		w.active[p] = bitset.New(n)
+	}
+	if w.ve != nil {
+		for p := 0; p < 2; p++ {
+			w.blockRes[p] = make([]bool, w.ve.LocalBlocks())
+		}
+	}
+}
+
+func (w *worker) initInboxes() {
+	for p := 0; p < 2; p++ {
+		capacity := w.effMsgBuf()
+		if w.hot != nil && capacity > 0 {
+			// pushM spends the buffer on hot vertices; messages for cold
+			// (disk-resident) vertices go straight to disk.
+			capacity = -1
+		}
+		base := msgstore.NewInbox(filepath.Join(w.dir, fmt.Sprintf("spill%d.dat", p)),
+			w.ct, capacity)
+		if w.hot != nil {
+			w.inboxes[p] = msgstore.NewOnlineInbox(base, w.hot, w.job.prog.Combiner())
+		} else {
+			w.inboxes[p] = base
+		}
+	}
+}
+
+// effMsgBuf reports the worker's message-buffer capacity (0 = unlimited).
+func (w *worker) effMsgBuf() int {
+	if w.job.cfg.InMemory {
+		return 0
+	}
+	return w.job.cfg.MsgBuf
+}
+
+// pickHotSet selects pushM's in-memory vertices: the B_i highest in-degree
+// vertices of the partition (MOCgraph's hot-aware placement).
+func (w *worker) pickHotSet(g *graph.Graph, capacity int) {
+	if capacity <= 0 || capacity >= w.part.Len() {
+		// Unlimited buffer: everything is hot.
+		w.hot = make(map[graph.VertexID]bool, w.part.Len())
+		for v := w.part.Lo; v < w.part.Hi; v++ {
+			w.hot[v] = true
+		}
+		return
+	}
+	indeg := make([]int32, w.part.Len())
+	for u := 0; u < g.NumVertices; u++ {
+		for _, h := range g.OutEdges(graph.VertexID(u)) {
+			if w.part.Contains(h.Dst) {
+				indeg[h.Dst-w.part.Lo]++
+			}
+		}
+	}
+	type vd struct {
+		v graph.VertexID
+		d int32
+	}
+	all := make([]vd, w.part.Len())
+	for i := range all {
+		all[i] = vd{w.part.Lo + graph.VertexID(i), indeg[i]}
+	}
+	// Partial selection: simple sort is fine at our scales; ties break by
+	// id for determinism.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].v < all[j].v
+	})
+	w.hot = make(map[graph.VertexID]bool, capacity)
+	for i := 0; i < capacity && i < len(all); i++ {
+		w.hot[all[i].v] = true
+	}
+}
+
+// parity helpers: at superstep t, flags written go to parity t%2, flags
+// read (set at t-1) come from parity (t-1)%2.
+func writeParity(t int) int { return t & 1 }
+func readParity(t int) int  { return (t - 1) & 1 }
+
+// msgValueFor computes one edge's message from the broadcast value,
+// honouring targeted senders (Pregel's SendMessageTo): keep=false
+// suppresses the message on this edge.
+func (w *worker) msgValueFor(bcast float64, dst graph.VertexID, weight float32) (float64, bool) {
+	if ts, ok := w.job.prog.(algo.TargetedSender); ok {
+		return ts.MsgValueTo(bcast, dst, weight)
+	}
+	return w.job.prog.MsgValue(bcast, weight), true
+}
+
+// bcastFor computes the broadcast value a responding vertex stores,
+// honouring stateful bcasters that need the vertex id and messages.
+func (w *worker) bcastFor(ctx *algo.Context, v graph.VertexID, val float64, outdeg int, msgs []float64) float64 {
+	if sb, ok := w.job.prog.(algo.StatefulBcaster); ok {
+		return sb.BcastFrom(ctx, v, val, msgs)
+	}
+	return w.job.prog.Bcast(val, outdeg)
+}
+
+// updateBlock runs update()/Init over vertices [lo,hi) with the delivered
+// messages, maintaining values, broadcast columns and responding flags.
+// onUpdate, when non-nil, runs for each vertex whose update executed,
+// after its record is staged — push hangs its pushRes() (edge read +
+// message send) here, hybrid its cost estimators. Message slices are the
+// concatenated per-vertex lists; combinable programs may see them
+// pre-combined — update() is agnostic.
+func (w *worker) updateBlock(t int, lo, hi graph.VertexID, msgs map[graph.VertexID][]float64,
+	onUpdate func(v graph.VertexID, rec *vertexfile.Record, responded bool) error) error {
+
+	prog := w.job.prog
+	ctx := w.job.ctx(t)
+	wp := writeParity(t)
+	style := prog.Style()
+	aggProg, aggregating := prog.(algo.Aggregating)
+
+	const chunk = 4096
+	recs := make([]vertexfile.Record, 0, chunk)
+	for clo := lo; clo < hi; clo += chunk {
+		chi := clo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		recs = recs[:int(chi-clo)]
+		if err := w.vstore.ReadRange(clo, chi, recs); err != nil {
+			return err
+		}
+		var vt int64
+		if !w.job.cfg.VerticesInMemory {
+			vt = int64(len(recs)) * vertexfile.RecordSize * 2 // read + write back
+		}
+		var updated, responding int64
+		var msgCount int64
+		var agg float64
+		aggAny := false
+		for i := range recs {
+			rec := &recs[i]
+			v := rec.ID
+			mv := msgs[v]
+			msgCount += int64(len(mv))
+			var respond bool
+			switch {
+			case t == 1 && w.job.resuming:
+				// Lightweight recovery: values survived the failure; every
+				// vertex re-announces its current value so neighbours can
+				// rebuild their state (sound for self-correcting programs).
+				respond = true
+				updated++
+			case t == 1:
+				rec.Val, respond = prog.Init(ctx, v, int(rec.OutDeg))
+				updated++
+			case len(mv) > 0 || style != algo.Traversal:
+				before := rec.Val
+				rec.Val, respond = prog.Update(ctx, v, int(rec.OutDeg), rec.Val, mv)
+				updated++
+				if aggregating {
+					c := aggProg.Contribute(before, rec.Val)
+					if !aggAny {
+						agg, aggAny = c, true
+					} else {
+						agg = aggProg.Reduce(agg, c)
+					}
+				}
+			default:
+				continue
+			}
+			if respond {
+				rec.Bcast[wp] = w.bcastFor(ctx, v, rec.Val, int(rec.OutDeg), mv)
+				w.respond[wp].Set(w.localIdx(v))
+				if w.blockRes[wp] != nil {
+					if b := w.job.layout.BlockOf(v); b >= 0 {
+						w.blockRes[wp][b-w.ve.FirstBlock()] = true
+					}
+				}
+				responding++
+			}
+			if onUpdate != nil {
+				if err := onUpdate(v, rec, respond); err != nil {
+					return err
+				}
+			}
+		}
+		if err := w.vstore.WriteRange(clo, chi, recs); err != nil {
+			return err
+		}
+		w.addStat(func(s *workerStat) {
+			s.updated += updated
+			s.responding += responding
+			s.parts.Vt += vt
+			s.cpu.Updates += updated
+			s.cpu.Messages += msgCount
+			if aggAny {
+				s.reduceAgg(prog, agg)
+			}
+		})
+	}
+	return nil
+}
+
+// clearStepFlags resets the write-parity flag structures before a
+// superstep writes them, and drops the pull baseline's stale cached
+// broadcast values (they were written at a different parity).
+func (w *worker) clearStepFlags(t int) {
+	wp := writeParity(t)
+	w.respond[wp].Reset()
+	w.active[wp].Reset()
+	if w.blockRes[wp] != nil {
+		for i := range w.blockRes[wp] {
+			w.blockRes[wp][i] = false
+		}
+	}
+	w.scanMu.Lock()
+	w.scanPages = make(vertexfile.PageSet)
+	w.scanMu.Unlock()
+}
+
+// close releases all stores.
+func (w *worker) close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if w.vstore != nil {
+		keep(w.vstore.Close())
+	}
+	if w.adj != nil {
+		keep(w.adj.Close())
+	}
+	if w.mirror != nil {
+		keep(w.mirror.Close())
+	}
+	if w.ve != nil {
+		keep(w.ve.Close())
+	}
+	return first
+}

@@ -1,0 +1,54 @@
+package diskio
+
+// Profile holds the device and network throughputs of one cluster, in
+// MB/s, exactly as the paper's Table 3 reports them (measured with fio and
+// iperf). The harness converts byte tallies into the "simulated seconds" it
+// reports using these constants, which is the same conversion the paper's
+// performance metric Qt (Eq. 11) applies.
+type Profile struct {
+	Name string
+	SRR  float64 // random-read throughput, MB/s
+	SRW  float64 // random-write throughput, MB/s
+	SSR  float64 // sequential-read throughput, MB/s
+	SSW  float64 // sequential-write throughput, MB/s
+	SNet float64 // network throughput, MB/s
+	// CPUFactor scales the fixed per-message compute charge; the paper
+	// notes the amazon cluster's virtual CPUs are weaker than the local
+	// cluster's physical ones, which is why push (sort-merge heavy) does
+	// not improve on SSDs (Section 6.1).
+	CPUFactor float64
+}
+
+// HDDLocal is the paper's local cluster: 7,200 RPM HDDs, Gigabit Ethernet
+// (Table 3, "local" row).
+var HDDLocal = Profile{
+	Name: "hdd-local",
+	SRR:  1.177, SRW: 1.182, SSR: 2.358, SSW: 2.358,
+	SNet: 112, CPUFactor: 1.0,
+}
+
+// SSDAmazon is the paper's amazon cluster: SSDs, virtual CPUs
+// (Table 3, "amazon" row).
+var SSDAmazon = Profile{
+	Name: "ssd-amazon",
+	SRR:  18.177, SRW: 18.194, SSR: 18.270, SSW: 18.270,
+	SNet: 116, CPUFactor: 2.0,
+}
+
+const mb = 1 << 20
+
+// DiskSeconds converts an I/O snapshot into simulated seconds under the
+// profile, using device bytes (random accesses move whole pages; the
+// fio-measured Table 3 throughputs are block-granular).
+func (p Profile) DiskSeconds(s Snapshot) float64 {
+	return float64(s.Dev[RandRead])/(p.SRR*mb) +
+		float64(s.Dev[RandWrite])/(p.SRW*mb) +
+		float64(s.Dev[SeqRead])/(p.SSR*mb) +
+		float64(s.Dev[SeqWrite])/(p.SSW*mb)
+}
+
+// NetSeconds converts transferred bytes into simulated seconds under the
+// profile's network throughput.
+func (p Profile) NetSeconds(bytes int64) float64 {
+	return float64(bytes) / (p.SNet * mb)
+}

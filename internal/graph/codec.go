@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in the whitespace-separated text edge-list format
+// used by the paper's dataset sources: one "src dst weight" triple per
+// line, preceded by a "# vertices N" header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", g.NumVertices); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		for _, h := range g.OutEdges(VertexID(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", v, h.Dst, h.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format. Lines starting with '#'
+// are comments, except a "# vertices N" header which fixes the vertex
+// count; without the header the count is max(id)+1. The weight column is
+// optional and defaults to 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var edges []Edge
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var hn int
+			if _, err := fmt.Sscanf(text, "# vertices %d", &hn); err == nil && hn > 0 {
+				n = hn
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+		}
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), Weight: float32(w)})
+		if int(src) >= n {
+			n = int(src) + 1
+		}
+		if int(dst) >= n {
+			n = int(dst) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	bld := NewBuilder(n)
+	for _, e := range edges {
+		bld.AddEdge(e.Src, e.Dst, e.Weight)
+	}
+	return bld.Build(), nil
+}
+
+// SaveEdgeList writes g to a file in edge-list format.
+func SaveEdgeList(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEdgeList reads a graph from an edge-list file.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dataset describes one synthetic stand-in for a real graph from the
+// paper's Table 4. Scale 1.0 is the default experiment size; the harness
+// may scale datasets up or down uniformly.
+type Dataset struct {
+	Name      string  // paper name, e.g. "livej"
+	Kind      string  // "social" (R-MAT) or "web" (host-clustered)
+	Vertices  int     // at scale 1.0
+	AvgDegree float64 // target average degree, matching Table 4
+	Skew      float64 // R-MAT 'a' parameter; higher = more skew
+	Seed      int64
+	// Paper-reported full-size numbers, for documentation and Table 4 output.
+	PaperVertices string
+	PaperEdges    string
+	PaperDegree   float64
+	PaperType     string
+}
+
+// Datasets mirrors the paper's Table 4, scaled down so the full experiment
+// grid runs on one machine. Average degrees match the paper exactly; the
+// vertex counts preserve the relative ordering livej < wiki < orkut ≪ twi <
+// fri < uk.
+var Datasets = []Dataset{
+	{Name: "livej", Kind: "social", Vertices: 12000, AvgDegree: 14.2, Skew: 0.57, Seed: 101,
+		PaperVertices: "4.8M", PaperEdges: "68M", PaperDegree: 14.2, PaperType: "Social networks"},
+	{Name: "wiki", Kind: "web", Vertices: 14000, AvgDegree: 22.8, Skew: 0.57, Seed: 102,
+		PaperVertices: "5.7M", PaperEdges: "130M", PaperDegree: 22.8, PaperType: "Web graphs"},
+	{Name: "orkut", Kind: "social", Vertices: 8000, AvgDegree: 75.5, Skew: 0.55, Seed: 103,
+		PaperVertices: "3.1M", PaperEdges: "234M", PaperDegree: 75.5, PaperType: "Social networks"},
+	{Name: "twi", Kind: "social", Vertices: 40000, AvgDegree: 35.3, Skew: 0.62, Seed: 104,
+		PaperVertices: "41.7M", PaperEdges: "1,470M", PaperDegree: 35.3, PaperType: "Social networks"},
+	{Name: "fri", Kind: "social", Vertices: 52000, AvgDegree: 27.5, Skew: 0.58, Seed: 105,
+		PaperVertices: "65.6M", PaperEdges: "1,810M", PaperDegree: 27.5, PaperType: "Social networks"},
+	{Name: "uk", Kind: "web", Vertices: 64000, AvgDegree: 35.6, Skew: 0.57, Seed: 106,
+		PaperVertices: "105.9M", PaperEdges: "3,740M", PaperDegree: 35.6, PaperType: "Web graphs"},
+}
+
+// DatasetByName looks a dataset up by its paper name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// SmallDatasets reports the paper's "small graph" subset (run on 5 nodes).
+func SmallDatasets() []string { return []string{"livej", "wiki", "orkut"} }
+
+// LargeDatasets reports the paper's "large graph" subset (run on 30 nodes).
+func LargeDatasets() []string { return []string{"twi", "fri", "uk"} }
+
+// Generate materialises the dataset at the given scale (1.0 = default).
+func (d Dataset) Generate(scale float64) *Graph {
+	n := int(float64(d.Vertices) * scale)
+	if n < 64 {
+		n = 64
+	}
+	m := int(float64(n) * d.AvgDegree)
+	switch d.Kind {
+	case "web":
+		return GenWeb(n, m, 32, 0.8, d.Seed)
+	default:
+		b := (1 - d.Skew) / 3 * 1.0
+		return GenRMAT(n, m, d.Skew, b, b, d.Seed)
+	}
+}
+
+var (
+	genMu    sync.Mutex
+	genCache = map[string]*Graph{}
+)
+
+// GenerateCached is Generate with a process-wide cache, so the experiment
+// harness and benchmarks do not rebuild the same graph repeatedly.
+func (d Dataset) GenerateCached(scale float64) *Graph {
+	key := fmt.Sprintf("%s@%g", d.Name, scale)
+	genMu.Lock()
+	defer genMu.Unlock()
+	if g, ok := genCache[key]; ok {
+		return g
+	}
+	g := d.Generate(scale)
+	genCache[key] = g
+	return g
+}
+
+// DegreeStats summarises a degree distribution for dataset reports.
+type DegreeStats struct {
+	Avg      float64
+	Max      int
+	P50      int
+	P99      int
+	Gini     float64 // inequality of the out-degree distribution; ~0 uniform, →1 skewed
+	Isolated int     // vertices with out-degree 0
+}
+
+// Stats computes degree statistics of g.
+func Stats(g *Graph) DegreeStats {
+	degs := make([]int, g.NumVertices)
+	iso := 0
+	for v := 0; v < g.NumVertices; v++ {
+		degs[v] = g.OutDegree(VertexID(v))
+		if degs[v] == 0 {
+			iso++
+		}
+	}
+	sort.Ints(degs)
+	var s DegreeStats
+	s.Avg = g.AvgDegree()
+	s.Isolated = iso
+	if len(degs) > 0 {
+		s.Max = degs[len(degs)-1]
+		s.P50 = degs[len(degs)/2]
+		s.P99 = degs[len(degs)*99/100]
+	}
+	// Gini coefficient over the sorted degree sequence.
+	var cum, total float64
+	for i, d := range degs {
+		cum += float64(i+1) * float64(d)
+		total += float64(d)
+	}
+	n := float64(len(degs))
+	if total > 0 && n > 0 {
+		s.Gini = (2*cum)/(n*total) - (n+1)/n
+	}
+	return s
+}

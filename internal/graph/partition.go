@@ -1,0 +1,81 @@
+package graph
+
+// Partition is a contiguous range of vertex ids [Lo, Hi) assigned to one
+// worker. The paper uses range partitioning throughout ("a graph is
+// partitioned by the range method for Giraph, MOCgraph, and HybridGraph").
+type Partition struct {
+	Worker int
+	Lo, Hi VertexID
+}
+
+// Contains reports whether v falls in the partition.
+func (p Partition) Contains(v VertexID) bool { return v >= p.Lo && v < p.Hi }
+
+// Len reports the number of vertices in the partition.
+func (p Partition) Len() int { return int(p.Hi - p.Lo) }
+
+// RangePartition splits [0, n) into t contiguous ranges whose sizes differ
+// by at most one vertex, one per worker.
+func RangePartition(n, t int) []Partition {
+	if t < 1 {
+		t = 1
+	}
+	parts := make([]Partition, t)
+	base := n / t
+	rem := n % t
+	lo := 0
+	for w := 0; w < t; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		parts[w] = Partition{Worker: w, Lo: VertexID(lo), Hi: VertexID(lo + size)}
+		lo += size
+	}
+	return parts
+}
+
+// OwnerOf returns the index of the partition containing v. Partitions must
+// be the contiguous, sorted output of RangePartition.
+func OwnerOf(parts []Partition, v VertexID) int {
+	lo, hi := 0, len(parts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case v < parts[mid].Lo:
+			hi = mid
+		case v >= parts[mid].Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// BlockRanges subdivides one partition into nb contiguous Vblocks of
+// near-equal size, returning the [lo,hi) boundaries. Used to build
+// VE-BLOCK (Section 4.1): all vertices are range-partitioned into V
+// fixed-size Vblocks.
+func BlockRanges(p Partition, nb int) []Partition {
+	if nb < 1 {
+		nb = 1
+	}
+	n := p.Len()
+	if nb > n && n > 0 {
+		nb = n
+	}
+	out := make([]Partition, nb)
+	base := n / nb
+	rem := n % nb
+	lo := int(p.Lo)
+	for b := 0; b < nb; b++ {
+		size := base
+		if b < rem {
+			size++
+		}
+		out[b] = Partition{Worker: p.Worker, Lo: VertexID(lo), Hi: VertexID(lo + size)}
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := GenRMAT(200, 1500, 0.57, 0.19, 0.19, 71)
+	perm := BFSOrder(g)
+	if !IsPermutation(perm, g.NumVertices) {
+		t.Fatal("BFSOrder is not a permutation")
+	}
+	r := Relabel(g, perm)
+	if r.NumVertices != g.NumVertices || r.NumEdges() != g.NumEdges() {
+		t.Fatalf("relabel changed size: %d/%d", r.NumVertices, r.NumEdges())
+	}
+	// Every original edge must exist under the new names.
+	has := map[[2]VertexID]bool{}
+	for v := 0; v < r.NumVertices; v++ {
+		for _, h := range r.OutEdges(VertexID(v)) {
+			has[[2]VertexID{VertexID(v), h.Dst}] = true
+		}
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		for _, h := range g.OutEdges(VertexID(v)) {
+			if !has[[2]VertexID{perm[v], perm[h.Dst]}] {
+				t.Fatalf("edge (%d,%d) lost by relabelling", v, h.Dst)
+			}
+		}
+	}
+}
+
+func TestRelabelDegreeSequencePreservedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := GenUniform(80, 400, seed)
+		perm := DegreeOrder(g)
+		if !IsPermutation(perm, g.NumVertices) {
+			return false
+		}
+		r := Relabel(g, perm)
+		for v := 0; v < g.NumVertices; v++ {
+			if r.OutDegree(perm[v]) != g.OutDegree(VertexID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeOrderPutsHubsFirst(t *testing.T) {
+	g := GenRMAT(256, 4096, 0.6, 0.15, 0.15, 72)
+	perm := DegreeOrder(g)
+	r := Relabel(g, perm)
+	// Degrees must be non-increasing in the new numbering.
+	for v := 1; v < r.NumVertices; v++ {
+		if r.OutDegree(VertexID(v)) > r.OutDegree(VertexID(v-1)) {
+			t.Fatalf("degree order violated at %d: %d > %d",
+				v, r.OutDegree(VertexID(v)), r.OutDegree(VertexID(v-1)))
+		}
+	}
+}
+
+func TestBFSOrderCoversDisconnectedGraphs(t *testing.T) {
+	b := NewBuilder(10)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(5, 6, 1) // second component; 2,3,4,7,8,9 isolated
+	g := b.Build()
+	perm := BFSOrder(g)
+	if !IsPermutation(perm, 10) {
+		t.Fatalf("BFSOrder on disconnected graph: %v", perm)
+	}
+}
+
+func TestIsPermutationRejects(t *testing.T) {
+	if IsPermutation([]VertexID{0, 0}, 2) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutation([]VertexID{0, 5}, 2) {
+		t.Fatal("out of range accepted")
+	}
+	if IsPermutation([]VertexID{0}, 2) {
+		t.Fatal("short permutation accepted")
+	}
+	if !IsPermutation([]VertexID{1, 0}, 2) {
+		t.Fatal("valid permutation rejected")
+	}
+}

@@ -1,0 +1,690 @@
+package harness
+
+import (
+	"fmt"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+)
+
+// Fig2 reproduces the motivation experiment: Giraph-style push over wiki,
+// PageRank (10 supersteps) and SSSP, with the message buffer swept from
+// tiny to "mem"; runtime climbs as the fraction of disk-resident messages
+// grows.
+func Fig2(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	ds, err := graph.DatasetByName("wiki")
+	if err != nil {
+		return nil, err
+	}
+	g := ds.GenerateCached(o.Scale)
+	fractions := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.8}
+	if o.Quick {
+		fractions = []float64{0.05, 0.4}
+	}
+	var tables []*Table
+	for _, spec := range []struct {
+		name  string
+		prog  algo.Program
+		steps int
+	}{
+		{"pagerank", algo.NewPageRank(0.85), 10},
+		{"sssp", algo.NewSSSP(0), 60},
+	} {
+		tb := &Table{ID: "fig2-" + spec.name,
+			Title:  fmt.Sprintf("push over wiki, %s: runtime vs message buffer", spec.name),
+			Header: []string{"buffer(msgs/worker)", "runtime(sim s)", "msgs-on-disk(%)"}}
+		addRow := func(label string, buf int) error {
+			cfg := core.Config{Workers: o.Workers, MsgBuf: buf, MaxSteps: spec.steps, Profile: o.Profile}
+			r, err := core.Run(g, spec.prog, cfg, core.Push)
+			if err != nil {
+				return err
+			}
+			var produced, spilled int64
+			for _, s := range r.Steps {
+				produced += s.Produced
+				spilled += s.Spilled
+			}
+			pct := 0.0
+			if produced > 0 {
+				pct = 100 * float64(spilled) / float64(produced)
+			}
+			tb.Rows = append(tb.Rows, []string{label, fmtSeconds(r.SimSeconds), fmt.Sprintf("%.1f", pct)})
+			return nil
+		}
+		for _, f := range fractions {
+			buf := int(f * float64(g.NumVertices))
+			if err := addRow(fmt.Sprintf("%d", buf), buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := addRow("mem", 0); err != nil {
+			return nil, err
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Table4 reports the synthetic datasets next to the paper's originals.
+func Table4(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	tb := &Table{ID: "table4", Title: "Graph datasets (synthetic stand-ins)",
+		Header: []string{"graph", "vertices", "edges", "avg-deg", "max-deg", "gini",
+			"type", "paper-V", "paper-E", "paper-deg"}}
+	for _, ds := range graph.Datasets {
+		g := ds.GenerateCached(o.Scale)
+		st := graph.Stats(g)
+		tb.Rows = append(tb.Rows, []string{
+			ds.Name, fmt.Sprintf("%d", g.NumVertices), fmt.Sprintf("%d", g.NumEdges()),
+			fmt.Sprintf("%.1f", st.Avg), fmt.Sprintf("%d", st.Max), fmt.Sprintf("%.2f", st.Gini),
+			ds.PaperType, ds.PaperVertices, ds.PaperEdges, fmt.Sprintf("%.1f", ds.PaperDegree),
+		})
+	}
+	return []*Table{tb}, nil
+}
+
+// runGrid executes one engine grid and renders a runtime (or I/O) table
+// per algorithm, mirroring the layout of Figs. 7-10.
+func (o Options) runGrid(id string, datasets []graph.Dataset, sufficient bool,
+	value func(r *metrics.JobResult, alg string) string, valueName string) ([]*Table, error) {
+
+	var tables []*Table
+	for _, prog := range o.algorithms() {
+		tb := &Table{ID: fmt.Sprintf("%s-%s", id, prog.Name()),
+			Title:  fmt.Sprintf("%s of %s (F = not runnable)", valueName, prog.Name()),
+			Header: []string{"graph"}}
+		engines := enginesFor(prog, true)
+		for _, e := range engines {
+			tb.Header = append(tb.Header, string(e))
+		}
+		for _, ds := range datasets {
+			g := ds.GenerateCached(o.Scale)
+			row := []string{ds.Name}
+			for _, e := range engines {
+				var cfg core.Config
+				if sufficient {
+					cfg = o.sufficientCfg(ds, prog.Name())
+				} else {
+					cfg = o.limitedCfg(ds, g, prog.Name())
+				}
+				r, err := core.Run(g, prog, cfg, e)
+				if err != nil {
+					row = append(row, "F")
+					continue
+				}
+				row = append(row, value(r, prog.Name()))
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig7 is the sufficient-memory runtime comparison over the small graphs
+// plus twi.
+func Fig7(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	return o.runGrid("fig7", o.datasets(false), true,
+		func(r *metrics.JobResult, alg string) string { return fmtSeconds(runtimeOf(r, alg)) },
+		"runtime (sim s, sufficient memory)")
+}
+
+// Fig8 is the limited-memory runtime comparison on the HDD cluster.
+func Fig8(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	o.Profile = diskio.HDDLocal
+	return o.runGrid("fig8", o.datasets(true), false,
+		func(r *metrics.JobResult, alg string) string { return fmtSeconds(runtimeOf(r, alg)) },
+		"runtime (sim s, limited memory, HDD)")
+}
+
+// Fig9 repeats Fig8 on the SSD profile.
+func Fig9(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	o.Profile = diskio.SSDAmazon
+	return o.runGrid("fig9", o.datasets(true), false,
+		func(r *metrics.JobResult, alg string) string { return fmtSeconds(runtimeOf(r, alg)) },
+		"runtime (sim s, limited memory, SSD)")
+}
+
+// Fig10 reports total disk bytes for the Fig8 grid.
+func Fig10(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	return o.runGrid("fig10", o.datasets(true), false,
+		func(r *metrics.JobResult, alg string) string {
+			if perStep(alg) && len(r.Steps) > 0 {
+				return fmtBytes(r.IO.DevTotal() / int64(len(r.Steps)))
+			}
+			return fmtBytes(r.IO.DevTotal())
+		},
+		"device I/O bytes (per superstep for PR/LPA, total otherwise)")
+}
+
+// predictionSeries runs push and b-pull to convergence and reports the
+// ratio predicted(t)/actual(t+2) for one metric, the Shang-Yu persistence
+// forecast the switcher uses (Figs. 11-13).
+func (o Options) predictionSeries(id, title string, engine core.Engine,
+	metric func(s metrics.StepStats) float64) ([]*Table, error) {
+
+	var tables []*Table
+	for _, prog := range []algo.Program{algo.NewSSSP(0), algo.NewSA(64, 16, 55)} {
+		tb := &Table{ID: fmt.Sprintf("%s-%s", id, prog.Name()),
+			Title:  fmt.Sprintf("%s, %s: ratio predicted(t)/actual(t+2)", title, prog.Name()),
+			Header: []string{"superstep"}}
+		series := map[string][]float64{}
+		var maxLen int
+		dss := o.datasets(true)
+		for _, ds := range dss {
+			g := ds.GenerateCached(o.Scale)
+			cfg := o.limitedCfg(ds, g, prog.Name())
+			r, err := core.Run(g, prog, cfg, engine)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, len(r.Steps))
+			for i, s := range r.Steps {
+				vals[i] = metric(s)
+			}
+			var ratios []float64
+			for t := 0; t+2 < len(vals); t++ {
+				if vals[t+2] != 0 {
+					ratios = append(ratios, vals[t]/vals[t+2])
+				} else {
+					ratios = append(ratios, 0)
+				}
+			}
+			series[ds.Name] = ratios
+			if len(ratios) > maxLen {
+				maxLen = len(ratios)
+			}
+			tb.Header = append(tb.Header, ds.Name)
+		}
+		if maxLen > 16 {
+			maxLen = 16 // the paper plots supersteps 0..16
+		}
+		for t := 0; t < maxLen; t++ {
+			row := []string{fmt.Sprintf("%d", t+1)}
+			for _, ds := range dss {
+				r := series[ds.Name]
+				if t < len(r) {
+					row = append(row, fmt.Sprintf("%.2f", r[t]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig11 reports the prediction accuracy of Mco.
+func Fig11(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	return o.predictionSeries("fig11", "Mco accuracy", core.BPull,
+		func(s metrics.StepStats) float64 { return float64(s.McoBytes) })
+}
+
+// Fig12 reports the prediction accuracy of Cio(push).
+func Fig12(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	return o.predictionSeries("fig12", "Cio(push) accuracy", core.Push,
+		func(s metrics.StepStats) float64 { return float64(s.Parts.CioPush()) })
+}
+
+// Fig13 reports the prediction accuracy of Cio(b-pull).
+func Fig13(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	return o.predictionSeries("fig13", "Cio(b-pull) accuracy", core.BPull,
+		func(s metrics.StepStats) float64 { return float64(s.Parts.CioBpull()) })
+}
+
+// Fig14 traces hybrid through SSSP over twi: the metric Qt on HDD and SSD
+// (14a), per-superstep disk I/O (14b), network messages (14c) and memory
+// (14d) for push, b-pull and hybrid.
+func Fig14(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	name := "twi"
+	if o.Quick {
+		name = "livej"
+	}
+	ds, err := graph.DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.GenerateCached(o.Scale)
+	prog := algo.NewSSSP(0)
+
+	runWith := func(p diskio.Profile, e core.Engine) (*metrics.JobResult, error) {
+		opt := o
+		opt.Profile = p
+		cfg := opt.limitedCfg(ds, g, prog.Name())
+		return core.Run(g, prog, cfg, e)
+	}
+	hddHybrid, err := runWith(diskio.HDDLocal, core.Hybrid)
+	if err != nil {
+		return nil, err
+	}
+	ssdHybrid, err := runWith(diskio.SSDAmazon, core.Hybrid)
+	if err != nil {
+		return nil, err
+	}
+	push, err := runWith(o.Profile, core.Push)
+	if err != nil {
+		return nil, err
+	}
+	bpull, err := runWith(o.Profile, core.BPull)
+	if err != nil {
+		return nil, err
+	}
+
+	qt := &Table{ID: "fig14a", Title: "performance metric Qt per superstep (SSSP over " + name + ")",
+		Header: []string{"superstep", "mode", "Qt-HDD", "Qt-SSD"}}
+	n := len(hddHybrid.Steps)
+	for i := 0; i < n; i++ {
+		s := hddHybrid.Steps[i]
+		ssd := ""
+		if i < len(ssdHybrid.Steps) {
+			ssd = fmt.Sprintf("%.4g", ssdHybrid.Steps[i].Qt)
+		}
+		qt.Rows = append(qt.Rows, []string{
+			fmt.Sprintf("%d", s.Step), s.Mode, fmt.Sprintf("%.4g", s.Qt), ssd})
+	}
+
+	series := func(id, title, unit string, f func(s metrics.StepStats) string) *Table {
+		tb := &Table{ID: id, Title: title, Header: []string{"superstep", "push", "b-pull", "hybrid"}}
+		maxN := len(push.Steps)
+		if len(bpull.Steps) > maxN {
+			maxN = len(bpull.Steps)
+		}
+		if len(hddHybrid.Steps) > maxN {
+			maxN = len(hddHybrid.Steps)
+		}
+		cell := func(r *metrics.JobResult, i int) string {
+			if i < len(r.Steps) {
+				return f(r.Steps[i])
+			}
+			return "-"
+		}
+		for i := 0; i < maxN; i++ {
+			tb.Rows = append(tb.Rows, []string{fmt.Sprintf("%d", i+1),
+				cell(push, i), cell(bpull, i), cell(hddHybrid, i)})
+		}
+		_ = unit
+		return tb
+	}
+	io := series("fig14b", "disk I/O bytes per superstep", "bytes",
+		func(s metrics.StepStats) string { return fmtBytes(s.IO.Total()) })
+	net := series("fig14c", "network messages per superstep", "msgs",
+		func(s metrics.StepStats) string { return fmtBytes(s.NetBytes) })
+	mem := series("fig14d", "memory usage per superstep (bytes)", "bytes",
+		func(s metrics.StepStats) string { return fmtBytes(s.MemBytes) })
+	return []*Table{qt, io, net, mem}, nil
+}
+
+// Fig15 sweeps the worker count for pushM and hybrid under PageRank with
+// limited memory: pushM degrades super-linearly as nodes shrink, hybrid
+// sub-linearly.
+func Fig15(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	workerGrid := []int{10, 15, 20, 25, 30}
+	if o.Quick {
+		workerGrid = []int{2, 4, 8}
+	}
+	prog := algo.NewPageRank(0.85)
+	var tables []*Table
+	for _, e := range []core.Engine{core.PushM, core.Hybrid} {
+		tb := &Table{ID: "fig15-" + string(e),
+			Title:  fmt.Sprintf("scalability of %s (PageRank, limited memory): runtime vs workers", e),
+			Header: []string{"graph"}}
+		for _, wkr := range workerGrid {
+			tb.Header = append(tb.Header, fmt.Sprintf("T=%d", wkr))
+		}
+		for _, ds := range o.datasets(true) {
+			g := ds.GenerateCached(o.Scale)
+			row := []string{ds.Name}
+			for _, wkr := range workerGrid {
+				cfg := o.limitedCfg(ds, g, prog.Name())
+				cfg.Workers = wkr
+				r, err := core.Run(g, prog, cfg, e)
+				if err != nil {
+					row = append(row, "F")
+					continue
+				}
+				row = append(row, fmtSeconds(runtimeOf(r, prog.Name())))
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig16 compares graph-loading cost for the three storage layouts, as
+// ratios to the adjacency-list build.
+func Fig16(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rt := &Table{ID: "fig16a", Title: "loading runtime ratio vs adj",
+		Header: []string{"graph", "adj", "VE-BLOCK", "adj+VE-BLOCK"}}
+	iob := &Table{ID: "fig16b", Title: "loading I/O bytes ratio vs adj",
+		Header: []string{"graph", "adj", "VE-BLOCK", "adj+VE-BLOCK"}}
+	prog := algo.NewPageRank(0.85)
+	for _, ds := range o.datasets(true) {
+		g := ds.GenerateCached(o.Scale)
+		cfg := o.limitedCfg(ds, g, prog.Name())
+		cfg.MaxSteps = 1
+		var secs [3]float64
+		var bytes [3]float64
+		for i, e := range []core.Engine{core.Push, core.BPull, core.Hybrid} {
+			r, err := core.Run(g, prog, cfg, e)
+			if err != nil {
+				return nil, err
+			}
+			secs[i] = r.LoadSimSeconds
+			bytes[i] = float64(r.LoadIO.Total())
+		}
+		ratio := func(v [3]float64) []string {
+			out := make([]string, 3)
+			for i := range v {
+				out[i] = fmt.Sprintf("%.2f", v[i]/v[0])
+			}
+			return out
+		}
+		rt.Rows = append(rt.Rows, append([]string{ds.Name}, ratio(secs)...))
+		iob.Rows = append(iob.Rows, append([]string{ds.Name}, ratio(bytes)...))
+	}
+	return []*Table{rt, iob}, nil
+}
+
+// Fig17 reports per-superstep blocking (message-exchange) time for push,
+// pushM and b-pull under PageRank with sufficient memory.
+func Fig17(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	prog := algo.NewPageRank(0.85)
+	names := []string{"wiki", "orkut"}
+	if o.Quick {
+		names = []string{"wiki"}
+	}
+	var tables []*Table
+	for _, name := range names {
+		ds, err := graph.DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := ds.GenerateCached(o.Scale)
+		tb := &Table{ID: "fig17-" + name,
+			Title:  "blocking time (sim s) per superstep, PageRank over " + name,
+			Header: []string{"superstep", "push", "pushM", "b-pull"}}
+		var runs []*metrics.JobResult
+		for _, e := range []core.Engine{core.Push, core.PushM, core.BPull} {
+			r, err := core.Run(g, prog, o.sufficientCfg(ds, prog.Name()), e)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, r)
+		}
+		for i := 0; i < len(runs[0].Steps); i++ {
+			row := []string{fmt.Sprintf("%d", i+1)}
+			for _, r := range runs {
+				if i < len(r.Steps) {
+					row = append(row, fmt.Sprintf("%.5f", r.Steps[i].NetSeconds))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig18 reports per-superstep network traffic for push versus b-pull with
+// combining disabled (concatenation only), PageRank.
+func Fig18(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	prog := algo.NewPageRank(0.85)
+	names := []string{"wiki", "orkut"}
+	if o.Quick {
+		names = []string{"wiki"}
+	}
+	var tables []*Table
+	for _, name := range names {
+		ds, err := graph.DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := ds.GenerateCached(o.Scale)
+		tb := &Table{ID: "fig18-" + name,
+			Title:  "network bytes per superstep (combining off), PageRank over " + name,
+			Header: []string{"superstep", "push", "b-pull"}}
+		cfg := o.sufficientCfg(ds, prog.Name())
+		cfg.DisableCombine = true
+		push, err := core.Run(g, prog, cfg, core.Push)
+		if err != nil {
+			return nil, err
+		}
+		bpull, err := core.Run(g, prog, cfg, core.BPull)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(push.Steps) || i < len(bpull.Steps); i++ {
+			cell := func(r *metrics.JobResult) string {
+				if i < len(r.Steps) {
+					return fmtBytes(r.Steps[i].NetBytes)
+				}
+				return "-"
+			}
+			tb.Rows = append(tb.Rows, []string{fmt.Sprintf("%d", i+1), cell(push), cell(bpull)})
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// vblockSweep runs PageRank and SSSP over one dataset while varying the
+// number of Vblocks, reporting memory, I/O and runtime (Appendix C).
+func (o Options) vblockSweep(id, dsName string) ([]*Table, error) {
+	ds, err := graph.DatasetByName(dsName)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.GenerateCached(o.Scale)
+	grid := []int{1, 2, 4, 8, 16, 32, 64}
+	if o.Quick {
+		grid = []int{1, 8, 32}
+	}
+	mem := &Table{ID: id + "-mem", Title: "peak memory (bytes) vs Vblocks/worker over " + dsName,
+		Header: []string{"V/worker", "pagerank", "sssp"}}
+	iob := &Table{ID: id + "-io", Title: "I/O bytes vs Vblocks/worker over " + dsName,
+		Header: []string{"V/worker", "pagerank", "sssp"}}
+	rt := &Table{ID: id + "-runtime", Title: "runtime (sim s) vs Vblocks/worker over " + dsName,
+		Header: []string{"V/worker", "pagerank", "sssp"}}
+	progs := []algo.Program{algo.NewPageRank(0.85), algo.NewSSSP(0)}
+	for _, v := range grid {
+		memRow := []string{fmt.Sprintf("%d", v)}
+		ioRow := []string{fmt.Sprintf("%d", v)}
+		rtRow := []string{fmt.Sprintf("%d", v)}
+		for _, prog := range progs {
+			cfg := o.limitedCfg(ds, g, prog.Name())
+			cfg.BlocksPerWorker = v
+			r, err := core.Run(g, prog, cfg, core.BPull)
+			if err != nil {
+				return nil, err
+			}
+			memRow = append(memRow, fmtBytes(r.MaxMemBytes))
+			ioRow = append(ioRow, fmtBytes(r.IO.Total()))
+			rtRow = append(rtRow, fmtSeconds(r.SimSeconds))
+		}
+		mem.Rows = append(mem.Rows, memRow)
+		iob.Rows = append(iob.Rows, ioRow)
+		rt.Rows = append(rt.Rows, rtRow)
+	}
+	return []*Table{mem, iob, rt}, nil
+}
+
+// Fig23 sweeps the Vblock count over livej (memory and I/O).
+func Fig23(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	ts, err := o.vblockSweep("fig23", "livej")
+	if err != nil {
+		return nil, err
+	}
+	return ts[:2], nil
+}
+
+// Fig24 sweeps the Vblock count over wiki (memory and I/O).
+func Fig24(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	ts, err := o.vblockSweep("fig24", "wiki")
+	if err != nil {
+		return nil, err
+	}
+	return ts[:2], nil
+}
+
+// Fig25 reports the runtime column of the Vblock sweeps.
+func Fig25(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	var out []*Table
+	for _, name := range []string{"livej", "wiki"} {
+		ts, err := o.vblockSweep("fig25-"+name, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts[2])
+	}
+	return out, nil
+}
+
+// Fig26 sweeps the sending threshold for pushM, pushM+com (sender-side
+// combining) and b-pull under PageRank over orkut, reporting runtime and
+// the combining ratio (Appendix E).
+func Fig26(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	ds, err := graph.DatasetByName("orkut")
+	if err != nil {
+		return nil, err
+	}
+	g := ds.GenerateCached(o.Scale)
+	prog := algo.NewPageRank(0.85)
+	thresholds := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if o.Quick {
+		thresholds = []int64{4 << 10, 256 << 10}
+	}
+	rt := &Table{ID: "fig26a", Title: "runtime (sim s) vs sending threshold, PageRank over orkut",
+		Header: []string{"threshold", "pushM", "pushM+com", "b-pull"}}
+	cr := &Table{ID: "fig26b", Title: "combining ratio vs sending threshold",
+		Header: []string{"threshold", "pushM+com", "b-pull"}}
+	for _, th := range thresholds {
+		cfg := o.sufficientCfg(ds, prog.Name())
+		cfg.SendThreshold = th
+		pm, err := core.Run(g, prog, cfg, core.PushM)
+		if err != nil {
+			return nil, err
+		}
+		cfgCom := cfg
+		cfgCom.SenderCombine = true
+		pmc, err := core.Run(g, prog, cfgCom, core.Push)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := core.Run(g, prog, cfg, core.BPull)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%dKB", th>>10)
+		rt.Rows = append(rt.Rows, []string{label,
+			fmtSeconds(pm.SimSeconds), fmtSeconds(pmc.SimSeconds), fmtSeconds(bp.SimSeconds)})
+		ratio := func(r *metrics.JobResult) string {
+			var produced, saved int64
+			for _, s := range r.Steps {
+				produced += s.Produced
+				saved += s.McoBytes
+			}
+			if produced == 0 {
+				return "0.00"
+			}
+			return fmt.Sprintf("%.2f", float64(saved)/float64(produced*12))
+		}
+		cr.Rows = append(cr.Rows, []string{label, ratio(pmc), ratio(bp)})
+	}
+	return []*Table{rt, cr}, nil
+}
+
+// Table5 reproduces Appendix F: the modified pull baseline in five
+// scenarios from fully memory-resident to a vertex cache below the
+// working set.
+func Table5(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	names := graph.SmallDatasets()
+	if o.Quick {
+		names = names[:2]
+	}
+	progs := o.algorithms()
+	if o.Quick {
+		progs = progs[:2]
+	}
+	var tables []*Table
+	for _, prog := range progs {
+		tb := &Table{ID: "table5-" + prog.Name(),
+			Title:  "pull scenarios, runtime (sim s) of " + prog.Name(),
+			Header: append([]string{"scenario"}, names...)}
+		type scenario struct {
+			name string
+			cfg  func(ds graph.Dataset, g *graph.Graph) core.Config
+		}
+		scenarios := []scenario{
+			{"original", func(ds graph.Dataset, g *graph.Graph) core.Config {
+				return o.sufficientCfg(ds, prog.Name())
+			}},
+			{"ext-mem", func(ds graph.Dataset, g *graph.Graph) core.Config {
+				return o.sufficientCfg(ds, prog.Name())
+			}},
+			{"ext-edge", func(ds graph.Dataset, g *graph.Graph) core.Config {
+				c := o.limitedCfg(ds, g, prog.Name())
+				c.VerticesInMemory = true
+				c.VertexCache = 0
+				return c
+			}},
+			{"ext-edge-v3", func(ds graph.Dataset, g *graph.Graph) core.Config {
+				c := o.limitedCfg(ds, g, prog.Name())
+				// Paper: 3M cached vertices per task ≳ the per-task
+				// working set; scaled to just above the partition size.
+				c.VertexCache = (g.NumVertices/c.Workers)*21/20 + 1
+				return c
+			}},
+			{"ext-edge-v2.5", func(ds graph.Dataset, g *graph.Graph) core.Config {
+				c := o.limitedCfg(ds, g, prog.Name())
+				// Scaled to just below the working set: LRU thrashes.
+				c.VertexCache = (g.NumVertices / c.Workers) * 4 / 5
+				return c
+			}},
+		}
+		for _, sc := range scenarios {
+			row := []string{sc.name}
+			for _, name := range names {
+				ds, err := graph.DatasetByName(name)
+				if err != nil {
+					return nil, err
+				}
+				g := ds.GenerateCached(o.Scale)
+				r, err := core.Run(g, prog, sc.cfg(ds, g), core.Pull)
+				if err != nil {
+					row = append(row, "F")
+					continue
+				}
+				row = append(row, fmtSeconds(r.SimSeconds))
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}

@@ -1,0 +1,157 @@
+// Package metrics defines the per-superstep statistics every engine
+// reports, the performance metric Q^t of Eq. (11) that drives hybrid's
+// switching, and the cost model that converts byte tallies into the
+// simulated seconds the experiment harness reports (see DESIGN.md: the
+// paper's own evaluation reasons in bytes weighted by the Table 3
+// throughputs, which is exactly this conversion).
+package metrics
+
+import (
+	"fmt"
+
+	"hybridgraph/internal/diskio"
+)
+
+// IOBreakdown splits a superstep's disk traffic into the components of
+// Eqs. (7) and (8), in bytes.
+type IOBreakdown struct {
+	Vt     int64 // vertex-value reads+writes of the update scan (both engines)
+	Et     int64 // push: adjacency edges read (E^t)
+	Ebar   int64 // b-pull: Eblock edge bytes read (Ē^t)
+	Ft     int64 // b-pull: fragment auxiliary bytes read (F^t)
+	Vrr    int64 // pull/b-pull: random svertex-value reads (V_rr^t)
+	MdiskW int64 // push: spilled message bytes written
+	MdiskR int64 // push: spilled message bytes read back
+}
+
+// Total reports the breakdown's byte sum.
+func (b IOBreakdown) Total() int64 {
+	return b.Vt + b.Et + b.Ebar + b.Ft + b.Vrr + b.MdiskW + b.MdiskR
+}
+
+// CioPush evaluates Eq. (7) for this breakdown.
+func (b IOBreakdown) CioPush() int64 { return b.Vt + b.Et + b.MdiskW + b.MdiskR }
+
+// CioBpull evaluates Eq. (8) for this breakdown.
+func (b IOBreakdown) CioBpull() int64 { return b.Vt + b.Ebar + b.Ft + b.Vrr }
+
+// Prediction holds the quantities hybrid forecasts for superstep t+Δt
+// while running superstep t (Section 5.3): the concatenation/combining
+// savings Mco (in messages) and the two engines' I/O costs (in bytes).
+// When the engine of the moment cannot measure a quantity it estimates it
+// from VE-BLOCK metadata or the adjacency index, as the paper describes.
+type Prediction struct {
+	Mco      int64
+	CioPush  int64
+	CioBpull int64
+}
+
+// StepStats aggregates one superstep across the cluster.
+type StepStats struct {
+	Step int
+	Mode string // engine that executed this superstep ("push", "b-pull", …)
+
+	Produced   int64 // messages generated (M)
+	Combined   int64 // messages eliminated by concat/combine (Mco)
+	NetBytes   int64 // bytes across the fabric this superstep
+	NetMsgs    int64 // message values across the fabric
+	Requests   int64 // pull/gather requests issued
+	Responding int64 // vertices whose respond flag was set
+	Updated    int64 // vertices whose update()/compute() ran
+	Spilled    int64 // messages spilled to disk (push), |M_disk|
+
+	IO       diskio.Snapshot // per-class disk bytes this superstep
+	Parts    IOBreakdown
+	MemBytes int64 // peak message-buffer + metadata memory across workers
+
+	// Cross-mode estimates hybrid gathers while running the other engine
+	// (Section 5.3): what push's edge reads would have cost during a
+	// b-pull superstep (EstEt), and what b-pull's Eblock scan, fragment
+	// aux and svertex reads would have cost during a push superstep.
+	EstEt, EstEbar, EstFt, EstVrr int64
+	// McoBytes is the measured network savings from concatenation and
+	// combining this superstep (b-pull modes only).
+	McoBytes int64
+
+	// Aggregate is the globally reduced aggregator value for programs
+	// implementing algo.Aggregating (e.g. PageRank's L1 rank delta).
+	Aggregate float64
+
+	CPUSeconds   float64 // modelled compute time, max across workers
+	DiskSeconds  float64
+	NetSeconds   float64 // a.k.a. blocking time: the exchange component
+	SimSeconds   float64 // max across workers of (cpu+disk+net)
+	WallSeconds  float64 // measured wall clock of the superstep
+	Qt           float64 // Eq. (11) evaluated from this superstep's data
+	Pred         Prediction
+	SwitchedFrom string // non-empty when this superstep executed a switch
+}
+
+// JobResult is the outcome of one engine run.
+type JobResult struct {
+	Engine    string
+	Algorithm string
+	Dataset   string
+	Workers   int
+	Steps     []StepStats
+
+	SimSeconds  float64 // Σ per-superstep simulated seconds
+	WallSeconds float64
+	IO          diskio.Snapshot // Σ superstep I/O (loading excluded)
+	NetBytes    int64
+	MaxMemBytes int64
+
+	LoadSimSeconds float64 // graph loading cost (Fig. 16), reported separately
+	LoadIO         diskio.Snapshot
+
+	// Restarts counts recompute-from-scratch recoveries after worker
+	// failures; RecoverySimSeconds is the simulated time the discarded
+	// attempts burned.
+	Restarts           int
+	RecoverySimSeconds float64
+
+	// Values holds the final vertex values indexed by vertex id (rank,
+	// distance, label or ad, depending on the algorithm).
+	Values []float64
+}
+
+// Finish derives the job-level aggregates from the recorded steps.
+func (r *JobResult) Finish() {
+	r.SimSeconds, r.WallSeconds, r.NetBytes, r.MaxMemBytes = 0, 0, 0, 0
+	r.IO = diskio.Snapshot{}
+	for i := range r.Steps {
+		s := &r.Steps[i]
+		r.SimSeconds += s.SimSeconds
+		r.WallSeconds += s.WallSeconds
+		r.NetBytes += s.NetBytes
+		r.IO = r.IO.Add(s.IO)
+		if s.MemBytes > r.MaxMemBytes {
+			r.MaxMemBytes = s.MemBytes
+		}
+	}
+}
+
+// Supersteps reports the number of supersteps run.
+func (r *JobResult) Supersteps() int { return len(r.Steps) }
+
+// String summarises the result in one line.
+func (r *JobResult) String() string {
+	return fmt.Sprintf("%s/%s/%s: %d steps, sim %.3fs, io %s, net %d B",
+		r.Engine, r.Algorithm, r.Dataset, len(r.Steps), r.SimSeconds, r.IO.String(), r.NetBytes)
+}
+
+// Qt evaluates the paper's Eq. (11):
+//
+//	Q^t = Mco·Byte_m/s_net + IO(M_disk)/s_rw − IO(V_rr^t)/s_rr
+//	    + (IO(E^t) + IO(M_disk) − IO(Ē^t) − IO(F^t))/s_sr
+//
+// b-pull is the profitable mode when Q^t ≥ 0. mcoBytes is Mco·Byte_m (the
+// extra network bytes push would pay); ioMdisk the one-sided spilled
+// message bytes; the rest as in IOBreakdown.
+func Qt(p diskio.Profile, mcoBytes, ioMdisk, ioVrr, ioEt, ioEbar, ioFt int64) float64 {
+	const mb = 1 << 20
+	return float64(mcoBytes)/(p.SNet*mb) +
+		float64(ioMdisk)/(p.SRW*mb) -
+		float64(ioVrr)/(p.SRR*mb) +
+		float64(ioEt+ioMdisk-ioEbar-ioFt)/(p.SSR*mb)
+}

@@ -1,0 +1,228 @@
+// Package msgstore implements the receiver-side message stores of the
+// push engines. An Inbox buffers up to B_i messages in memory; overflow is
+// spilled to disk with random-write cost — the poor temporal locality of
+// messages across destination vertices is the I/O problem the whole paper
+// attacks — and read back sequentially at the start of the next superstep
+// (the 2·IO(M_disk) term of Eq. 7, split across srw and ssr exactly as
+// Eq. 11 splits it). An OnlineInbox adds MOCgraph's message online
+// computing: messages for a configured hot set of vertices are folded into
+// an in-memory accumulator immediately and never touch disk.
+package msgstore
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+)
+
+const recSize = 12 // dst uint32 + val float64
+
+// Inbox is one worker's receive buffer for one superstep's incoming
+// messages. Safe for concurrent Add from multiple senders.
+type Inbox struct {
+	mu       sync.Mutex
+	ct       *diskio.Counter
+	path     string
+	capacity int // B_i in messages; <= 0 means unlimited (sufficient memory)
+	mem      []comm.Msg
+	spill    *diskio.File
+	spillN   int64
+	received int64
+	maxMem   int64
+}
+
+// NewInbox returns an inbox spilling to path once capacity messages are
+// buffered: capacity 0 means unlimited (sufficient memory), a negative
+// capacity means every message spills (MOCgraph's "messages sent to
+// disk-resident vertices reside on disk"). The spill file is created
+// lazily.
+func NewInbox(path string, ct *diskio.Counter, capacity int) *Inbox {
+	return &Inbox{ct: ct, path: path, capacity: capacity}
+}
+
+// Add accepts one message. Beyond capacity the message is spilled with
+// random-write accounting.
+func (b *Inbox) Add(m comm.Msg) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.received++
+	if b.capacity == 0 || (b.capacity > 0 && len(b.mem) < b.capacity) {
+		b.mem = append(b.mem, m)
+		if n := int64(len(b.mem)) * recSize; n > b.maxMem {
+			b.maxMem = n
+		}
+		return nil
+	}
+	return b.spillMsg(m)
+}
+
+// AddAll accepts a batch.
+func (b *Inbox) AddAll(msgs []comm.Msg) error {
+	for _, m := range msgs {
+		if err := b.Add(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Inbox) spillMsg(m comm.Msg) error {
+	if b.spill == nil {
+		f, err := diskio.Create(b.path, b.ct)
+		if err != nil {
+			return err
+		}
+		b.spill = f
+	}
+	var rec [recSize]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(m.Dst))
+	binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(m.Val))
+	// Charged as a random write: Giraph's spilled messages have no
+	// destination locality, which is what makes push I/O-inefficient
+	// (Section 1, "expensive random writes").
+	if _, err := b.spill.WriteAtClass(rec[:], b.spillN*recSize, diskio.RandWrite); err != nil {
+		return err
+	}
+	b.spillN++
+	return nil
+}
+
+// Received reports the number of messages accepted so far.
+func (b *Inbox) Received() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.received
+}
+
+// Spilled reports the number of messages that went to disk (|M_disk|).
+func (b *Inbox) Spilled() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spillN
+}
+
+// MaxMemBytes reports the peak in-memory footprint of the buffer.
+func (b *Inbox) MaxMemBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxMem
+}
+
+// Drain returns all buffered messages grouped by destination vertex,
+// reading any spill back sequentially, and resets the inbox for reuse.
+func (b *Inbox) Drain() (map[graph.VertexID][]float64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[graph.VertexID][]float64, len(b.mem))
+	for _, m := range b.mem {
+		out[m.Dst] = append(out[m.Dst], m.Val)
+	}
+	if b.spill != nil {
+		buf := make([]byte, b.spillN*recSize)
+		if _, err := b.spill.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+			return nil, err
+		}
+		for o := int64(0); o < int64(len(buf)); o += recSize {
+			dst := graph.VertexID(binary.LittleEndian.Uint32(buf[o:]))
+			val := math.Float64frombits(binary.LittleEndian.Uint64(buf[o+4:]))
+			out[dst] = append(out[dst], val)
+		}
+		if err := b.spill.Close(); err != nil {
+			return nil, err
+		}
+		b.spill = nil
+	}
+	b.mem = b.mem[:0]
+	b.spillN = 0
+	b.received = 0
+	b.maxMem = 0 // peak is tracked per drain interval (one superstep)
+	return out, nil
+}
+
+// OnlineInbox implements MOCgraph's message online computing: messages to
+// vertices in the hot set are combined into an in-memory accumulator the
+// moment they arrive (valid only for commutative, associative messages);
+// messages to cold vertices fall through to a regular spilling inbox.
+type OnlineInbox struct {
+	mu      sync.Mutex
+	hot     map[graph.VertexID]bool
+	combine func(a, b float64) float64
+	acc     map[graph.VertexID]float64
+	cold    *Inbox
+	online  int64
+}
+
+// NewOnlineInbox wraps cold with online computing for the hot vertices.
+// combine must be a commutative, associative reducer.
+func NewOnlineInbox(cold *Inbox, hot map[graph.VertexID]bool, combine func(a, b float64) float64) *OnlineInbox {
+	return &OnlineInbox{hot: hot, combine: combine, acc: make(map[graph.VertexID]float64), cold: cold}
+}
+
+// Add accepts one message, consuming it online when possible.
+func (o *OnlineInbox) Add(m comm.Msg) error {
+	o.mu.Lock()
+	if o.hot[m.Dst] {
+		if v, ok := o.acc[m.Dst]; ok {
+			o.acc[m.Dst] = o.combine(v, m.Val)
+		} else {
+			o.acc[m.Dst] = m.Val
+		}
+		o.online++
+		o.mu.Unlock()
+		return nil
+	}
+	o.mu.Unlock()
+	return o.cold.Add(m)
+}
+
+// Received reports the number of messages accepted (online + cold).
+func (o *OnlineInbox) Received() int64 {
+	o.mu.Lock()
+	online := int64(len(o.acc))
+	o.mu.Unlock()
+	return online + o.cold.Received()
+}
+
+// OnlineCount reports how many messages were consumed online.
+func (o *OnlineInbox) OnlineCount() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.online
+}
+
+// Spilled reports how many messages reached disk despite online computing.
+func (o *OnlineInbox) Spilled() int64 { return o.cold.Spilled() }
+
+// MaxMemBytes reports the peak memory of accumulator plus cold buffer.
+func (o *OnlineInbox) MaxMemBytes() int64 {
+	o.mu.Lock()
+	n := int64(len(o.acc)) * recSize
+	o.mu.Unlock()
+	return n + o.cold.MaxMemBytes()
+}
+
+// Drain merges the online accumulator with the cold inbox's contents and
+// resets both.
+func (o *OnlineInbox) Drain() (map[graph.VertexID][]float64, error) {
+	out, err := o.cold.Drain()
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for dst, v := range o.acc {
+		// Fold any cold stragglers for a hot vertex into the accumulator
+		// value so the consumer sees one combined message.
+		for _, c := range out[dst] {
+			v = o.combine(v, c)
+		}
+		out[dst] = append(out[dst][:0], v)
+	}
+	o.acc = make(map[graph.VertexID]float64)
+	o.online = 0
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package msgstore
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+)
+
+func newInbox(t *testing.T, capacity int) (*Inbox, *diskio.Counter) {
+	t.Helper()
+	var ct diskio.Counter
+	return NewInbox(filepath.Join(t.TempDir(), "spill.dat"), &ct, capacity), &ct
+}
+
+func TestInboxInMemory(t *testing.T) {
+	b, ct := newInbox(t, 10)
+	for i := 0; i < 5; i++ {
+		if err := b.Add(comm.Msg{Dst: graph.VertexID(i % 2), Val: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Spilled() != 0 || b.Received() != 5 {
+		t.Fatalf("spilled=%d received=%d", b.Spilled(), b.Received())
+	}
+	msgs, err := b.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs[0]) != 3 || len(msgs[1]) != 2 {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	if ct.Total() != 0 {
+		t.Fatalf("in-memory inbox did I/O: %d bytes", ct.Total())
+	}
+}
+
+func TestInboxSpillsOverCapacity(t *testing.T) {
+	b, ct := newInbox(t, 3)
+	for i := 0; i < 10; i++ {
+		if err := b.Add(comm.Msg{Dst: graph.VertexID(i), Val: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Spilled() != 7 {
+		t.Fatalf("spilled = %d, want 7", b.Spilled())
+	}
+	// Spill writes are charged as random writes (poor destination
+	// locality), reads back as sequential.
+	if got := ct.Bytes(diskio.RandWrite); got != 7*recSize {
+		t.Fatalf("RandWrite = %d, want %d", got, 7*recSize)
+	}
+	msgs, err := b.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 10 {
+		t.Fatalf("drained %d destinations, want 10", len(msgs))
+	}
+	for i := 0; i < 10; i++ {
+		vals := msgs[graph.VertexID(i)]
+		if len(vals) != 1 || vals[0] != float64(i) {
+			t.Fatalf("dst %d vals = %v", i, vals)
+		}
+	}
+	if got := ct.Bytes(diskio.SeqRead); got != 7*recSize {
+		t.Fatalf("SeqRead = %d, want %d", got, 7*recSize)
+	}
+}
+
+func TestInboxUnlimitedAndAlwaysSpill(t *testing.T) {
+	unlimited, _ := newInbox(t, 0)
+	for i := 0; i < 100; i++ {
+		if err := unlimited.Add(comm.Msg{Dst: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if unlimited.Spilled() != 0 {
+		t.Fatal("capacity 0 should never spill")
+	}
+	always, _ := newInbox(t, -1)
+	if err := always.Add(comm.Msg{Dst: 1, Val: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if always.Spilled() != 1 {
+		t.Fatal("negative capacity should always spill")
+	}
+	msgs, err := always.Drain()
+	if err != nil || msgs[1][0] != 2 {
+		t.Fatalf("drain after spill: %v, %v", msgs, err)
+	}
+}
+
+func TestInboxReusableAcrossSupersteps(t *testing.T) {
+	b, _ := newInbox(t, 2)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if err := b.Add(comm.Msg{Dst: graph.VertexID(i), Val: float64(round)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msgs, err := b.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 5 {
+			t.Fatalf("round %d drained %d", round, len(msgs))
+		}
+		if b.Received() != 0 || b.Spilled() != 0 || b.MaxMemBytes() != 0 {
+			t.Fatal("Drain should reset the inbox")
+		}
+	}
+}
+
+func TestInboxConcurrentAdd(t *testing.T) {
+	b, _ := newInbox(t, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Add(comm.Msg{Dst: graph.VertexID(i), Val: float64(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Received() != 1600 {
+		t.Fatalf("received = %d, want 1600", b.Received())
+	}
+	msgs, err := b.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, vals := range msgs {
+		total += len(vals)
+	}
+	if total != 1600 {
+		t.Fatalf("drained %d messages, want 1600", total)
+	}
+}
+
+func TestOnlineInboxCombinesHot(t *testing.T) {
+	cold, ct := newInbox(t, -1)
+	hot := map[graph.VertexID]bool{1: true, 2: true}
+	o := NewOnlineInbox(cold, hot, func(a, b float64) float64 { return a + b })
+	for i := 0; i < 10; i++ {
+		if err := o.Add(comm.Msg{Dst: 1, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Add(comm.Msg{Dst: 5, Val: 3}); err != nil { // cold → spill
+		t.Fatal(err)
+	}
+	if o.OnlineCount() != 10 || o.Spilled() != 1 {
+		t.Fatalf("online=%d spilled=%d", o.OnlineCount(), o.Spilled())
+	}
+	if ct.Bytes(diskio.RandWrite) != recSize {
+		t.Fatalf("cold spill bytes = %d", ct.Bytes(diskio.RandWrite))
+	}
+	msgs, err := o.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs[1]) != 1 || msgs[1][0] != 10 {
+		t.Fatalf("hot vertex combined to %v, want [10]", msgs[1])
+	}
+	if msgs[5][0] != 3 {
+		t.Fatalf("cold vertex = %v", msgs[5])
+	}
+	if o.OnlineCount() != 0 {
+		t.Fatal("Drain should reset online count")
+	}
+}
+
+func TestOnlineInboxFoldsColdStragglers(t *testing.T) {
+	// A hot vertex's messages may land in the cold inbox before the hot
+	// set is consulted elsewhere; Drain must fold them into one value.
+	cold, _ := newInbox(t, 0)
+	hot := map[graph.VertexID]bool{1: true}
+	o := NewOnlineInbox(cold, hot, func(a, b float64) float64 { return a + b })
+	cold.Add(comm.Msg{Dst: 1, Val: 5}) // bypasses the online path
+	o.Add(comm.Msg{Dst: 1, Val: 2})
+	msgs, err := o.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs[1]) != 1 || msgs[1][0] != 7 {
+		t.Fatalf("folded = %v, want [7]", msgs[1])
+	}
+}
+
+func TestMaxMemBytesTracksPeak(t *testing.T) {
+	b, _ := newInbox(t, 4)
+	for i := 0; i < 10; i++ {
+		b.Add(comm.Msg{Dst: graph.VertexID(i)})
+	}
+	if got := b.MaxMemBytes(); got != 4*recSize {
+		t.Fatalf("MaxMemBytes = %d, want %d", got, 4*recSize)
+	}
+}
+
+func TestInboxRoundTripProperty(t *testing.T) {
+	f := func(dsts []uint8, capRaw uint8) bool {
+		capacity := int(capRaw % 20)
+		var ct diskio.Counter
+		b := NewInbox(filepath.Join(t.TempDir(), "p.dat"), &ct, capacity)
+		want := map[graph.VertexID]int{}
+		for i, d := range dsts {
+			m := comm.Msg{Dst: graph.VertexID(d % 32), Val: float64(i)}
+			if err := b.Add(m); err != nil {
+				return false
+			}
+			want[m.Dst]++
+		}
+		got, err := b.Drain()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for dst, n := range want {
+			if len(got[dst]) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+package vertexfile
+
+import "math"
+
+func float64Bits(f float64) uint64 { return math.Float64bits(f) }
+
+func float64FromBitsU(u uint64) float64 { return math.Float64frombits(u) }
+
+func float64FromBits(b []byte) float64 {
+	var u uint64
+	for i := 7; i >= 0; i-- {
+		u = u<<8 | uint64(b[i])
+	}
+	return math.Float64frombits(u)
+}

@@ -1,0 +1,16 @@
+package vertexfile
+
+import "hybridgraph/internal/graph"
+
+// CreateMem returns a memory-resident store with the same interface as a
+// disk-backed one: used for the paper's sufficient-memory scenario (Fig.
+// 7, "all systems tested manage data in memory"), where vertex access
+// incurs no I/O. recs must be in id order starting at lo.
+func CreateMem(lo graph.VertexID, recs []Record) *Store {
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	return &Store{lo: lo, n: len(cp), mem: cp}
+}
+
+// InMemory reports whether the store is memory-resident.
+func (s *Store) InMemory() bool { return s.mem != nil }
