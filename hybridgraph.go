@@ -34,6 +34,7 @@ import (
 	"hybridgraph/internal/algo"
 	"hybridgraph/internal/core"
 	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
 )
@@ -84,6 +85,32 @@ var (
 	HDDLocal  = diskio.HDDLocal
 	SSDAmazon = diskio.SSDAmazon
 )
+
+// FaultPlan is a deterministic schedule of injected faults: worker
+// crashes at (superstep, worker) points and, over TCP, seeded transport
+// faults. Assign one to Config.FaultPlan and pick a Config.Recovery
+// policy ("scratch", "resume" or "checkpoint").
+type FaultPlan = faultplan.Plan
+
+// Crash is one scheduled worker failure.
+type Crash = faultplan.Crash
+
+// TransportFaults seeds the resilient TCP fabric's fault injector with
+// drop/delay/duplicate probabilities.
+type TransportFaults = faultplan.TransportFaults
+
+// NewFaultPlan builds a crash schedule (sorted by superstep).
+func NewFaultPlan(crashes ...Crash) *FaultPlan { return faultplan.NewPlan(crashes...) }
+
+// RandomCrashes derives a deterministic schedule of n distinct-superstep
+// crashes from a seed.
+func RandomCrashes(seed int64, n, maxStep, workers int) []Crash {
+	return faultplan.RandomCrashes(seed, n, maxStep, workers)
+}
+
+// ErrInjectedFailure matches (via errors.Is) the typed error a scheduled
+// crash raises inside the engines; recovery normally absorbs it.
+var ErrInjectedFailure = core.ErrInjectedFailure
 
 // Run executes prog over g with the given engine and returns the result.
 func Run(g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {

@@ -53,6 +53,11 @@ func (s *Set) Any() bool {
 	return false
 }
 
+// Words exposes the underlying word storage. Callers serializing or
+// restoring the set (checkpointing) read or overwrite it directly; the
+// slice aliases the set's memory.
+func (s *Set) Words() []uint64 { return s.words }
+
 // CopyFrom overwrites s with o's bits. The sets must have equal capacity.
 func (s *Set) CopyFrom(o *Set) {
 	copy(s.words, o.words)

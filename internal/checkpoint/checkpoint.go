@@ -1,0 +1,453 @@
+// Package checkpoint implements superstep checkpointing for HybridGraph's
+// fault tolerance: per-worker snapshots of vertex values, flag vectors and
+// parked inbox messages, plus the master's record of job-level scheduling
+// state (hybrid's mode history), all written through the diskio accounting
+// layer as sequential writes so checkpoint overhead is charged to the same
+// cost model as every other byte the system moves.
+//
+// Recovery must restore *mode-specific* state, not just vertex values
+// (push parks messages in inboxes, b-pull re-derives them from responding
+// flags and broadcast columns — Besta et al.'s push/pull communication
+// asymmetry), which is why a Snapshot carries all of them.
+//
+// Durability protocol (the Pregel/Giraph commit rule): every worker writes
+// its snapshot to a temporary file and atomically renames it into place;
+// the master then writes its own record and finally an atomic commit
+// marker. A checkpoint without a marker never existed — a crash mid-write
+// can only lose the in-flight checkpoint, never corrupt an older one.
+// Every file ends in a CRC32 of its payload, verified on read.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/vertexfile"
+)
+
+const (
+	magic       = "HGCK"
+	version     = 1
+	kindWorker  = 1
+	kindMaster  = 2
+	recordBytes = 32
+	msgBytes    = 12
+)
+
+// Snapshot is one worker's superstep-consistent state after superstep Step:
+// everything the worker needs to resume at Step+1.
+type Snapshot struct {
+	Step   int
+	Worker int
+	// Records are the worker's vertex records including both broadcast
+	// columns, so b-pull's parity-indexed pulls replay correctly.
+	Records []vertexfile.Record
+	// Respond and Active are the flag vectors' words by superstep parity.
+	Respond [2][]uint64
+	Active  [2][]uint64
+	// BlockRes is the per-Vblock responding indicator by parity (b-pull).
+	BlockRes [2][]bool
+	// Pending are the parked inbox messages by parity (push): messages
+	// delivered during Step for consumption at Step+1.
+	Pending [2][]comm.Msg
+}
+
+// Master is the job-level state the master commits with a checkpoint:
+// hybrid's mode schedule and switching history, without which a restored
+// switcher would re-learn from nothing.
+type Master struct {
+	Step       int
+	Modes      []string
+	QtSigns    []bool
+	LastSwitch int
+	Rco        float64
+	PrevAgg    float64
+}
+
+// WriteSnapshot atomically writes s to path, charging the bytes to ct as
+// sequential writes. Returns the file size.
+func WriteSnapshot(path string, ct *diskio.Counter, s *Snapshot) (int64, error) {
+	p := make([]byte, 0, 64+len(s.Records)*recordBytes)
+	p = appendU32(p, kindWorker)
+	p = appendU32(p, uint32(s.Step))
+	p = appendU32(p, uint32(s.Worker))
+	p = appendU32(p, uint32(len(s.Records)))
+	for _, r := range s.Records {
+		p = appendU32(p, uint32(r.ID))
+		p = appendU32(p, r.OutDeg)
+		p = appendF64(p, r.Val)
+		p = appendF64(p, r.Bcast[0])
+		p = appendF64(p, r.Bcast[1])
+	}
+	for par := 0; par < 2; par++ {
+		p = appendWords(p, s.Respond[par])
+	}
+	for par := 0; par < 2; par++ {
+		p = appendWords(p, s.Active[par])
+	}
+	for par := 0; par < 2; par++ {
+		p = appendU32(p, uint32(len(s.BlockRes[par])))
+		for _, b := range s.BlockRes[par] {
+			p = append(p, boolByte(b))
+		}
+	}
+	for par := 0; par < 2; par++ {
+		p = appendU32(p, uint32(len(s.Pending[par])))
+		for _, m := range s.Pending[par] {
+			p = appendU32(p, uint32(m.Dst))
+			p = appendF64(p, m.Val)
+		}
+	}
+	return writeFile(path, ct, p)
+}
+
+// ReadSnapshot reads and CRC-verifies a worker snapshot, charging the bytes
+// to ct as sequential reads.
+func ReadSnapshot(path string, ct *diskio.Counter) (*Snapshot, error) {
+	p, err := readFile(path, ct)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{b: p}
+	if k := r.u32(); k != kindWorker && r.err == nil {
+		return nil, fmt.Errorf("checkpoint: %s is not a worker snapshot (kind %d)", path, k)
+	}
+	s := &Snapshot{Step: int(r.u32()), Worker: int(r.u32())}
+	n := int(r.u32())
+	if r.err == nil && n >= 0 && n <= r.remaining()/recordBytes {
+		s.Records = make([]vertexfile.Record, n)
+		for i := range s.Records {
+			s.Records[i] = vertexfile.Record{
+				ID:     graph.VertexID(r.u32()),
+				OutDeg: r.u32(),
+				Val:    r.f64(),
+				Bcast:  [2]float64{r.f64(), r.f64()},
+			}
+		}
+	} else if r.err == nil {
+		r.err = fmt.Errorf("checkpoint: implausible record count %d", n)
+	}
+	for par := 0; par < 2; par++ {
+		s.Respond[par] = r.words()
+	}
+	for par := 0; par < 2; par++ {
+		s.Active[par] = r.words()
+	}
+	for par := 0; par < 2; par++ {
+		n := int(r.u32())
+		if r.err == nil && n > 0 && n <= r.remaining() {
+			s.BlockRes[par] = make([]bool, n)
+			for i := range s.BlockRes[par] {
+				s.BlockRes[par][i] = r.u8() != 0
+			}
+		}
+	}
+	for par := 0; par < 2; par++ {
+		n := int(r.u32())
+		if r.err == nil && n > 0 && n <= r.remaining()/msgBytes {
+			s.Pending[par] = make([]comm.Msg, n)
+			for i := range s.Pending[par] {
+				s.Pending[par][i] = comm.Msg{Dst: graph.VertexID(r.u32()), Val: r.f64()}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, r.err)
+	}
+	return s, nil
+}
+
+// WriteMaster atomically writes the master record to path.
+func WriteMaster(path string, ct *diskio.Counter, m *Master) (int64, error) {
+	p := make([]byte, 0, 64+len(m.Modes)*8)
+	p = appendU32(p, kindMaster)
+	p = appendU32(p, uint32(m.Step))
+	p = appendU32(p, uint32(len(m.Modes)))
+	for _, mode := range m.Modes {
+		p = append(p, byte(len(mode)))
+		p = append(p, mode...)
+	}
+	p = appendU32(p, uint32(len(m.QtSigns)))
+	for _, s := range m.QtSigns {
+		p = append(p, boolByte(s))
+	}
+	p = appendU64(p, uint64(int64(m.LastSwitch)))
+	p = appendF64(p, m.Rco)
+	p = appendF64(p, m.PrevAgg)
+	return writeFile(path, ct, p)
+}
+
+// ReadMaster reads and CRC-verifies a master record.
+func ReadMaster(path string, ct *diskio.Counter) (*Master, error) {
+	p, err := readFile(path, ct)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{b: p}
+	if k := r.u32(); k != kindMaster && r.err == nil {
+		return nil, fmt.Errorf("checkpoint: %s is not a master record (kind %d)", path, k)
+	}
+	m := &Master{Step: int(r.u32())}
+	n := int(r.u32())
+	if r.err == nil && n >= 0 && n <= r.remaining() {
+		m.Modes = make([]string, n)
+		for i := range m.Modes {
+			l := int(r.u8())
+			m.Modes[i] = r.str(l)
+		}
+	}
+	n = int(r.u32())
+	if r.err == nil && n > 0 && n <= r.remaining() {
+		m.QtSigns = make([]bool, n)
+		for i := range m.QtSigns {
+			m.QtSigns[i] = r.u8() != 0
+		}
+	}
+	m.LastSwitch = int(int64(r.u64()))
+	m.Rco = r.f64()
+	m.PrevAgg = r.f64()
+	if r.err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, r.err)
+	}
+	return m, nil
+}
+
+// Coordinator names a job's checkpoint files under its work directory and
+// implements the master's commit protocol.
+type Coordinator struct {
+	Dir string
+}
+
+// SnapshotPath names worker w's snapshot of the checkpoint at step.
+func (c Coordinator) SnapshotPath(step, worker int) string {
+	return filepath.Join(c.Dir, fmt.Sprintf("ckpt-%06d-w%d.dat", step, worker))
+}
+
+// MasterPath names the master record of the checkpoint at step.
+func (c Coordinator) MasterPath(step int) string {
+	return filepath.Join(c.Dir, fmt.Sprintf("ckpt-%06d-master.dat", step))
+}
+
+func (c Coordinator) commitPath(step int) string {
+	return filepath.Join(c.Dir, fmt.Sprintf("ckpt-%06d.commit", step))
+}
+
+// Commit atomically publishes the checkpoint at step: after Commit returns,
+// LastCommitted will report it. Call only once every snapshot and the
+// master record are durably in place.
+func (c Coordinator) Commit(step int) error {
+	tmp := c.commitPath(step) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(step)), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.commitPath(step))
+}
+
+// LastCommitted reports the newest committed checkpoint step, if any.
+// Uncommitted (marker-less) snapshot files are invisible here, which is
+// what makes a crash mid-checkpoint harmless.
+func (c Coordinator) LastCommitted() (int, bool) {
+	ents, err := os.ReadDir(c.Dir)
+	if err != nil {
+		return 0, false
+	}
+	best, found := 0, false
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".commit") {
+			continue
+		}
+		s, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".commit"))
+		if err != nil {
+			continue
+		}
+		if !found || s > best {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// Remove deletes the checkpoint at step (marker first, so a partial removal
+// degrades to an uncommitted checkpoint, never a corrupt committed one).
+func (c Coordinator) Remove(step, workers int) {
+	os.Remove(c.commitPath(step))
+	os.Remove(c.MasterPath(step))
+	for w := 0; w < workers; w++ {
+		os.Remove(c.SnapshotPath(step, w))
+	}
+}
+
+// writeFile frames payload with magic, version and CRC and writes it to
+// path atomically (tmp + rename) as one sequential write.
+func writeFile(path string, ct *diskio.Counter, payload []byte) (int64, error) {
+	buf := make([]byte, 0, len(magic)+8+len(payload)+4)
+	buf = append(buf, magic...)
+	buf = appendU32(buf, version)
+	buf = append(buf, payload...)
+	buf = appendU32(buf, crc32.ChecksumIEEE(payload))
+	tmp := path + ".tmp"
+	f, err := diskio.Create(tmp, ct)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.WriteAtClass(buf, 0, diskio.SeqWrite); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// readFile reads a framed file sequentially, verifies magic, version and
+// CRC, and returns the payload.
+func readFile(path string, ct *diskio.Counter) ([]byte, error) {
+	f, err := diskio.Open(path, ct)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < int64(len(magic))+8+4 {
+		return nil, fmt.Errorf("checkpoint: %s truncated (%d bytes)", path, size)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+		return nil, err
+	}
+	if string(buf[:len(magic)]) != magic {
+		return nil, fmt.Errorf("checkpoint: %s has bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(buf[len(magic):]); v != version {
+		return nil, fmt.Errorf("checkpoint: %s has version %d, want %d", path, v, version)
+	}
+	payload := buf[len(magic)+4 : len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("checkpoint: %s CRC mismatch (got %08x, want %08x)", path, got, want)
+	}
+	return payload, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendWords(b []byte, w []uint64) []byte {
+	b = appendU32(b, uint32(len(w)))
+	for _, v := range w {
+		b = appendU64(b, v)
+	}
+	return b
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// reader decodes a payload with sticky error tracking: after the first
+// malformed field every subsequent read is a zero value and the error
+// surfaces once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.remaining() < n {
+		r.err = fmt.Errorf("payload truncated at offset %d (need %d bytes)", r.off, n)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str(n int) string {
+	if !r.need(n) {
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *reader) words() []uint64 {
+	n := int(r.u32())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || n > r.remaining()/8 {
+		r.err = fmt.Errorf("implausible word count %d", n)
+		return nil
+	}
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = r.u64()
+	}
+	return w
+}

@@ -1,0 +1,161 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/vertexfile"
+)
+
+func testSnapshot() *Snapshot {
+	s := &Snapshot{Step: 6, Worker: 2}
+	for i := 0; i < 100; i++ {
+		s.Records = append(s.Records, vertexfile.Record{
+			ID: graph.VertexID(200 + i), OutDeg: uint32(i % 7), Val: float64(i) * 1.5,
+			Bcast: [2]float64{float64(i), -float64(i)},
+		})
+	}
+	s.Respond = [2][]uint64{{0xdeadbeef, 1}, {0, 0xffff}}
+	s.Active = [2][]uint64{{7}, {9}}
+	s.BlockRes = [2][]bool{{true, false, true}, {false, false, false}}
+	s.Pending = [2][]comm.Msg{nil, {{Dst: 205, Val: 3.25}, {Dst: 299, Val: -1}}}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ct := &diskio.Counter{}
+	path := filepath.Join(dir, "snap.dat")
+	s := testSnapshot()
+	n, err := WriteSnapshot(path, ct, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("zero bytes written")
+	}
+	if got := ct.Bytes(diskio.SeqWrite); got != n {
+		t.Fatalf("seq-write bytes = %d, want %d (checkpoints must hit the cost model)", got, n)
+	}
+	got, err := ReadSnapshot(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 6 || got.Worker != 2 || len(got.Records) != len(s.Records) {
+		t.Fatalf("header = %+v", got)
+	}
+	for i, r := range s.Records {
+		if got.Records[i] != r {
+			t.Fatalf("record %d = %+v, want %+v", i, got.Records[i], r)
+		}
+	}
+	for p := 0; p < 2; p++ {
+		for i, w := range s.Respond[p] {
+			if got.Respond[p][i] != w {
+				t.Fatalf("respond[%d][%d] = %x", p, i, got.Respond[p][i])
+			}
+		}
+		for i, b := range s.BlockRes[p] {
+			if got.BlockRes[p][i] != b {
+				t.Fatalf("blockRes[%d][%d] = %v", p, i, got.BlockRes[p][i])
+			}
+		}
+		for i, m := range s.Pending[p] {
+			if got.Pending[p][i] != m {
+				t.Fatalf("pending[%d][%d] = %+v", p, i, got.Pending[p][i])
+			}
+		}
+	}
+	if ct.Bytes(diskio.SeqRead) != n {
+		t.Fatalf("seq-read bytes = %d, want %d", ct.Bytes(diskio.SeqRead), n)
+	}
+}
+
+func TestMasterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "master.dat")
+	ct := &diskio.Counter{}
+	m := &Master{Step: 8, Modes: []string{"b-pull", "push", "b-pull"},
+		QtSigns: []bool{true, false, true}, LastSwitch: -10, Rco: 0.4, PrevAgg: 1.25}
+	if _, err := WriteMaster(path, ct, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMaster(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 8 || got.LastSwitch != -10 || got.Rco != 0.4 || got.PrevAgg != 1.25 {
+		t.Fatalf("master = %+v", got)
+	}
+	for i, mode := range m.Modes {
+		if got.Modes[i] != mode {
+			t.Fatalf("modes[%d] = %q", i, got.Modes[i])
+		}
+	}
+	for i, s := range m.QtSigns {
+		if got.QtSigns[i] != s {
+			t.Fatalf("signs[%d] = %v", i, got.QtSigns[i])
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.dat")
+	ct := &diskio.Counter{}
+	if _, err := WriteSnapshot(path, ct, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path, ct); err == nil {
+		t.Fatal("flipped byte not detected by CRC")
+	}
+	// Truncation is also rejected.
+	if err := os.WriteFile(path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path, ct); err == nil {
+		t.Fatal("truncated file not rejected")
+	}
+}
+
+func TestCommitProtocol(t *testing.T) {
+	dir := t.TempDir()
+	c := Coordinator{Dir: dir}
+	if _, ok := c.LastCommitted(); ok {
+		t.Fatal("empty dir reported a committed checkpoint")
+	}
+	ct := &diskio.Counter{}
+	// Snapshots written but not committed are invisible.
+	if _, err := WriteSnapshot(c.SnapshotPath(4, 0), ct, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LastCommitted(); ok {
+		t.Fatal("uncommitted checkpoint visible")
+	}
+	if err := c.Commit(4); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := c.LastCommitted(); !ok || s != 4 {
+		t.Fatalf("LastCommitted = %d, %v; want 4", s, ok)
+	}
+	if err := c.Commit(8); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := c.LastCommitted(); s != 8 {
+		t.Fatalf("LastCommitted = %d, want 8", s)
+	}
+	c.Remove(8, 1)
+	if s, ok := c.LastCommitted(); !ok || s != 4 {
+		t.Fatalf("after Remove(8): %d, %v; want 4", s, ok)
+	}
+}

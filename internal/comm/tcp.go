@@ -2,11 +2,15 @@ package comm
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 )
 
@@ -14,19 +18,81 @@ import (
 // gob framing: each worker owns a listener, requests are dispatched to the
 // registered handler on the serving side, and responses travel back on the
 // same connection. Byte accounting uses the same semantic wire sizes as
-// the Local fabric (message ids and values, not gob framing overhead), so
-// the cost model is transport-independent; the point of TCP is
-// demonstrating that superstep semantics survive a real network hop.
+// the Local fabric (message ids and values, not gob framing overhead or
+// retry duplicates), so the cost model is transport-independent.
+//
+// The fabric is resilient: every request carries a deadline, transport
+// errors (timeouts, broken pipes, resets) trigger bounded retries with
+// exponential backoff and jitter over a fresh connection, and the serving
+// side deduplicates by sequence number so a retried Send or Signal whose
+// original was processed — only its response lost — is not applied twice.
+// Injected transport faults from a faultplan exercise exactly these paths
+// deterministically.
 type TCP struct {
-	mu        sync.RWMutex
+	mu        sync.RWMutex // guards handlers
 	handlers  map[int]Handler
 	listeners []net.Listener
 	addrs     []string
-	conns     map[int]*tcpConn
+	peers     []*tcpPeer
+	dedups    []*dedup
+	cfg       TCPConfig
+	roller    *faultplan.Roller
+	seq       atomic.Uint64
 	in        []atomic.Int64
 	out       []atomic.Int64
 	total     atomic.Int64
 	closed    atomic.Bool
+
+	jmu  sync.Mutex // guards jrng (retry jitter)
+	jrng *rand.Rand
+}
+
+// TCPConfig tunes the fabric's resilience machinery. Zero values select
+// defaults.
+type TCPConfig struct {
+	// Timeout is the per-request deadline covering one send+receive round
+	// trip. Default 5s, or 150ms when Faults are injected (loopback round
+	// trips are microseconds; a short deadline keeps fault runs brisk, and
+	// a spurious timeout is harmless — the retry is deduplicated).
+	Timeout time.Duration
+	// MaxRetries bounds the retransmissions after the first attempt
+	// (default 8).
+	MaxRetries int
+	// Backoff is the base of the exponential retry backoff (default 1ms;
+	// doubled per attempt, capped at 100ms, plus up to 100% jitter).
+	Backoff time.Duration
+	// Faults, when non-nil, injects seeded transport faults on the serving
+	// side: dropped requests, dropped responses, duplicated deliveries and
+	// delays.
+	Faults *faultplan.TransportFaults
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.Timeout <= 0 {
+		if c.Faults != nil {
+			c.Timeout = 150 * time.Millisecond
+		} else {
+			c.Timeout = 5 * time.Second
+		}
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	return c
+}
+
+// errFabricClosed reports a roundTrip raced with Close.
+var errFabricClosed = errors.New("comm: tcp fabric closed")
+
+// tcpPeer is the client side's state for one destination worker. The
+// per-peer lock means dialing one slow peer never blocks traffic to the
+// others (and never blocks handler registration, which has its own lock).
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn *tcpConn
 }
 
 type tcpConn struct {
@@ -34,6 +100,21 @@ type tcpConn struct {
 	c   net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+}
+
+// do performs one framed round trip under the request deadline. The
+// connection lock serialises concurrent requests onto the shared stream.
+func (c *tcpConn) do(req *tcpRequest, resp *tcpResponse, timeout time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if timeout > 0 {
+		c.c.SetDeadline(time.Now().Add(timeout))
+		defer c.c.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	return c.dec.Decode(resp)
 }
 
 const (
@@ -45,6 +126,7 @@ const (
 
 type tcpRequest struct {
 	Kind  int
+	Seq   uint64 // fabric-wide id: constant across retries, the dedup key
 	From  int
 	To    int
 	Step  int
@@ -61,14 +143,84 @@ type tcpResponse struct {
 	Err     string
 }
 
-// NewTCP starts listeners for n workers on loopback and returns the
-// fabric. Callers must Close it.
-func NewTCP(n int) (*TCP, error) {
+// dedup is one serving worker's exactly-once filter: the first delivery of
+// a sequence number runs the handler, every later delivery (a client retry
+// or a duplicated packet) waits for and returns the recorded response.
+type dedup struct {
+	mu      sync.Mutex
+	entries map[dedupKey]*dedupEntry
+	order   []dedupKey
+}
+
+type dedupKey struct {
+	from int
+	seq  uint64
+}
+
+type dedupEntry struct {
+	done chan struct{}
+	resp tcpResponse
+}
+
+// dedupWindow bounds remembered responses per worker. Retries arrive
+// within milliseconds of the original, so a few thousand entries is far
+// more history than any in-flight retry needs.
+const dedupWindow = 4096
+
+func newDedup() *dedup {
+	return &dedup{entries: make(map[dedupKey]*dedupEntry)}
+}
+
+func (d *dedup) do(from int, seq uint64, process func() tcpResponse) tcpResponse {
+	key := dedupKey{from, seq}
+	d.mu.Lock()
+	if e, ok := d.entries[key]; ok {
+		d.mu.Unlock()
+		<-e.done
+		return e.resp
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	d.entries[key] = e
+	d.order = append(d.order, key)
+	for len(d.order) > dedupWindow {
+		old := d.order[0]
+		d.order = d.order[1:]
+		oe := d.entries[old]
+		if oe == nil {
+			continue
+		}
+		select {
+		case <-oe.done:
+			delete(d.entries, old)
+		default:
+			// Still in flight; re-queue it and stop pruning for now.
+			d.order = append(d.order, old)
+		}
+		break
+	}
+	d.mu.Unlock()
+	e.resp = process()
+	close(e.done)
+	return e.resp
+}
+
+// NewTCP starts listeners for n workers on loopback with default
+// resilience settings. Callers must Close it.
+func NewTCP(n int) (*TCP, error) { return NewTCPConfig(n, TCPConfig{}) }
+
+// NewTCPConfig starts a TCP fabric with explicit resilience settings and
+// optional injected transport faults.
+func NewTCPConfig(n int, cfg TCPConfig) (*TCP, error) {
+	cfg = cfg.withDefaults()
 	f := &TCP{
 		handlers: make(map[int]Handler, n),
-		conns:    make(map[int]*tcpConn, n),
+		cfg:      cfg,
 		in:       make([]atomic.Int64, n),
 		out:      make([]atomic.Int64, n),
+		jrng:     rand.New(rand.NewSource(1)),
+	}
+	if cfg.Faults != nil {
+		f.roller = cfg.Faults.NewRoller()
 	}
 	for w := 0; w < n; w++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -78,23 +230,29 @@ func NewTCP(n int) (*TCP, error) {
 		}
 		f.listeners = append(f.listeners, ln)
 		f.addrs = append(f.addrs, ln.Addr().String())
+		f.peers = append(f.peers, &tcpPeer{})
+		f.dedups = append(f.dedups, newDedup())
 		go f.serve(w, ln)
 	}
 	return f, nil
 }
 
-// Close shuts the listeners and cached connections down.
+// Close shuts the listeners and cached connections down. Safe to call
+// while round trips are in flight: they fail fast instead of retrying
+// against closed sockets.
 func (f *TCP) Close() error {
 	f.closed.Store(true)
 	for _, ln := range f.listeners {
 		ln.Close()
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, c := range f.conns {
-		c.c.Close()
+	for _, p := range f.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.c.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
 	}
-	f.conns = map[int]*tcpConn{}
 	return nil
 }
 
@@ -124,38 +282,32 @@ func (f *TCP) serveConn(worker int, c net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		var resp tcpResponse
-		f.mu.RLock()
-		h := f.handlers[worker]
-		f.mu.RUnlock()
-		if h == nil {
-			resp.Err = fmt.Sprintf("comm: no handler registered for worker %d", worker)
-		} else {
-			switch req.Kind {
-			case tcpSend:
-				p := &Packet{From: req.From, To: req.To, Step: req.Step, Msgs: req.Msgs, WireBytes: req.Wire}
-				if err := h.DeliverMessages(p); err != nil {
-					resp.Err = err.Error()
-				}
-			case tcpPull:
-				msgs, wire, err := h.RespondPull(req.Block, req.Step)
-				resp.Msgs, resp.Wire = msgs, wire
-				if err != nil {
-					resp.Err = err.Error()
-				}
-			case tcpGather:
-				res, err := h.GatherValues(req.IDs, req.Step)
-				resp.Results = res
-				if err != nil {
-					resp.Err = err.Error()
-				}
-			case tcpSignal:
-				if err := h.DeliverSignals(req.IDs, req.Step); err != nil {
-					resp.Err = err.Error()
-				}
-			default:
-				resp.Err = fmt.Sprintf("comm: unknown request kind %d", req.Kind)
-			}
+		var d faultplan.Decision
+		if f.roller != nil {
+			d = f.roller.Roll()
+		}
+		if d.DropRequest {
+			// The request never reached the server: no processing, no
+			// response. The client times out and retries.
+			continue
+		}
+		resp := f.dedups[worker].do(req.From, req.Seq, func() tcpResponse {
+			return f.process(worker, &req)
+		})
+		if d.Duplicate {
+			// The network delivered the request twice; the dedup layer must
+			// absorb the copy without re-invoking the handler.
+			f.dedups[worker].do(req.From, req.Seq, func() tcpResponse {
+				return f.process(worker, &req)
+			})
+		}
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.DropResponse {
+			// Processed, but the response is lost: the client's retry must
+			// be answered from the dedup record, not re-applied.
+			continue
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -163,43 +315,125 @@ func (f *TCP) serveConn(worker int, c net.Conn) {
 	}
 }
 
-// dialLocked returns a cached connection to worker w, dialing on demand.
+// process dispatches one deduplicated request to the worker's handler.
+func (f *TCP) process(worker int, req *tcpRequest) tcpResponse {
+	var resp tcpResponse
+	f.mu.RLock()
+	h := f.handlers[worker]
+	f.mu.RUnlock()
+	if h == nil {
+		resp.Err = fmt.Sprintf("comm: no handler registered for worker %d", worker)
+		return resp
+	}
+	switch req.Kind {
+	case tcpSend:
+		p := &Packet{From: req.From, To: req.To, Step: req.Step, Msgs: req.Msgs, WireBytes: req.Wire}
+		if err := h.DeliverMessages(p); err != nil {
+			resp.Err = err.Error()
+		}
+	case tcpPull:
+		msgs, wire, err := h.RespondPull(req.Block, req.Step)
+		resp.Msgs, resp.Wire = msgs, wire
+		if err != nil {
+			resp.Err = err.Error()
+		}
+	case tcpGather:
+		res, err := h.GatherValues(req.IDs, req.Step)
+		resp.Results = res
+		if err != nil {
+			resp.Err = err.Error()
+		}
+	case tcpSignal:
+		if err := h.DeliverSignals(req.IDs, req.Step); err != nil {
+			resp.Err = err.Error()
+		}
+	default:
+		resp.Err = fmt.Sprintf("comm: unknown request kind %d", req.Kind)
+	}
+	return resp
+}
+
+// dial returns a cached connection to worker w, dialing on demand. Only
+// the destination's per-peer lock is held across the dial, so a slow or
+// dead peer stalls nobody else.
 func (f *TCP) dial(w int) (*tcpConn, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if c, ok := f.conns[w]; ok {
-		return c, nil
+	p := f.peers[w]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn, nil
 	}
-	if w < 0 || w >= len(f.addrs) {
-		return nil, fmt.Errorf("comm: no such worker %d", w)
+	if f.closed.Load() {
+		return nil, errFabricClosed
 	}
-	nc, err := net.Dial("tcp", f.addrs[w])
+	nc, err := net.DialTimeout("tcp", f.addrs[w], f.cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
 	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
-	f.conns[w] = c
+	p.conn = c
 	return c, nil
 }
 
+// invalidate drops a broken connection so the next attempt redials.
+func (f *TCP) invalidate(w int, c *tcpConn) {
+	p := f.peers[w]
+	p.mu.Lock()
+	if p.conn == c {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+	c.c.Close()
+}
+
+// roundTrip performs one at-most-once-applied, at-least-once-delivered
+// request: transport failures retry with backoff over a fresh connection
+// under the same sequence number; application-level errors surface
+// immediately without retrying.
 func (f *TCP) roundTrip(w int, req *tcpRequest) (*tcpResponse, error) {
-	c, err := f.dial(w)
-	if err != nil {
-		return nil, err
+	if w < 0 || w >= len(f.addrs) {
+		return nil, fmt.Errorf("comm: no such worker %d", w)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return nil, err
+	req.Seq = f.seq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= f.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			f.sleepBackoff(attempt)
+		}
+		if f.closed.Load() {
+			return nil, errFabricClosed
+		}
+		c, err := f.dial(w)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp tcpResponse
+		if err := c.do(req, &resp, f.cfg.Timeout); err != nil {
+			lastErr = err
+			f.invalidate(w, c)
+			continue
+		}
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return &resp, nil
 	}
-	var resp tcpResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+	return nil, fmt.Errorf("comm: worker %d unreachable after %d attempts: %w",
+		w, f.cfg.MaxRetries+1, lastErr)
+}
+
+// sleepBackoff waits 2^(attempt-1)·Backoff, capped at 100ms, plus up to
+// 100% jitter so synchronised retry storms spread out.
+func (f *TCP) sleepBackoff(attempt int) {
+	d := f.cfg.Backoff << uint(attempt-1)
+	if max := 100 * time.Millisecond; d > max {
+		d = max
 	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("%s", resp.Err)
-	}
-	return &resp, nil
+	f.jmu.Lock()
+	j := time.Duration(f.jrng.Int63n(int64(d) + 1))
+	f.jmu.Unlock()
+	time.Sleep(d + j)
 }
 
 func (f *TCP) account(from, to int, bytes int64) {

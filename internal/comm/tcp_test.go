@@ -2,7 +2,9 @@ package comm
 
 import (
 	"testing"
+	"time"
 
+	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 )
 
@@ -104,5 +106,177 @@ func TestTCPConcurrentRequests(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func newFaultyTCPPair(t *testing.T, faults faultplan.TransportFaults) (*TCP, *recorder) {
+	t.Helper()
+	fab, err := NewTCPConfig(2, TCPConfig{
+		Timeout: 30 * time.Millisecond,
+		Faults:  &faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fab.Close() })
+	r := &recorder{}
+	fab.Register(1, r)
+	return fab, r
+}
+
+// TestTCPFaultyExactlyOnce floods a lossy, duplicating, delaying link with
+// sends and signals; every logical operation must be applied to the
+// handler exactly once, and the semantic byte accounting must match what a
+// fault-free fabric would charge.
+func TestTCPFaultyExactlyOnce(t *testing.T) {
+	fab, r := newFaultyTCPPair(t, faultplan.TransportFaults{
+		Seed:         11,
+		DropRequest:  0.15,
+		DropResponse: 0.1,
+		Duplicate:    0.15,
+		Delay:        0.2,
+		MaxDelay:     3 * time.Millisecond,
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		p := &Packet{From: 0, To: 1, Step: 2, Msgs: []Msg{{Dst: graph.VertexID(i), Val: float64(i)}}}
+		if err := fab.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Signal(0, 1, []graph.VertexID{graph.VertexID(i)}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != n {
+		t.Fatalf("handler saw %d packets, want exactly %d (no loss, no duplicates)", len(r.packets), n)
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, p := range r.packets {
+		if len(p.Msgs) != 1 || seen[p.Msgs[0].Dst] {
+			t.Fatalf("duplicate or malformed delivery: %+v", p)
+		}
+		seen[p.Msgs[0].Dst] = true
+	}
+	if len(r.signals) != n {
+		t.Fatalf("handler saw %d signal batches, want exactly %d", len(r.signals), n)
+	}
+	if want := int64(n)*MsgWireSize + int64(n)*GatherIDSize; fab.TotalBytes() != want {
+		t.Fatalf("total bytes = %d, want %d (retries must not be double-charged)", fab.TotalBytes(), want)
+	}
+}
+
+// TestTCPFaultyPullsMatchCleanResponses checks request/response round
+// trips survive faults with responses intact and in order.
+func TestTCPFaultyPullsMatchCleanResponses(t *testing.T) {
+	fab, r := newFaultyTCPPair(t, faultplan.TransportFaults{
+		Seed:         23,
+		DropRequest:  0.2,
+		DropResponse: 0.1,
+		Duplicate:    0.1,
+	})
+	r.mu.Lock()
+	r.pullOut = []Msg{{Dst: 3, Val: 9}, {Dst: 4, Val: 16}}
+	r.mu.Unlock()
+	for i := 0; i < 40; i++ {
+		msgs, wire, err := fab.PullRequest(0, 1, i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 2 || msgs[0].Val != 9 || msgs[1].Val != 16 {
+			t.Fatalf("pull %d returned %v", i, msgs)
+		}
+		if wire != ConcatSize(msgs) {
+			t.Fatalf("pull %d wire = %d", i, wire)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pulls) != 40 {
+		t.Fatalf("handler answered %d pulls, want exactly 40", len(r.pulls))
+	}
+}
+
+// TestTCPFaultyConcurrent hammers the lossy fabric from many goroutines;
+// run under -race this covers the per-peer dial locks, connection
+// invalidation and the dedup table's in-flight waiters.
+func TestTCPFaultyConcurrent(t *testing.T) {
+	fab, r := newFaultyTCPPair(t, faultplan.TransportFaults{
+		Seed:         37,
+		DropRequest:  0.1,
+		DropResponse: 0.1,
+		Duplicate:    0.2,
+		Delay:        0.2,
+		MaxDelay:     2 * time.Millisecond,
+	})
+	const n = 32
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			if i%2 == 0 {
+				_, _, err := fab.PullRequest(0, 1, i, 2)
+				done <- err
+				return
+			}
+			done <- fab.Send(&Packet{From: 0, To: 1, Step: 2, Msgs: []Msg{{Dst: graph.VertexID(i)}}})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != n/2 || len(r.pulls) != n/2 {
+		t.Fatalf("handler saw %d packets and %d pulls, want %d each", len(r.packets), len(r.pulls), n/2)
+	}
+}
+
+// TestTCPDroppedResponseStillAppliedOnce is the sharpest exactly-once
+// case: every response is lost, so the client retries until it gives up —
+// yet the handler must have applied the operation exactly once.
+func TestTCPDroppedResponseStillAppliedOnce(t *testing.T) {
+	fab, err := NewTCPConfig(2, TCPConfig{
+		Timeout:    20 * time.Millisecond,
+		MaxRetries: 3,
+		Faults:     &faultplan.TransportFaults{Seed: 5, DropResponse: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fab.Close() })
+	r := &recorder{}
+	fab.Register(1, r)
+	if err := fab.Send(&Packet{From: 0, To: 1, Msgs: []Msg{{Dst: 1, Val: 1}}}); err == nil {
+		t.Fatal("Send should fail when every response is lost")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != 1 {
+		t.Fatalf("handler applied the send %d times, want exactly 1", len(r.packets))
+	}
+}
+
+// TestTCPGivesUpOnDeadPeer checks roundTrip no longer blocks forever: a
+// peer that never answers costs a bounded number of timed-out attempts.
+func TestTCPGivesUpOnDeadPeer(t *testing.T) {
+	fab, err := NewTCPConfig(2, TCPConfig{
+		Timeout:    15 * time.Millisecond,
+		MaxRetries: 2,
+		Faults:     &faultplan.TransportFaults{Seed: 1, DropRequest: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fab.Close() })
+	fab.Register(1, &recorder{})
+	start := time.Now()
+	if err := fab.Signal(0, 1, []graph.VertexID{1}, 1); err == nil {
+		t.Fatal("Signal to a black-holed peer should eventually fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("giving up took %v; retries are not bounded", elapsed)
 	}
 }

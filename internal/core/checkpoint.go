@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridgraph/internal/checkpoint"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/vertexfile"
+)
+
+// Checkpointing (the Pregel/Giraph policy the paper's prototype omits):
+// every CheckpointEvery supersteps each worker snapshots its vertex values,
+// flag vectors and parked inbox messages; the master commits the checkpoint
+// only after every worker's snapshot is durably in place, together with its
+// own record of hybrid's mode schedule. Recovery under Recovery:
+// "checkpoint" restores the last committed checkpoint — including the
+// mode-specific state each engine needs (inboxes for push, flag vectors and
+// broadcast columns for b-pull, the switcher's Q^t history for hybrid) —
+// and replays only the supersteps since, instead of superstep 1.
+
+// maybeCheckpoint writes and commits a checkpoint after superstep t when
+// the interval says so. All checkpoint I/O runs through the workers' disk
+// counters and is surfaced as CheckpointIO/CheckpointSimSeconds, so the
+// overhead is charged to the same cost model as the computation.
+func (j *job) maybeCheckpoint(t int, res *metrics.JobResult) error {
+	if j.cfg.CheckpointEvery <= 0 || t%j.cfg.CheckpointEvery != 0 {
+		return nil
+	}
+	coord := checkpoint.Coordinator{Dir: j.dir}
+	befores := make([]diskio.Snapshot, len(j.workers))
+	for i, w := range j.workers {
+		befores[i] = w.ct.Snapshot()
+	}
+	for _, w := range j.workers {
+		snap, err := w.buildSnapshot(t)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+		}
+		if _, err := checkpoint.WriteSnapshot(coord.SnapshotPath(t, w.id), w.ct, snap); err != nil {
+			return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+		}
+	}
+	// The master's own record is tiny; charge it to a scratch counter and
+	// fold it into the same checkpoint tally.
+	mct := &diskio.Counter{}
+	if _, err := checkpoint.WriteMaster(coord.MasterPath(t), mct, j.masterRecord(t)); err != nil {
+		return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+	}
+	if err := coord.Commit(t); err != nil {
+		return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+	}
+	prev := j.ckptStep
+	j.ckptStep = t
+	if prev > 0 {
+		coord.Remove(prev, len(j.workers))
+	}
+	delta := mct.Snapshot()
+	for i, w := range j.workers {
+		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
+	}
+	res.Checkpoints++
+	res.CheckpointIO = res.CheckpointIO.Add(delta)
+	res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	return nil
+}
+
+// masterRecord captures the job-level state a restore must bring back so
+// hybrid's switcher does not re-learn from nothing.
+func (j *job) masterRecord(t int) *checkpoint.Master {
+	m := &checkpoint.Master{
+		Step:       t,
+		LastSwitch: j.lastSwitch,
+		Rco:        j.rco,
+		PrevAgg:    j.prevAgg,
+	}
+	for _, mode := range j.modes {
+		m.Modes = append(m.Modes, string(mode))
+	}
+	m.QtSigns = append(m.QtSigns, j.qtSigns...)
+	return m
+}
+
+// restoreFromCheckpoint brings every worker and the master back to the last
+// committed checkpoint. ok is false when no committed checkpoint exists or
+// it fails verification — the caller then falls back to scratch recovery
+// (the checkpoint files never make recovery worse than the prototype's).
+// Restore I/O is charged to RecoverySimSeconds.
+func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step int, ok bool, err error) {
+	coord := checkpoint.Coordinator{Dir: j.dir}
+	step, ok = coord.LastCommitted()
+	if !ok {
+		return 0, false, nil
+	}
+	befores := make([]diskio.Snapshot, len(j.workers))
+	for i, w := range j.workers {
+		befores[i] = w.ct.Snapshot()
+	}
+	mct := &diskio.Counter{}
+	master, merr := checkpoint.ReadMaster(coord.MasterPath(step), mct)
+	if merr != nil || master.Step != step {
+		return 0, false, nil
+	}
+	for _, w := range j.workers {
+		snap, serr := checkpoint.ReadSnapshot(coord.SnapshotPath(step, w.id), w.ct)
+		if serr != nil || snap.Step != step || snap.Worker != w.id || len(snap.Records) != w.part.Len() {
+			// A torn or corrupt snapshot: the commit marker promised it, but
+			// trust the CRC over the marker and recompute from scratch.
+			return 0, false, nil
+		}
+		if aerr := w.applySnapshot(snap); aerr != nil {
+			return 0, false, aerr
+		}
+		if engine == Pull {
+			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache)
+		}
+	}
+	if engine == Hybrid {
+		j.modes = j.modes[:0]
+		for _, mode := range master.Modes {
+			j.modes = append(j.modes, Engine(mode))
+		}
+		j.qtSigns = append(j.qtSigns[:0], master.QtSigns...)
+		j.lastSwitch = master.LastSwitch
+		j.rco = master.Rco
+	}
+	j.prevAgg = master.PrevAgg
+	delta := mct.Snapshot()
+	for i, w := range j.workers {
+		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
+	}
+	res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	return step, true, nil
+}
+
+// buildSnapshot captures this worker's state after superstep t. The pull
+// baseline's cache is flushed first so the vertex store is authoritative
+// (checkpointing forces writeback, as it would on a real system).
+func (w *worker) buildSnapshot(t int) (*checkpoint.Snapshot, error) {
+	if w.vcache != nil {
+		if err := w.vcache.flush(); err != nil {
+			return nil, err
+		}
+	}
+	s := &checkpoint.Snapshot{Step: t, Worker: w.id}
+	s.Records = make([]vertexfile.Record, w.part.Len())
+	if err := w.vstore.ReadRange(w.part.Lo, w.part.Hi, s.Records); err != nil {
+		return nil, err
+	}
+	for p := 0; p < 2; p++ {
+		s.Respond[p] = append([]uint64(nil), w.respond[p].Words()...)
+		s.Active[p] = append([]uint64(nil), w.active[p].Words()...)
+		if w.blockRes[p] != nil {
+			s.BlockRes[p] = append([]bool(nil), w.blockRes[p]...)
+		}
+		if ib := w.inboxes[p]; ib != nil {
+			msgs, err := ib.Pending()
+			if err != nil {
+				return nil, err
+			}
+			s.Pending[p] = msgs
+		}
+	}
+	return s, nil
+}
+
+// applySnapshot restores this worker's state from a verified snapshot:
+// vertex records (values plus both broadcast columns), flag vectors by
+// parity, and — for the push engines — the parked inbox messages. Re-added
+// overflow messages spill again, so restore cost follows the same model
+// as the original delivery.
+func (w *worker) applySnapshot(s *checkpoint.Snapshot) error {
+	if err := w.vstore.WriteRange(w.part.Lo, w.part.Hi, s.Records); err != nil {
+		return err
+	}
+	w.initFlags()
+	for p := 0; p < 2; p++ {
+		copy(w.respond[p].Words(), s.Respond[p])
+		copy(w.active[p].Words(), s.Active[p])
+		copy(w.blockRes[p], s.BlockRes[p])
+	}
+	if w.inboxes[0] != nil || w.inboxes[1] != nil {
+		w.initInboxes()
+		for p := 0; p < 2; p++ {
+			if w.inboxes[p] == nil {
+				continue
+			}
+			for _, m := range s.Pending[p] {
+				if err := w.inboxes[p].Add(m); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/faultplan"
+	"hybridgraph/internal/graph"
+)
+
+// TestMultiCrashRecoveryAllPolicies injects two crashes into one WCC job
+// (self-correcting, so all three policies are sound for it) and checks
+// every recovery policy survives both and converges to the clean labels.
+// The first crash lands before the first committed checkpoint, so the
+// checkpoint policy's fallback-to-scratch path is exercised too.
+func TestMultiCrashRecoveryAllPolicies(t *testing.T) {
+	g := algo.Symmetrize(graph.GenChain(120, 0, 63))
+	prog := algo.NewWCC()
+	base := Config{Workers: 3, MsgBuf: 30, MaxSteps: 300}
+
+	for _, e := range []Engine{Push, BPull, Hybrid} {
+		clean, err := Run(g, prog, base, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := faultplan.NewPlan(
+			faultplan.Crash{Step: 4, Worker: 0},
+			faultplan.Crash{Step: 9, Worker: 1},
+		)
+		for _, policy := range []string{"scratch", "resume", "checkpoint"} {
+			t.Run(string(e)+"/"+policy, func(t *testing.T) {
+				cfg := base
+				cfg.FaultPlan = plan
+				cfg.Recovery = policy
+				if policy == "checkpoint" {
+					cfg.CheckpointEvery = 5
+				}
+				res, err := Run(g, prog, cfg, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Restarts != 2 {
+					t.Fatalf("Restarts = %d, want 2", res.Restarts)
+				}
+				for v := range clean.Values {
+					if res.Values[v] != clean.Values[v] {
+						t.Fatalf("vertex %d = %g after two crashes, want %g",
+							v, res.Values[v], clean.Values[v])
+					}
+				}
+				if policy == "checkpoint" {
+					// Crash 1 at superstep 4 predates the first checkpoint
+					// (after superstep 5): scratch fallback. Crash 2 at
+					// superstep 9 restores the checkpoint.
+					if res.Restores != 1 {
+						t.Fatalf("Restores = %d, want 1", res.Restores)
+					}
+					if res.Checkpoints == 0 {
+						t.Fatal("no checkpoints were committed")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRecoveryMatchesCleanRun is the acceptance matrix: for
+// PageRank, SSSP and WCC on push, b-pull and hybrid, a crash after a
+// committed checkpoint must (a) recover to exactly the clean run's values,
+// (b) replay strictly fewer supersteps than scratch recovery under the
+// same fault plan, and (c) charge strictly less recovery time.
+func TestCheckpointRecoveryMatchesCleanRun(t *testing.T) {
+	g := graph.GenRMAT(400, 3200, 0.57, 0.19, 0.19, 91)
+	for name, prog := range map[string]algo.Program{
+		"pagerank": algo.NewPageRank(0.85),
+		"sssp":     algo.NewSSSP(0),
+		"wcc":      algo.NewWCC(),
+	} {
+		for _, e := range []Engine{Push, BPull, Hybrid} {
+			t.Run(name+"/"+string(e), func(t *testing.T) {
+				base := Config{Workers: 3, MsgBuf: 100, MaxSteps: 10}
+				clean, err := Run(g, prog, base, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				failAt := clean.Supersteps() - 1
+				if failAt < 4 {
+					failAt = 4
+				}
+				plan := faultplan.NewPlan(faultplan.Crash{Step: failAt, Worker: 1})
+
+				scratch := base
+				scratch.FaultPlan = plan
+				scratchRes, err := Run(g, prog, scratch, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				ckpt := scratch
+				ckpt.Recovery = "checkpoint"
+				ckpt.CheckpointEvery = 2
+				ckptRes, err := Run(g, prog, ckpt, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if ckptRes.Restarts != 1 || ckptRes.Restores != 1 {
+					t.Fatalf("Restarts = %d, Restores = %d, want 1 and 1",
+						ckptRes.Restarts, ckptRes.Restores)
+				}
+				if ckptRes.Supersteps() != clean.Supersteps() {
+					t.Fatalf("recovered run took %d supersteps, clean run %d",
+						ckptRes.Supersteps(), clean.Supersteps())
+				}
+				for v := range clean.Values {
+					if !almostEqual(ckptRes.Values[v], clean.Values[v]) {
+						t.Fatalf("vertex %d = %g after checkpoint recovery, want %g",
+							v, ckptRes.Values[v], clean.Values[v])
+					}
+					if !almostEqual(scratchRes.Values[v], clean.Values[v]) {
+						t.Fatalf("vertex %d = %g after scratch recovery, want %g",
+							v, scratchRes.Values[v], clean.Values[v])
+					}
+				}
+				if ckptRes.ReplayedSupersteps >= scratchRes.ReplayedSupersteps {
+					t.Fatalf("checkpoint replayed %d supersteps, scratch %d; restoring should replay strictly fewer",
+						ckptRes.ReplayedSupersteps, scratchRes.ReplayedSupersteps)
+				}
+				if ckptRes.RecoverySimSeconds >= scratchRes.RecoverySimSeconds {
+					t.Fatalf("checkpoint recovery cost %.4fs, scratch %.4fs; restoring should be strictly cheaper",
+						ckptRes.RecoverySimSeconds, scratchRes.RecoverySimSeconds)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointAccounting checks the checkpoint overhead is charged
+// honestly: bytes run through the disk cost model as sequential writes and
+// the resulting seconds are folded into the job's total SimSeconds.
+func TestCheckpointAccounting(t *testing.T) {
+	g := graph.GenRMAT(400, 3200, 0.57, 0.19, 0.19, 92)
+	cfg := Config{Workers: 3, MsgBuf: 100, MaxSteps: 9, Recovery: "checkpoint", CheckpointEvery: 3}
+	res, err := Run(g, algo.NewPageRank(0.85), cfg, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints land after supersteps 3 and 6; the superstep-9 interval
+	// coincides with the halt, where a checkpoint would be wasted I/O.
+	if res.Checkpoints != 2 {
+		t.Fatalf("Checkpoints = %d, want 2 (after supersteps 3 and 6)", res.Checkpoints)
+	}
+	if res.CheckpointIO.Bytes[diskio.SeqWrite] == 0 {
+		t.Fatal("checkpoint bytes were not charged as sequential writes")
+	}
+	if res.CheckpointSimSeconds <= 0 {
+		t.Fatal("checkpoint overhead should cost simulated time")
+	}
+	var stepSim float64
+	for _, s := range res.Steps {
+		stepSim += s.SimSeconds
+	}
+	if res.SimSeconds < stepSim+res.CheckpointSimSeconds {
+		t.Fatalf("SimSeconds = %g does not include the %g of checkpoint overhead",
+			res.SimSeconds, res.CheckpointSimSeconds)
+	}
+
+	// The same job without faults must produce identical values with
+	// checkpointing on: snapshotting is observation, not interference.
+	plain := cfg
+	plain.Recovery = ""
+	plain.CheckpointEvery = 0
+	want, err := Run(g, algo.NewPageRank(0.85), plain, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Values {
+		if !almostEqual(res.Values[v], want.Values[v]) {
+			t.Fatalf("vertex %d = %g with checkpointing, %g without", v, res.Values[v], want.Values[v])
+		}
+	}
+}
+
+// TestInjectedFailureIsTyped pins the satellite contract: the injected
+// crash surfaces as a typed error matched by errors.Is, carrying the
+// superstep and worker, and never escapes Run (recovery absorbs it).
+func TestInjectedFailureIsTyped(t *testing.T) {
+	err := error(&InjectedFailure{Step: 7, Worker: 2})
+	if !errors.Is(err, ErrInjectedFailure) {
+		t.Fatal("InjectedFailure should match ErrInjectedFailure via errors.Is")
+	}
+	if got := err.Error(); got == "" {
+		t.Fatal("empty error string")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 )
 
@@ -89,11 +90,18 @@ type Config struct {
 	// identical either way.
 	TCP bool
 	// FailStep, when > 0, injects a simulated crash of worker FailWorker
-	// at the start of that superstep, once. The master's fault detector
-	// notices it at the barrier and recovers by recomputing from scratch —
-	// the prototype's fault-tolerance policy (Appendix A).
+	// at the start of that superstep, once — shorthand for a FaultPlan
+	// with a single crash. The master's fault detector notices it at the
+	// barrier and recovers per the Recovery policy.
 	FailStep   int
 	FailWorker int
+	// FaultPlan injects a deterministic schedule of faults: multiple
+	// worker crashes at (superstep, worker) points, plus — over TCP —
+	// seeded transport faults (dropped, delayed, duplicated RPCs) the
+	// resilient fabric must absorb. Overrides FailStep/FailWorker when
+	// set. The plan is pure data; each Run tracks its own firing state,
+	// so a Config (and its plan) can be reused across runs.
+	FaultPlan *faultplan.Plan
 	// PhaseAware enables the Appendix G extension: hybrid analyses the
 	// history of Q^t signs for periodicity and, when a Multi-Phase-Style
 	// cycle is detected, schedules modes from the matching phase of the
@@ -116,8 +124,20 @@ type Config struct {
 	// the same results from any input", Appendix A) — vertex values
 	// survive and the restart's first superstep just re-announces them.
 	// Resume is only sound for algorithms whose fixpoint is independent
-	// of the starting state (WCC, SSSP, converging PageRank).
+	// of the starting state (WCC, SSSP, converging PageRank);
+	// "checkpoint" restores every worker from the last committed
+	// superstep checkpoint (see CheckpointEvery) and replays only the
+	// supersteps since — the Pregel/Giraph policy, sound for every
+	// algorithm.
 	Recovery string
+	// CheckpointEvery, when > 0, makes every worker write an atomic,
+	// CRC-verified snapshot of its vertex values, flag vectors and parked
+	// inbox messages every that many supersteps; the master commits the
+	// checkpoint once all workers have written theirs. Checkpoint bytes
+	// are charged to the disk cost model as sequential writes, so the
+	// overhead shows up in SimSeconds. Defaults to 5 when Recovery is
+	// "checkpoint" and left unset.
+	CheckpointEvery int
 }
 
 // withDefaults fills unset fields.
@@ -142,6 +162,12 @@ func (c Config) withDefaults() Config {
 		c.EdgesInMemory = true
 		c.VerticesInMemory = true
 	}
+	if c.Recovery == "checkpoint" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.FaultPlan == nil && c.FailStep > 0 {
+		c.FaultPlan = faultplan.NewPlan(faultplan.Crash{Step: c.FailStep, Worker: c.FailWorker})
+	}
 	return c
 }
 
@@ -155,6 +181,18 @@ func (c Config) validate(n int) error {
 	}
 	if c.BlocksPerWorker < 0 {
 		return fmt.Errorf("core: negative BlocksPerWorker")
+	}
+	switch c.Recovery {
+	case "", "scratch", "resume", "checkpoint":
+	default:
+		return fmt.Errorf("core: unknown recovery policy %q", c.Recovery)
+	}
+	if c.FaultPlan != nil {
+		for _, cr := range c.FaultPlan.Crashes {
+			if cr.Worker < 0 || cr.Worker >= c.Workers {
+				return fmt.Errorf("core: fault plan crashes worker %d of %d", cr.Worker, c.Workers)
+			}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,13 +42,30 @@ type job struct {
 
 	prevAgg float64 // last superstep's reduced aggregator value
 
-	failed   bool // the injected failure already fired
-	resuming bool // lightweight recovery: superstep 1 re-announces values
+	crashFired []bool // per fault-plan crash: already injected
+	resuming   bool   // lightweight recovery: superstep 1 re-announces values
+	ckptStep   int    // last committed checkpoint superstep (0 = none)
 }
 
-// errInjectedFailure is the sentinel the master's fault detector raises
-// when the configured worker crash fires.
-var errInjectedFailure = fmt.Errorf("core: injected worker failure")
+// ErrInjectedFailure is the sentinel every injected worker crash matches:
+// errors.Is(err, ErrInjectedFailure) distinguishes faults the master's
+// detector raised on purpose from real execution errors.
+var ErrInjectedFailure = errors.New("core: injected worker failure")
+
+// InjectedFailure is the typed error the master's fault detector raises
+// when a scheduled worker crash fires at the superstep barrier.
+type InjectedFailure struct {
+	Step   int
+	Worker int
+}
+
+// Error implements error.
+func (e *InjectedFailure) Error() string {
+	return fmt.Sprintf("core: injected failure of worker %d at superstep %d", e.Worker, e.Step)
+}
+
+// Is makes errors.Is(err, ErrInjectedFailure) true for every injection.
+func (e *InjectedFailure) Is(target error) bool { return target == ErrInjectedFailure }
 
 // Run executes one algorithm over one graph with the given engine and
 // returns the per-superstep statistics. It is the package's main entry
@@ -178,8 +196,15 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 	}
 	t := j.cfg.Workers
 	j.parts = graph.RangePartition(j.g.NumVertices, t)
+	if j.cfg.FaultPlan != nil {
+		j.crashFired = make([]bool, len(j.cfg.FaultPlan.Crashes))
+	}
 	if j.cfg.TCP {
-		fab, err := comm.NewTCP(t)
+		var tcfg comm.TCPConfig
+		if j.cfg.FaultPlan != nil {
+			tcfg.Faults = j.cfg.FaultPlan.Net
+		}
+		fab, err := comm.NewTCPConfig(t, tcfg)
 		if err != nil {
 			return err
 		}
@@ -276,23 +301,78 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 	return nil
 }
 
-// run drives the superstep loop, restarting from scratch after a detected
-// worker failure (the prototype recomputes rather than checkpointing).
+// run drives the superstep loop. After each detected worker failure it
+// recovers per the configured policy — recompute from superstep 1
+// (scratch/resume, the prototype's Appendix A behaviour) or restore the
+// last committed checkpoint and replay only the supersteps since — and
+// charges the discarded work to RecoverySimSeconds.
 func (j *job) run(engine Engine, res *metrics.JobResult) error {
+	start := 1
 	for {
-		err := j.runOnce(engine, res)
-		if err != errInjectedFailure {
+		err := j.runOnce(engine, res, start)
+		if err == nil || !errors.Is(err, ErrInjectedFailure) {
 			return err
 		}
 		res.Restarts++
-		for _, s := range res.Steps {
-			res.RecoverySimSeconds += s.SimSeconds
+		restart, rerr := j.recover(engine, res)
+		if rerr != nil {
+			return rerr
 		}
-		res.Steps = nil
-		if err := j.resetForRecovery(engine); err != nil {
-			return err
+		// Steps the restart will redo are discarded; their simulated time
+		// is the price of recovery.
+		kept := 0
+		for i := range res.Steps {
+			if res.Steps[i].Step >= restart {
+				break
+			}
+			kept = i + 1
+		}
+		for _, s := range res.Steps[kept:] {
+			res.RecoverySimSeconds += s.SimSeconds
+			res.ReplayedSupersteps++
+		}
+		res.Steps = res.Steps[:kept]
+		start = restart
+	}
+}
+
+// recover applies the configured recovery policy and reports the superstep
+// the restarted loop should resume from. The checkpoint policy falls back
+// to scratch when no committed checkpoint exists yet (a crash before the
+// first checkpoint interval) or the checkpoint fails verification.
+func (j *job) recover(engine Engine, res *metrics.JobResult) (int, error) {
+	if j.cfg.Recovery == "checkpoint" {
+		step, ok, err := j.restoreFromCheckpoint(engine, res)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			res.Restores++
+			return step + 1, nil
 		}
 	}
+	if err := j.resetForRecovery(engine); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// injectCrash reports whether a scheduled, not-yet-fired crash hits at the
+// start of superstep t. Each crash fires at most once per job: supersteps
+// re-executed during recovery do not re-fire past faults, while later
+// crashes in the plan still hit the recovered run (compound failures).
+func (j *job) injectCrash(t int) (worker int, fired bool) {
+	plan := j.cfg.FaultPlan
+	if plan == nil {
+		return 0, false
+	}
+	for i, c := range plan.Crashes {
+		if c.Step == t && !j.crashFired[i] {
+			j.crashFired[i] = true
+			return c.Worker, true
+		}
+	}
+	return 0, false
 }
 
 // resetForRecovery returns every worker to its freshly-loaded state: flag
@@ -319,12 +399,11 @@ func (j *job) resetForRecovery(engine Engine) error {
 	return nil
 }
 
-func (j *job) runOnce(engine Engine, res *metrics.JobResult) error {
-	for t := 1; t <= j.cfg.MaxSteps; t++ {
-		if j.cfg.FailStep > 0 && t == j.cfg.FailStep && !j.failed {
-			// The fault detector notices worker FailWorker died.
-			j.failed = true
-			return errInjectedFailure
+func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
+	for t := start; t <= j.cfg.MaxSteps; t++ {
+		if w, fired := j.injectCrash(t); fired {
+			// The fault detector notices the crashed worker at the barrier.
+			return &InjectedFailure{Step: t, Worker: w}
 		}
 		mode := engine
 		if engine == Hybrid {
@@ -344,6 +423,9 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult) error {
 		}
 		if ag, ok := j.prog.(algo.Aggregating); ok && t > 1 && ag.Converged(st.Aggregate) {
 			break
+		}
+		if err := j.maybeCheckpoint(t, res); err != nil {
+			return err
 		}
 	}
 	if engine == Pull {

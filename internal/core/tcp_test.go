@@ -2,8 +2,10 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"hybridgraph/internal/algo"
+	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 )
 
@@ -43,5 +45,53 @@ func TestEnginesOverTCP(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestEnginesOverFaultyTCP runs the engines over a TCP fabric with a
+// seeded fault plan dropping, delaying and duplicating well over 5% of
+// RPCs. The resilient fabric must absorb every fault via deadline-bounded
+// retries and serving-side dedup: results, superstep counts and byte
+// accounting must be identical to a fault-free in-process run.
+func TestEnginesOverFaultyTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injected TCP runs wait out many injected timeouts")
+	}
+	g := graph.GenRMAT(300, 2400, 0.57, 0.19, 0.19, 78)
+	base := Config{Workers: 3, MsgBuf: 100, MaxSteps: 5}
+	prog := algo.NewPageRank(0.85)
+	for _, e := range []Engine{Push, BPull, Hybrid} {
+		t.Run(string(e), func(t *testing.T) {
+			local, err := Run(g, prog, base, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty := base
+			faulty.TCP = true
+			faulty.FaultPlan = &faultplan.Plan{Net: &faultplan.TransportFaults{
+				Seed:         101,
+				DropRequest:  0.04,
+				DropResponse: 0.02,
+				Duplicate:    0.05,
+				Delay:        0.05,
+				MaxDelay:     2 * time.Millisecond,
+			}}
+			res, err := Run(g, prog, faulty, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Supersteps() != local.Supersteps() {
+				t.Fatalf("supersteps %d over faulty TCP vs %d local", res.Supersteps(), local.Supersteps())
+			}
+			for v := range local.Values {
+				if !almostEqual(res.Values[v], local.Values[v]) {
+					t.Fatalf("vertex %d = %g over faulty TCP, %g local", v, res.Values[v], local.Values[v])
+				}
+			}
+			if res.NetBytes != local.NetBytes {
+				t.Fatalf("net bytes %d over faulty TCP vs %d local (retries must not leak into accounting)",
+					res.NetBytes, local.NetBytes)
+			}
+		})
 	}
 }

@@ -25,6 +25,8 @@ type inbox interface {
 	Spilled() int64
 	MaxMemBytes() int64
 	Received() int64
+	// Pending lists buffered messages without resetting (checkpointing).
+	Pending() ([]comm.Msg, error)
 }
 
 // worker is one computational node: a vertex partition, its disk stores,

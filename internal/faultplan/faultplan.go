@@ -1,0 +1,139 @@
+// Package faultplan describes deterministic fault schedules for one job:
+// worker crashes pinned to (superstep, worker) points plus seeded transport
+// faults (dropped, delayed and duplicated RPCs). A Plan is pure data — it
+// carries no firing state — so the same Plan value can parameterise many
+// runs and always injects the same faults; the consumer (core's master for
+// crashes, the TCP fabric for transport faults) tracks what has fired.
+// Deterministic injection is what makes recovery testable: a recovered run
+// can be compared bit-for-bit against a clean run of the same plan.
+package faultplan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Crash schedules one worker failure, detected by the master's fault
+// detector at the start of superstep Step (1-based). Each crash fires at
+// most once per job: a superstep re-executed during recovery does not
+// re-fire a crash that already happened.
+type Crash struct {
+	Step   int
+	Worker int
+}
+
+// String implements fmt.Stringer.
+func (c Crash) String() string {
+	return fmt.Sprintf("crash(step=%d, worker=%d)", c.Step, c.Worker)
+}
+
+// TransportFaults describes seeded network-level faults the TCP fabric
+// injects on the serving side of each RPC. Rates are probabilities in
+// [0, 1] evaluated independently per request from a deterministic stream
+// seeded by Seed. The description is immutable; call NewRoller for a
+// fresh decision stream.
+type TransportFaults struct {
+	// Seed fixes the pseudo-random decision stream.
+	Seed int64
+	// DropRequest is the probability a request is lost before the server
+	// processes it: the client times out and retries.
+	DropRequest float64
+	// DropResponse is the probability the server processes a request but
+	// its response is lost: the client times out and retries, and the
+	// server-side dedup must suppress the re-application (exactly-once).
+	DropResponse float64
+	// Duplicate is the probability the network delivers a request twice:
+	// the second delivery must be absorbed by the dedup layer.
+	Duplicate float64
+	// Delay is the probability a response is delayed by up to MaxDelay.
+	Delay float64
+	// MaxDelay bounds injected delays (default 2ms when Delay > 0).
+	MaxDelay time.Duration
+}
+
+// Plan is a deterministic fault schedule for one job.
+type Plan struct {
+	// Crashes lists the scheduled worker failures.
+	Crashes []Crash
+	// Net holds transport faults applied when the job runs over TCP;
+	// nil injects none.
+	Net *TransportFaults
+}
+
+// NewPlan returns a plan with the given crashes, sorted by step (ties by
+// worker) so injection order is independent of construction order.
+func NewPlan(crashes ...Crash) *Plan {
+	p := &Plan{Crashes: append([]Crash(nil), crashes...)}
+	sort.Slice(p.Crashes, func(i, j int) bool {
+		if p.Crashes[i].Step != p.Crashes[j].Step {
+			return p.Crashes[i].Step < p.Crashes[j].Step
+		}
+		return p.Crashes[i].Worker < p.Crashes[j].Worker
+	})
+	return p
+}
+
+// RandomCrashes deterministically draws n crashes at distinct supersteps in
+// [2, maxStep] across workers in [0, workers), sorted by step. The same
+// arguments always yield the same schedule.
+func RandomCrashes(seed int64, n, maxStep, workers int) []Crash {
+	if maxStep < 2 || n <= 0 || workers <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	steps := rng.Perm(maxStep - 1) // values 0..maxStep-2 → steps 2..maxStep
+	if n > len(steps) {
+		n = len(steps)
+	}
+	out := make([]Crash, 0, n)
+	for _, s := range steps[:n] {
+		out = append(out, Crash{Step: s + 2, Worker: rng.Intn(workers)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// Decision is one request's injected faults.
+type Decision struct {
+	DropRequest  bool
+	DropResponse bool
+	Duplicate    bool
+	Delay        time.Duration
+}
+
+// Roller produces the deterministic per-request fault decision stream for
+// one TransportFaults description. Safe for concurrent use; under
+// concurrency the assignment of decisions to requests follows arrival
+// order, but each decision is still drawn from the seeded stream, so
+// aggregate fault rates are reproducible.
+type Roller struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	t   TransportFaults
+}
+
+// NewRoller returns a fresh decision stream for the description.
+func (t *TransportFaults) NewRoller() *Roller {
+	tt := *t
+	if tt.MaxDelay <= 0 {
+		tt.MaxDelay = 2 * time.Millisecond
+	}
+	return &Roller{rng: rand.New(rand.NewSource(tt.Seed)), t: tt}
+}
+
+// Roll draws the fault decision for the next request.
+func (r *Roller) Roll() Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d Decision
+	d.DropRequest = r.rng.Float64() < r.t.DropRequest
+	d.DropResponse = r.rng.Float64() < r.t.DropResponse
+	d.Duplicate = r.rng.Float64() < r.t.Duplicate
+	if r.rng.Float64() < r.t.Delay {
+		d.Delay = time.Duration(r.rng.Int63n(int64(r.t.MaxDelay) + 1))
+	}
+	return d
+}

@@ -1,0 +1,80 @@
+package faultplan
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewPlanSortsCrashes(t *testing.T) {
+	p := NewPlan(Crash{Step: 9, Worker: 1}, Crash{Step: 3, Worker: 2}, Crash{Step: 9, Worker: 0})
+	want := []Crash{{3, 2}, {9, 0}, {9, 1}}
+	if len(p.Crashes) != len(want) {
+		t.Fatalf("crashes = %v", p.Crashes)
+	}
+	for i, c := range want {
+		if p.Crashes[i] != c {
+			t.Fatalf("crashes[%d] = %v, want %v", i, p.Crashes[i], c)
+		}
+	}
+}
+
+func TestRandomCrashesDeterministic(t *testing.T) {
+	a := RandomCrashes(7, 4, 20, 3)
+	b := RandomCrashes(7, 4, 20, 3)
+	if len(a) != 4 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range a {
+		if c.Step < 2 || c.Step > 20 {
+			t.Fatalf("step %d out of range", c.Step)
+		}
+		if c.Worker < 0 || c.Worker >= 3 {
+			t.Fatalf("worker %d out of range", c.Worker)
+		}
+		if seen[c.Step] {
+			t.Fatalf("duplicate step %d", c.Step)
+		}
+		seen[c.Step] = true
+	}
+	if c := RandomCrashes(9, 4, 20, 3); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] && c[3] == a[3] {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRollerDeterministicAndRated(t *testing.T) {
+	tf := &TransportFaults{Seed: 42, DropRequest: 0.3, DropResponse: 0.1, Duplicate: 0.2, Delay: 0.5, MaxDelay: time.Millisecond}
+	a, b := tf.NewRoller(), tf.NewRoller()
+	const n = 10000
+	var drops int
+	for i := 0; i < n; i++ {
+		da, db := a.Roll(), b.Roll()
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+		if da.DropRequest {
+			drops++
+		}
+		if da.Delay > time.Millisecond {
+			t.Fatalf("delay %v exceeds MaxDelay", da.Delay)
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("drop-request rate %.3f, want ~0.3", rate)
+	}
+}
+
+func TestRollerZeroFaults(t *testing.T) {
+	r := (&TransportFaults{Seed: 1}).NewRoller()
+	for i := 0; i < 100; i++ {
+		if d := r.Roll(); d != (Decision{}) {
+			t.Fatalf("zero-rate roller injected %+v", d)
+		}
+	}
+}

@@ -104,11 +104,27 @@ type JobResult struct {
 	LoadSimSeconds float64 // graph loading cost (Fig. 16), reported separately
 	LoadIO         diskio.Snapshot
 
-	// Restarts counts recompute-from-scratch recoveries after worker
-	// failures; RecoverySimSeconds is the simulated time the discarded
-	// attempts burned.
+	// Restarts counts recoveries after detected worker failures (any
+	// policy); RecoverySimSeconds is the simulated time recovery burned:
+	// the discarded supersteps plus, under the checkpoint policy, the
+	// restore I/O.
 	Restarts           int
 	RecoverySimSeconds float64
+	// ReplayedSupersteps counts supersteps whose work was discarded by a
+	// failure and had to be re-executed. Scratch recovery replays
+	// everything since superstep 1; checkpoint recovery replays only the
+	// steps since the last committed checkpoint.
+	ReplayedSupersteps int
+
+	// Checkpoints counts committed checkpoints; CheckpointIO is the disk
+	// traffic they performed (snapshot writes plus spill re-reads) and
+	// CheckpointSimSeconds its modelled cost, included in SimSeconds so
+	// checkpoint overhead is charged honestly. Restores counts
+	// restorations from a committed checkpoint.
+	Checkpoints          int
+	CheckpointIO         diskio.Snapshot
+	CheckpointSimSeconds float64
+	Restores             int
 
 	// Values holds the final vertex values indexed by vertex id (rank,
 	// distance, label or ad, depending on the algorithm).
@@ -129,6 +145,7 @@ func (r *JobResult) Finish() {
 			r.MaxMemBytes = s.MemBytes
 		}
 	}
+	r.SimSeconds += r.CheckpointSimSeconds
 }
 
 // Supersteps reports the number of supersteps run.

@@ -12,6 +12,7 @@ package msgstore
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 	"sync"
 
 	"hybridgraph/internal/comm"
@@ -143,6 +144,30 @@ func (b *Inbox) Drain() (map[graph.VertexID][]float64, error) {
 	return out, nil
 }
 
+// Pending returns a copy of every buffered message — memory and spill —
+// without resetting the inbox, in arrival order. Used by checkpointing to
+// capture parked messages; the spill re-read is charged as a sequential
+// read like any other checkpoint byte.
+func (b *Inbox) Pending() ([]comm.Msg, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]comm.Msg, len(b.mem), len(b.mem)+int(b.spillN))
+	copy(out, b.mem)
+	if b.spill != nil && b.spillN > 0 {
+		buf := make([]byte, b.spillN*recSize)
+		if _, err := b.spill.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+			return nil, err
+		}
+		for o := int64(0); o < int64(len(buf)); o += recSize {
+			out = append(out, comm.Msg{
+				Dst: graph.VertexID(binary.LittleEndian.Uint32(buf[o:])),
+				Val: math.Float64frombits(binary.LittleEndian.Uint64(buf[o+4:])),
+			})
+		}
+	}
+	return out, nil
+}
+
 // OnlineInbox implements MOCgraph's message online computing: messages to
 // vertices in the hot set are combined into an in-memory accumulator the
 // moment they arrive (valid only for commutative, associative messages);
@@ -203,6 +228,25 @@ func (o *OnlineInbox) MaxMemBytes() int64 {
 	n := int64(len(o.acc)) * recSize
 	o.mu.Unlock()
 	return n + o.cold.MaxMemBytes()
+}
+
+// Pending returns a copy of every buffered message without resetting: the
+// cold inbox's messages followed by the online accumulator's combined
+// values, the latter in ascending destination order so checkpoint bytes
+// are deterministic.
+func (o *OnlineInbox) Pending() ([]comm.Msg, error) {
+	out, err := o.cold.Pending()
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	hot := make([]comm.Msg, 0, len(o.acc))
+	for dst, v := range o.acc {
+		hot = append(hot, comm.Msg{Dst: dst, Val: v})
+	}
+	o.mu.Unlock()
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Dst < hot[j].Dst })
+	return append(out, hot...), nil
 }
 
 // Drain merges the online accumulator with the cold inbox's contents and
