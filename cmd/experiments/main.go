@@ -15,6 +15,7 @@ import (
 
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/harness"
+	"hybridgraph/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "trimmed datasets and sweeps")
 		ssd     = flag.Bool("ssd", false, "default to the SSD cost model")
 		csvDir  = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+		trace   = flag.String("trace", "", "export one JSONL superstep trace journal per job into this directory")
+		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -37,9 +40,19 @@ func main() {
 		}
 		return
 	}
-	opts := harness.Options{Scale: *scale, Workers: *workers, LargeWorkers: *largeW, Quick: *quick}
+	opts := harness.Options{Scale: *scale, Workers: *workers, LargeWorkers: *largeW, Quick: *quick,
+		TraceDir: *trace}
 	if *ssd {
 		opts.Profile = diskio.SSDAmazon
+	}
+	if *dbgAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		srv, err := obs.StartDebug(*dbgAddr, opts.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug server at http://%s/metrics\n", srv.Addr)
 	}
 
 	var names []string

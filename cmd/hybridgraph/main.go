@@ -31,6 +31,9 @@ func main() {
 		cache     = flag.Int("cache", 0, "pull baseline vertex cache per worker (0 = unbounded)")
 		threshold = flag.Int64("threshold", 0, "sending threshold in bytes (0 = 4MB default)")
 		verbose   = flag.Bool("v", false, "print per-superstep statistics")
+		trace     = flag.String("trace", "", "write a JSONL superstep trace journal to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry after the run (implied by -debug-addr)")
 	)
 	flag.Parse()
 
@@ -77,6 +80,19 @@ func main() {
 		BlocksPerWorker: *blocks,
 		VertexCache:     *cache,
 		SendThreshold:   *threshold,
+		TracePath:       *trace,
+	}
+	var reg *hybridgraph.Metrics
+	if *metrics || *debugAddr != "" {
+		reg = hybridgraph.NewMetrics()
+		cfg.Metrics = reg
+	}
+	if *debugAddr != "" {
+		srv, err := hybridgraph.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug    : http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
 
 	res, err := hybridgraph.Run(g, prog, cfg, hybridgraph.Engine(*engine))
@@ -94,6 +110,10 @@ func main() {
 	fmt.Printf("memory   : %d B peak buffers\n", res.MaxMemBytes)
 	fmt.Printf("loading  : %.4f s simulated, %d B written\n", res.LoadSimSeconds, res.LoadIO.Total())
 
+	if *trace != "" {
+		fmt.Printf("trace    : %s\n", *trace)
+	}
+
 	if *verbose {
 		fmt.Println("\nstep  mode    updated  respond  produced  spilled  net-bytes  io-bytes   Qt")
 		for _, s := range res.Steps {
@@ -101,6 +121,11 @@ func main() {
 				s.Step, s.Mode, s.Updated, s.Responding, s.Produced, s.Spilled,
 				s.NetBytes, s.IO.DevTotal(), s.Qt)
 		}
+	}
+
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		reg.WriteTo(os.Stdout)
 	}
 }
 

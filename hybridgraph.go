@@ -37,6 +37,7 @@ import (
 	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
 )
 
 // Engine selects a message-handling approach.
@@ -115,6 +116,26 @@ var ErrInjectedFailure = core.ErrInjectedFailure
 // Run executes prog over g with the given engine and returns the result.
 func Run(g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {
 	return core.Run(g, prog, cfg, engine)
+}
+
+// Metrics is a live counter/gauge registry. Assign one to Config.Metrics
+// and every subsystem under the job — engines, comm fabrics, message
+// stores, pull caches, checkpointing — reports into it; snapshot it any
+// time or serve it via StartDebug. The zero registry cannot be used; call
+// NewMetrics.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DebugServer is a running observability HTTP server (see StartDebug).
+type DebugServer = obs.DebugServer
+
+// StartDebug serves plain-text metrics at /metrics, expvar at /debug/vars
+// and pprof at /debug/pprof/ on addr (e.g. "localhost:6060"). reg may be
+// nil to serve pprof/expvar only.
+func StartDebug(addr string, reg *Metrics) (*DebugServer, error) {
+	return obs.StartDebug(addr, reg)
 }
 
 // PageRank returns the paper's Fig. 3 PageRank program (Always-Active).

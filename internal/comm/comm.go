@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/obs"
 )
 
 // Wire sizes in bytes. A message is a destination vertex id plus one
@@ -163,11 +164,28 @@ type Local struct {
 	in       []atomic.Int64
 	out      []atomic.Int64
 	total    atomic.Int64
+
+	mPackets  *obs.Counter // "comm.packets"
+	mPullReqs *obs.Counter // "comm.pull_requests"
+	mGathers  *obs.Counter // "comm.gathers"
+	mSignals  *obs.Counter // "comm.signals"
 }
 
 // NewLocal returns a Local fabric for n workers.
 func NewLocal(n int) *Local {
 	return &Local{handlers: make(map[int]Handler, n), in: make([]atomic.Int64, n), out: make([]atomic.Int64, n)}
+}
+
+// SetMetrics wires the fabric's counters into reg (obs.MetricsSetter).
+// Call before the first superstep; a nil registry leaves metrics off.
+func (l *Local) SetMetrics(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mPackets = reg.Counter("comm.packets")
+	l.mPullReqs = reg.Counter("comm.pull_requests")
+	l.mGathers = reg.Counter("comm.gathers")
+	l.mSignals = reg.Counter("comm.signals")
+	reg.RegisterFunc("comm.net_bytes", l.total.Load)
 }
 
 // Register implements Fabric.
@@ -205,6 +223,7 @@ func (l *Local) Send(p *Packet) error {
 		return err
 	}
 	l.account(p.From, p.To, p.Bytes())
+	l.mPackets.Inc()
 	return h.DeliverMessages(p)
 }
 
@@ -215,6 +234,7 @@ func (l *Local) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
 		return nil, 0, err
 	}
 	l.account(from, to, PullReqSize)
+	l.mPullReqs.Inc()
 	msgs, bytes, err := h.RespondPull(block, step)
 	if err != nil {
 		return nil, 0, err
@@ -230,6 +250,7 @@ func (l *Local) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherRe
 		return nil, err
 	}
 	l.account(from, to, int64(len(ids))*GatherIDSize)
+	l.mGathers.Inc()
 	replies, err := h.GatherValues(ids, step)
 	if err != nil {
 		return nil, err
@@ -245,6 +266,7 @@ func (l *Local) Signal(from, to int, ids []graph.VertexID, step int) error {
 		return err
 	}
 	l.account(from, to, int64(len(ids))*GatherIDSize)
+	l.mSignals.Inc()
 	return h.DeliverSignals(ids, step)
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/obs"
 )
 
 // TCP is a fabric whose traffic really crosses loopback TCP sockets with
@@ -45,6 +46,10 @@ type TCP struct {
 
 	jmu  sync.Mutex // guards jrng (retry jitter)
 	jrng *rand.Rand
+
+	mRequests *obs.Counter // "comm.tcp.requests"
+	mRetries  *obs.Counter // "comm.tcp.retries"
+	mRedials  *obs.Counter // "comm.tcp.redials"
 }
 
 // TCPConfig tunes the fabric's resilience machinery. Zero values select
@@ -150,6 +155,8 @@ type dedup struct {
 	mu      sync.Mutex
 	entries map[dedupKey]*dedupEntry
 	order   []dedupKey
+	mHits   *obs.Counter // "comm.tcp.dedup_hits"; guarded by mu — serve
+	// goroutines predate SetMetrics, so a bare field would race.
 }
 
 type dedupKey struct {
@@ -175,6 +182,7 @@ func (d *dedup) do(from int, seq uint64, process func() tcpResponse) tcpResponse
 	key := dedupKey{from, seq}
 	d.mu.Lock()
 	if e, ok := d.entries[key]; ok {
+		d.mHits.Inc()
 		d.mu.Unlock()
 		<-e.done
 		return e.resp
@@ -254,6 +262,23 @@ func (f *TCP) Close() error {
 		p.mu.Unlock()
 	}
 	return nil
+}
+
+// SetMetrics wires the fabric's resilience counters into reg
+// (obs.MetricsSetter). Call before the first superstep; a nil registry
+// leaves metrics off.
+func (f *TCP) SetMetrics(reg *obs.Registry) {
+	f.mu.Lock()
+	f.mRequests = reg.Counter("comm.tcp.requests")
+	f.mRetries = reg.Counter("comm.tcp.retries")
+	f.mRedials = reg.Counter("comm.tcp.redials")
+	f.mu.Unlock()
+	for _, d := range f.dedups {
+		d.mu.Lock()
+		d.mHits = reg.Counter("comm.tcp.dedup_hits")
+		d.mu.Unlock()
+	}
+	reg.RegisterFunc("comm.net_bytes", f.total.Load)
 }
 
 // Register implements Fabric.
@@ -370,6 +395,7 @@ func (f *TCP) dial(w int) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.mRedials.Inc()
 	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
 	p.conn = c
 	return c, nil
@@ -395,9 +421,11 @@ func (f *TCP) roundTrip(w int, req *tcpRequest) (*tcpResponse, error) {
 		return nil, fmt.Errorf("comm: no such worker %d", w)
 	}
 	req.Seq = f.seq.Add(1)
+	f.mRequests.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= f.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			f.mRetries.Inc()
 			f.sleepBackoff(attempt)
 		}
 		if f.closed.Load() {

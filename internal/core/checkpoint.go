@@ -6,6 +6,7 @@ import (
 	"hybridgraph/internal/checkpoint"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
 	"hybridgraph/internal/vertexfile"
 )
 
@@ -62,6 +63,13 @@ func (j *job) maybeCheckpoint(t int, res *metrics.JobResult) error {
 	res.Checkpoints++
 	res.CheckpointIO = res.CheckpointIO.Add(delta)
 	res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	j.jm.ckptCommits.Inc()
+	j.jm.ckptBytes.Add(delta.Total())
+	if j.trace != nil {
+		j.trace.Emit(obs.CheckpointEvent{Type: obs.EventCheckpoint, Step: t,
+			Workers: len(j.workers), Bytes: delta.Total(),
+			SimSecs: j.cfg.Profile.DiskSeconds(delta)})
+	}
 	return nil
 }
 
@@ -112,7 +120,7 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 			return 0, false, aerr
 		}
 		if engine == Pull {
-			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache)
+			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache, j.cfg.Metrics)
 		}
 	}
 	if engine == Hybrid {
@@ -130,6 +138,12 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
 	}
 	res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	j.jm.restores.Inc()
+	if j.trace != nil {
+		j.trace.Emit(obs.CheckpointEvent{Type: obs.EventRestore, Step: step,
+			Workers: len(j.workers), Bytes: delta.Total(),
+			SimSecs: j.cfg.Profile.DiskSeconds(delta)})
+	}
 	return step, true, nil
 }
 

@@ -9,10 +9,12 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/obs"
 )
 
 // Engine names one message-handling approach.
@@ -130,6 +132,27 @@ type Config struct {
 	// supersteps since — the Pregel/Giraph policy, sound for every
 	// algorithm.
 	Recovery string
+	// TraceWriter, when non-nil, receives the structured JSONL superstep
+	// trace journal: one obs.WorkerStepEvent per superstep per worker with
+	// the full I/O breakdown and net in/out bytes, one obs.StepEvent per
+	// superstep with the aggregated StepStats, Q^t inputs and hybrid's
+	// scheduling decision, plus events for mode switches, checkpoint
+	// commits, injected faults and recoveries. Nil disables tracing at
+	// zero cost.
+	TraceWriter io.Writer
+	// TracePath writes the journal to a file (created or truncated at job
+	// start, closed at job end). Ignored when TraceWriter is set.
+	TracePath string
+	// TraceDir writes the journal to an auto-named file
+	// <dir>/<algorithm>_<engine>_<seq>.jsonl inside the directory, which is
+	// created if missing. Ignored when TraceWriter or TracePath is set.
+	// The harness uses this to export one journal per experiment run.
+	TraceDir string
+	// Metrics, when non-nil, is the registry the job and every subsystem
+	// under it (comm fabrics, message stores, pull caches, checkpointing)
+	// report live counters into; snapshot it any time, or serve it via
+	// obs.StartDebug. Nil disables metrics at near-zero cost.
+	Metrics *obs.Registry
 	// CheckpointEvery, when > 0, makes every worker write an atomic,
 	// CRC-verified snapshot of its vertex values, flag vectors and parked
 	// inbox messages every that many supersteps; the master commits the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hybridgraph/internal/comm"
 	"hybridgraph/internal/metrics"
 )
 
@@ -31,7 +32,7 @@ func (j *job) initHybridModes() {
 			m := int64(j.g.NumEdges())
 			var mdisk int64
 			if over := m - j.bTotal; over > 0 {
-				mdisk = over * 12
+				mdisk = over * comm.MsgWireSize
 			}
 			ft := j.totalFrags * 8
 			vrr := j.totalFrags * 8
@@ -156,7 +157,7 @@ func (j *job) finishQt(t int, mode Engine, st *metrics.StepStats) {
 		}
 		if j.bTotal > 0 {
 			if over := st.Produced - j.bTotal; over > 0 {
-				mdisk = over * 12
+				mdisk = over * comm.MsgWireSize
 			}
 		}
 		st.Qt = metrics.Qt(p, mcoBytes, mdisk, st.Parts.Vrr, estEt, st.Parts.Ebar, st.Parts.Ft)
@@ -166,13 +167,13 @@ func (j *job) finishQt(t int, mode Engine, st *metrics.StepStats) {
 			CioBpull: st.Parts.CioBpull(),
 		}
 		if st.Produced > 0 {
-			j.rco = float64(mcoBytes) / float64(st.Produced*12)
+			j.rco = float64(mcoBytes) / float64(st.Produced*comm.MsgWireSize)
 		}
 	case Push, PushM:
 		// Measured push side; b-pull side estimated from metadata.
 		estEbar, estFt, estVrr = st.EstEbar, st.EstFt, st.EstVrr
 		mdisk = st.Parts.MdiskW
-		mcoBytes = int64(float64(st.Produced*12) * j.rco)
+		mcoBytes = int64(float64(st.Produced*comm.MsgWireSize) * j.rco)
 		st.Qt = metrics.Qt(p, mcoBytes, mdisk, estVrr, st.Parts.Et, estEbar, estFt)
 		st.Pred = metrics.Prediction{
 			Mco:      mcoBytes,

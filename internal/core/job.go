@@ -13,6 +13,7 @@ import (
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
 	"hybridgraph/internal/veblock"
 	"hybridgraph/internal/vertexfile"
 )
@@ -45,6 +46,10 @@ type job struct {
 	crashFired []bool // per fault-plan crash: already injected
 	resuming   bool   // lightweight recovery: superstep 1 re-announces values
 	ckptStep   int    // last committed checkpoint superstep (0 = none)
+
+	// observability: nil trace drops events, nil-instrument jm no-ops.
+	trace *obs.Tracer
+	jm    jobMetrics
 }
 
 // ErrInjectedFailure is the sentinel every injected worker crash matches:
@@ -76,10 +81,22 @@ func Run(g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (*metrics
 		return nil, err
 	}
 	j := &job{cfg: cfg, g: g, prog: prog, engine: engine}
+	tr, err := newJobTracer(cfg, prog, engine)
+	if err != nil {
+		return nil, err
+	}
+	j.trace = tr
+	defer tr.Close()
+	j.jm = newJobMetrics(cfg.Metrics)
 	if err := j.setupDir(); err != nil {
 		return nil, err
 	}
 	defer j.close()
+	if tr != nil {
+		tr.Emit(obs.JobEvent{Type: obs.EventJobStart, Engine: string(engine),
+			Algorithm: prog.Name(), Workers: cfg.Workers,
+			Vertices: g.NumVertices, Edges: int64(g.NumEdges())})
+	}
 	res := &metrics.JobResult{
 		Engine:    string(engine),
 		Algorithm: prog.Name(),
@@ -97,6 +114,15 @@ func Run(g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (*metrics
 		return nil, err
 	}
 	res.Values = vals
+	if tr != nil {
+		tr.Emit(obs.JobEvent{Type: obs.EventJobEnd, Engine: string(engine),
+			Algorithm: prog.Name(), Workers: cfg.Workers,
+			Steps: len(res.Steps), SimSecs: res.SimSeconds,
+			NetBytes: res.NetBytes, IOBytes: res.IO.Total(), Restarts: res.Restarts})
+	}
+	if err := tr.Close(); err != nil {
+		return nil, fmt.Errorf("core: trace journal: %w", err)
+	}
 	return res, nil
 }
 
@@ -212,6 +238,9 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 	} else {
 		j.fabric = comm.NewLocal(t)
 	}
+	if ms, ok := j.fabric.(obs.MetricsSetter); ok {
+		ms.SetMetrics(j.cfg.Metrics)
+	}
 	j.loadCts = make([]*diskio.Counter, t)
 	j.workers = make([]*worker, t)
 	if j.cfg.MsgBuf > 0 {
@@ -280,7 +309,7 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 			}
 		}
 		if engine == Pull {
-			wk.vcache = newPullCache(wk.vstore, j.cfg.VertexCache)
+			wk.vcache = newPullCache(wk.vstore, j.cfg.VertexCache, j.cfg.Metrics)
 		}
 		j.fabric.Register(w, wk)
 		j.workers[w] = wk
@@ -331,7 +360,18 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 			res.RecoverySimSeconds += s.SimSeconds
 			res.ReplayedSupersteps++
 		}
+		discarded := len(res.Steps) - kept
 		res.Steps = res.Steps[:kept]
+		j.jm.recoveries.Inc()
+		if j.trace != nil {
+			policy := j.cfg.Recovery
+			if policy == "" {
+				policy = "scratch"
+			}
+			j.trace.Emit(obs.RecoveryEvent{Type: obs.EventRecovery, Policy: policy,
+				RestartStep: restart, Discarded: discarded,
+				Restored: j.cfg.Recovery == "checkpoint" && restart > 1})
+		}
 		start = restart
 	}
 }
@@ -389,7 +429,7 @@ func (j *job) resetForRecovery(engine Engine) error {
 			w.initInboxes()
 		}
 		if engine == Pull {
-			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache)
+			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache, j.cfg.Metrics)
 		}
 	}
 	j.prevAgg = 0
@@ -403,6 +443,10 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 	for t := start; t <= j.cfg.MaxSteps; t++ {
 		if w, fired := j.injectCrash(t); fired {
 			// The fault detector notices the crashed worker at the barrier.
+			j.jm.faults.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.FaultEvent{Type: obs.EventFault, Step: t, Worker: w})
+			}
 			return &InjectedFailure{Step: t, Worker: w}
 		}
 		mode := engine
@@ -416,6 +460,22 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 		res.Steps = append(res.Steps, st)
 		if engine == Hybrid {
 			j.scheduleMode(t, st)
+		}
+		if st.SwitchedFrom != "" {
+			j.jm.switches.Inc()
+		}
+		if j.trace != nil {
+			// The step summary is emitted after the hybrid scheduler ran, so
+			// NextMode carries the decision this superstep's Q^t just made.
+			ev := obs.StepEvent{Type: obs.EventStep, Stats: st}
+			if engine == Hybrid && t+2 < len(j.modes) {
+				ev.NextMode = string(j.modes[t+2])
+			}
+			j.trace.Emit(ev)
+			if st.SwitchedFrom != "" {
+				j.trace.Emit(obs.ModeSwitchEvent{Type: obs.EventModeSwitch,
+					Step: t, From: st.SwitchedFrom, To: st.Mode})
+			}
 		}
 		j.prevAgg = st.Aggregate
 		if st.Responding == 0 {
@@ -493,7 +553,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		// pushM/push: spill written for next superstep (M_disk).
 		if mode == Push || mode == PushM || (engine == Hybrid && j.produceMode(t) == Push) {
 			if ib := w.inboxes[writeParity(t+1)]; ib != nil {
-				s.parts.MdiskW += ib.Spilled() * 12
+				s.parts.MdiskW += ib.Spilled() * comm.MsgWireSize
 			}
 		}
 
@@ -503,7 +563,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		st.Requests += s.requests
 		st.Responding += s.responding
 		st.Updated += s.updated
-		st.Spilled += s.parts.MdiskW / 12
+		st.Spilled += s.parts.MdiskW / comm.MsgWireSize
 		st.IO = st.IO.Add(d)
 		addBreakdown(&st.Parts, s.parts)
 
@@ -518,6 +578,19 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		}
 		if mem > st.MemBytes {
 			st.MemBytes = mem
+		}
+
+		if j.trace != nil {
+			// One journal line per worker per superstep: exactly the numbers
+			// this loop folds into st, so summing a step's worker events must
+			// reproduce the StepStats (the accounting cross-check test).
+			j.trace.Emit(obs.WorkerStepEvent{Type: obs.EventWorkerStep,
+				Step: t, Worker: w.id, Mode: string(mode),
+				Updated: s.updated, Responding: s.responding,
+				Produced: s.produced, Requests: s.requests,
+				Spilled: s.parts.MdiskW / comm.MsgWireSize,
+				NetIn:   nIn, NetOut: nOut,
+				IO: d, Parts: s.parts, MemBytes: mem})
 		}
 
 		cpuSec := s.cpu.Seconds(j.cfg.Profile)
@@ -549,6 +622,15 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	}
 	st.SimSeconds = simMax
 	j.finishQt(t, mode, &st)
+
+	j.jm.supersteps.Inc()
+	j.jm.step.Set(int64(t))
+	j.jm.updated.Add(st.Updated)
+	j.jm.produced.Add(st.Produced)
+	j.jm.spilled.Add(st.Spilled)
+	j.jm.netBytes.Add(st.NetBytes)
+	j.jm.ioBytes.Add(st.IO.Total())
+	j.jm.memPeak.Max(st.MemBytes)
 	return st, nil
 }
 

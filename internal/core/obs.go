@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/obs"
+)
+
+// jobMetrics caches the registry instruments the superstep loop touches so
+// the hot path pays pointer increments, not map lookups. Every field is
+// nil when metrics are disabled, and the obs instruments no-op on nil.
+type jobMetrics struct {
+	supersteps  *obs.Counter // "core.supersteps"
+	updated     *obs.Counter // "core.updated_vertices"
+	produced    *obs.Counter // "core.produced_msgs"
+	spilled     *obs.Counter // "core.spilled_msgs"
+	netBytes    *obs.Counter // "core.net_bytes"
+	ioBytes     *obs.Counter // "core.io_bytes" (logical superstep bytes)
+	switches    *obs.Counter // "core.mode_switches"
+	faults      *obs.Counter // "core.injected_faults"
+	recoveries  *obs.Counter // "core.recoveries"
+	ckptCommits *obs.Counter // "checkpoint.commits"
+	ckptBytes   *obs.Counter // "checkpoint.bytes"
+	restores    *obs.Counter // "checkpoint.restores"
+	step        *obs.Gauge   // "core.superstep" (the superstep in flight)
+	memPeak     *obs.Gauge   // "core.mem_bytes_peak"
+}
+
+func newJobMetrics(reg *obs.Registry) jobMetrics {
+	return jobMetrics{
+		supersteps:  reg.Counter("core.supersteps"),
+		updated:     reg.Counter("core.updated_vertices"),
+		produced:    reg.Counter("core.produced_msgs"),
+		spilled:     reg.Counter("core.spilled_msgs"),
+		netBytes:    reg.Counter("core.net_bytes"),
+		ioBytes:     reg.Counter("core.io_bytes"),
+		switches:    reg.Counter("core.mode_switches"),
+		faults:      reg.Counter("core.injected_faults"),
+		recoveries:  reg.Counter("core.recoveries"),
+		ckptCommits: reg.Counter("checkpoint.commits"),
+		ckptBytes:   reg.Counter("checkpoint.bytes"),
+		restores:    reg.Counter("checkpoint.restores"),
+		step:        reg.Gauge("core.superstep"),
+		memPeak:     reg.Gauge("core.mem_bytes_peak"),
+	}
+}
+
+// newJobTracer resolves the three trace configuration knobs in precedence
+// order: an explicit writer, an explicit file path, or an auto-named file
+// inside a directory. Returns nil (tracing disabled) when none is set.
+func newJobTracer(cfg Config, prog algo.Program, engine Engine) (*obs.Tracer, error) {
+	switch {
+	case cfg.TraceWriter != nil:
+		return obs.NewTracer(cfg.TraceWriter), nil
+	case cfg.TracePath != "":
+		return obs.OpenTracer(cfg.TracePath)
+	case cfg.TraceDir != "":
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%s_%s_%04d.jsonl", prog.Name(), engine, obs.NextTraceSeq())
+		return obs.OpenTracer(filepath.Join(cfg.TraceDir, name))
+	}
+	return nil, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/lru"
+	"hybridgraph/internal/obs"
 	"hybridgraph/internal/vertexfile"
 )
 
@@ -27,6 +28,10 @@ type pullCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	mHits      *obs.Counter // "pullcache.hits"
+	mMisses    *obs.Counter // "pullcache.misses"
+	mEvictions *obs.Counter // "pullcache.evictions"
 }
 
 type pullCacheEntry struct {
@@ -37,14 +42,20 @@ type pullCacheEntry struct {
 // newPullCache returns a cache of the given capacity in vertices;
 // capacity <= 0 means unbounded (the ext-edge scenario: vertices nominally
 // memory-resident).
-func newPullCache(vs *vertexfile.Store, capacity int) *pullCache {
-	c := &pullCache{vs: vs}
+func newPullCache(vs *vertexfile.Store, capacity int, reg *obs.Registry) *pullCache {
+	c := &pullCache{
+		vs:         vs,
+		mHits:      reg.Counter("pullcache.hits"),
+		mMisses:    reg.Counter("pullcache.misses"),
+		mEvictions: reg.Counter("pullcache.evictions"),
+	}
 	if capacity > 0 {
 		c.lru = lru.New(capacity)
 		c.lru.SetOnEvict(func(key uint32, val any) {
 			e := val.(*pullCacheEntry)
 			if e.dirty {
 				c.evictions++
+				c.mEvictions.Inc()
 				if err := c.vs.WriteRecord(e.rec); err != nil && c.evictErr == nil {
 					c.evictErr = err
 				}
@@ -85,9 +96,11 @@ func (c *pullCache) get(v graph.VertexID) (vertexfile.Record, error) {
 	defer c.mu.Unlock()
 	if e, ok := c.lookup(v); ok {
 		c.hits++
+		c.mHits.Inc()
 		return e.rec, nil
 	}
 	c.misses++
+	c.mMisses.Inc()
 	rec, err := c.vs.ReadRecord(v)
 	if err != nil {
 		return rec, err
@@ -107,6 +120,7 @@ func (c *pullCache) put(rec vertexfile.Record) error {
 		return nil
 	}
 	c.misses++
+	c.mMisses.Inc()
 	return c.insert(rec.ID, &pullCacheEntry{rec: rec, dirty: true})
 }
 

@@ -27,7 +27,7 @@ func newTestVStore(t *testing.T, n int, ct *diskio.Counter) *vertexfile.Store {
 func TestPullCacheReadThrough(t *testing.T) {
 	var ct diskio.Counter
 	vs := newTestVStore(t, 10, &ct)
-	c := newPullCache(vs, 5)
+	c := newPullCache(vs, 5, nil)
 	before := ct.Snapshot()
 	r, err := c.get(3)
 	if err != nil || r.Val != 3 {
@@ -54,7 +54,7 @@ func TestPullCacheReadThrough(t *testing.T) {
 func TestPullCacheDirtyEvictionWritesBack(t *testing.T) {
 	var ct diskio.Counter
 	vs := newTestVStore(t, 10, &ct)
-	c := newPullCache(vs, 2)
+	c := newPullCache(vs, 2, nil)
 	// Dirty vertex 0, then push it out with two more entries.
 	r, _ := c.get(0)
 	r.Val = 100
@@ -81,7 +81,7 @@ func TestPullCacheDirtyEvictionWritesBack(t *testing.T) {
 func TestPullCacheCleanEvictionIsFree(t *testing.T) {
 	var ct diskio.Counter
 	vs := newTestVStore(t, 10, &ct)
-	c := newPullCache(vs, 1)
+	c := newPullCache(vs, 1, nil)
 	c.get(0)
 	before := ct.Snapshot()
 	c.get(1) // evicts clean 0
@@ -94,7 +94,7 @@ func TestPullCacheCleanEvictionIsFree(t *testing.T) {
 func TestPullCacheUnboundedNeverEvicts(t *testing.T) {
 	var ct diskio.Counter
 	vs := newTestVStore(t, 100, &ct)
-	c := newPullCache(vs, 0)
+	c := newPullCache(vs, 0, nil)
 	for v := 0; v < 100; v++ {
 		r, err := c.get(graph.VertexID(v))
 		if err != nil {
@@ -124,7 +124,7 @@ func TestPullCacheFlushPersistsDirty(t *testing.T) {
 	var ct diskio.Counter
 	vs := newTestVStore(t, 10, &ct)
 	for _, capacity := range []int{0, 4} {
-		c := newPullCache(vs, capacity)
+		c := newPullCache(vs, capacity, nil)
 		r, _ := c.get(5)
 		r.Val = 55
 		c.put(r)
@@ -146,7 +146,7 @@ func TestPullCacheReadBcastParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer vs.Close()
-	c := newPullCache(vs, 2)
+	c := newPullCache(vs, 2, nil)
 	if v, _ := c.readBcast(0, 0); v != 7 {
 		t.Fatalf("parity 0 = %g", v)
 	}

@@ -184,10 +184,10 @@ func (w *worker) drainInbox(t int) (map[graph.VertexID][]float64, error) {
 	}
 	inMem -= spilled
 	w.addStat(func(s *workerStat) {
-		s.parts.MdiskR += spilled * 12
+		s.parts.MdiskR += spilled * comm.MsgWireSize
 		s.cpu.Spilled += spilled // Giraph's sort-merge handling of disk messages
 		s.msgsInMem += inMem
-		if m := inMem * 12; m > s.memBytes {
+		if m := inMem * comm.MsgWireSize; m > s.memBytes {
 			s.memBytes = m
 		}
 	})

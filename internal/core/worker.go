@@ -227,8 +227,11 @@ func (w *worker) initInboxes() {
 		base := msgstore.NewInbox(filepath.Join(w.dir, fmt.Sprintf("spill%d.dat", p)),
 			w.ct, capacity)
 		if w.hot != nil {
-			w.inboxes[p] = msgstore.NewOnlineInbox(base, w.hot, w.job.prog.Combiner())
+			online := msgstore.NewOnlineInbox(base, w.hot, w.job.prog.Combiner())
+			online.SetMetrics(w.job.cfg.Metrics)
+			w.inboxes[p] = online
 		} else {
+			base.SetMetrics(w.job.cfg.Metrics)
 			w.inboxes[p] = base
 		}
 	}

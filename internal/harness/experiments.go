@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridgraph/internal/algo"
+	"hybridgraph/internal/comm"
 	"hybridgraph/internal/core"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
@@ -38,7 +39,8 @@ func Fig2(o Options) ([]*Table, error) {
 			Title:  fmt.Sprintf("push over wiki, %s: runtime vs message buffer", spec.name),
 			Header: []string{"buffer(msgs/worker)", "runtime(sim s)", "msgs-on-disk(%)"}}
 		addRow := func(label string, buf int) error {
-			cfg := core.Config{Workers: o.Workers, MsgBuf: buf, MaxSteps: spec.steps, Profile: o.Profile}
+			cfg := core.Config{Workers: o.Workers, MsgBuf: buf, MaxSteps: spec.steps, Profile: o.Profile,
+				TraceDir: o.TraceDir, Metrics: o.Metrics}
 			r, err := core.Run(g, spec.prog, cfg, core.Push)
 			if err != nil {
 				return err
@@ -611,7 +613,7 @@ func Fig26(o Options) ([]*Table, error) {
 			if produced == 0 {
 				return "0.00"
 			}
-			return fmt.Sprintf("%.2f", float64(saved)/float64(produced*12))
+			return fmt.Sprintf("%.2f", float64(saved)/float64(produced*comm.MsgWireSize))
 		}
 		cr.Rows = append(cr.Rows, []string{label, ratio(pmc), ratio(bp)})
 	}

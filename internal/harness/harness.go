@@ -17,6 +17,7 @@ import (
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
 )
 
 // Options configures an experiment run.
@@ -34,6 +35,13 @@ type Options struct {
 	// Quick trims dataset lists and sweeps so the full suite runs in
 	// seconds (used by `go test -bench` and CI).
 	Quick bool
+	// TraceDir, when set, exports one JSONL superstep trace journal per job
+	// the experiments run, auto-named <algorithm>_<engine>_<seq>.jsonl (see
+	// core.Config.TraceDir). Empty disables tracing.
+	TraceDir string
+	// Metrics, when non-nil, receives live counters from every job the
+	// experiments run (see core.Config.Metrics).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -198,6 +206,8 @@ func (o Options) limitedCfg(ds graph.Dataset, g *graph.Graph, alg string) core.C
 		MaxSteps:    maxStepsFor(alg),
 		Profile:     o.Profile,
 		VertexCache: int(0.7 * float64(partition)), // ">70% of vertices reside in memory"
+		TraceDir:    o.TraceDir,
+		Metrics:     o.Metrics,
 	}
 }
 
@@ -208,6 +218,8 @@ func (o Options) sufficientCfg(ds graph.Dataset, alg string) core.Config {
 		InMemory: true,
 		MaxSteps: maxStepsFor(alg),
 		Profile:  o.Profile,
+		TraceDir: o.TraceDir,
+		Metrics:  o.Metrics,
 	}
 }
 

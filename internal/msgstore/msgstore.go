@@ -18,9 +18,19 @@ import (
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/obs"
 )
 
 const recSize = 12 // dst uint32 + val float64
+
+// recSize is this store's on-disk record layout while comm.MsgWireSize is
+// the fabric's wire accounting; Q^t, Spilled and MdiskW are only coherent
+// if the two agree. These constant conversions fail to compile the moment
+// the constants diverge in either direction.
+const (
+	_ = uint(recSize - comm.MsgWireSize)
+	_ = uint(comm.MsgWireSize - recSize)
+)
 
 // Inbox is one worker's receive buffer for one superstep's incoming
 // messages. Safe for concurrent Add from multiple senders.
@@ -34,6 +44,18 @@ type Inbox struct {
 	spillN   int64
 	received int64
 	maxMem   int64
+
+	mSpilledMsgs  *obs.Counter // nil when metrics are disabled
+	mSpilledBytes *obs.Counter
+}
+
+// SetMetrics wires the inbox's spill tallies into reg ("msgstore.*"
+// counters, shared across inboxes). A nil registry disables them.
+func (b *Inbox) SetMetrics(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mSpilledMsgs = reg.Counter("msgstore.spilled_msgs")
+	b.mSpilledBytes = reg.Counter("msgstore.spilled_bytes")
 }
 
 // NewInbox returns an inbox spilling to path once capacity messages are
@@ -89,6 +111,8 @@ func (b *Inbox) spillMsg(m comm.Msg) error {
 		return err
 	}
 	b.spillN++
+	b.mSpilledMsgs.Inc()
+	b.mSpilledBytes.Add(recSize)
 	return nil
 }
 
@@ -179,6 +203,19 @@ type OnlineInbox struct {
 	acc     map[graph.VertexID]float64
 	cold    *Inbox
 	online  int64
+
+	mOnlineMsgs     *obs.Counter // nil when metrics are disabled
+	mOnlineCombines *obs.Counter
+}
+
+// SetMetrics wires the online-computing tallies (and the cold inbox's
+// spill tallies) into reg. A nil registry disables them.
+func (o *OnlineInbox) SetMetrics(reg *obs.Registry) {
+	o.mu.Lock()
+	o.mOnlineMsgs = reg.Counter("msgstore.online_msgs")
+	o.mOnlineCombines = reg.Counter("msgstore.online_combines")
+	o.mu.Unlock()
+	o.cold.SetMetrics(reg)
 }
 
 // NewOnlineInbox wraps cold with online computing for the hot vertices.
@@ -193,10 +230,12 @@ func (o *OnlineInbox) Add(m comm.Msg) error {
 	if o.hot[m.Dst] {
 		if v, ok := o.acc[m.Dst]; ok {
 			o.acc[m.Dst] = o.combine(v, m.Val)
+			o.mOnlineCombines.Inc()
 		} else {
 			o.acc[m.Dst] = m.Val
 		}
 		o.online++
+		o.mOnlineMsgs.Inc()
 		o.mu.Unlock()
 		return nil
 	}
@@ -204,10 +243,12 @@ func (o *OnlineInbox) Add(m comm.Msg) error {
 	return o.cold.Add(m)
 }
 
-// Received reports the number of messages accepted (online + cold).
+// Received reports the number of messages accepted (online + cold). Note
+// this counts messages, not accumulator slots: several messages combined
+// into one hot destination still each count once.
 func (o *OnlineInbox) Received() int64 {
 	o.mu.Lock()
-	online := int64(len(o.acc))
+	online := o.online
 	o.mu.Unlock()
 	return online + o.cold.Received()
 }

@@ -178,6 +178,40 @@ func TestOnlineInboxCombinesHot(t *testing.T) {
 	}
 }
 
+func TestOnlineInboxReceivedCountsMessages(t *testing.T) {
+	// Regression: Received used to report the number of distinct hot
+	// destinations rather than the number of messages received, so any
+	// combining made the count collapse (10 messages to one hot vertex
+	// counted as 1) while cold deliveries were dropped entirely.
+	cold, _ := newInbox(t, -1)
+	hot := map[graph.VertexID]bool{1: true, 2: true}
+	o := NewOnlineInbox(cold, hot, func(a, b float64) float64 { return a + b })
+	for i := 0; i < 10; i++ {
+		if err := o.Add(comm.Msg{Dst: 1, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := o.Add(comm.Msg{Dst: 2, Val: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := o.Add(comm.Msg{Dst: 5, Val: 1}); err != nil { // cold → spill
+			t.Fatal(err)
+		}
+	}
+	if got := o.Received(); got != 15 {
+		t.Fatalf("Received = %d, want 15 (10+3 combined online, 2 cold)", got)
+	}
+	if _, err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Received(); got != 0 {
+		t.Fatalf("Received after Drain = %d, want 0", got)
+	}
+}
+
 func TestOnlineInboxFoldsColdStragglers(t *testing.T) {
 	// A hot vertex's messages may land in the cold inbox before the hot
 	// set is consulted elsewhere; Drain must fold them into one value.

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar name: expvar.Publish panics on
+// duplicates, and tests may start several debug servers.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarReg  *Registry
+)
+
+// DebugServer is a running HTTP debug endpoint.
+type DebugServer struct {
+	Addr string // bound address (useful with ":0")
+	srv  *http.Server
+}
+
+// Shutdown stops the server, waiting for in-flight requests up to ctx.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Shutdown(ctx)
+}
+
+// StartDebug serves the standard Go debug surface on addr:
+//
+//	/metrics       plain-text "name value" dump of reg (sorted)
+//	/debug/vars    expvar JSON, including the registry under "hybridgraph"
+//	/debug/pprof/  the full pprof index (profile, heap, trace, ...)
+//
+// A reg of nil still serves pprof and expvar with an empty metrics dump.
+// The listener binds before returning, so Addr is always usable.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("hybridgraph", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarReg
+			expvarMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteTo(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}

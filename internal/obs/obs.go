@@ -1,0 +1,219 @@
+// Package obs is HybridGraph's observability layer: a lightweight metrics
+// registry of atomic counters and gauges every subsystem reports into, a
+// structured JSONL superstep trace journal, and an optional HTTP debug
+// server. The paper's whole contribution hinges on per-superstep byte
+// accounting — Eq. (11)'s Q^t combines categorized I/O and network bytes to
+// drive hybrid switching — and this package makes those numbers visible
+// while a job runs instead of only in the final JobResult.
+//
+// Everything is nil-safe: a nil *Registry hands out nil *Counter and
+// *Gauge values whose methods no-op, and a nil *Tracer drops events, so
+// instrumented code pays one nil check when observability is disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic tally. The zero value is
+// ready to use; a nil Counter silently discards increments so callers can
+// wire instrumentation unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current tally; zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (e.g. the superstep in flight or
+// a peak memory watermark). A nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Max raises the gauge to n if n is larger (a high-watermark update).
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reports the current value; zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry names and holds counters, gauges and read-only metric
+// functions. Lookups are idempotent — every subsystem asking for
+// "msgstore.spilled_msgs" shares one counter — and a nil Registry hands
+// out nil instruments, which is the disabled mode.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil counter (whose methods no-op).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterFunc installs a read-only metric evaluated at snapshot time —
+// used for subsystems that already keep their own tallies (the pull
+// baseline's LRU cache, say). Re-registering a name replaces the function.
+// No-op on a nil registry.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot captures every metric as a name → value map. Counters, gauges
+// and funcs share one namespace; on a collision the counter wins, then the
+// gauge. Nil registries snapshot empty.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return map[string]int64{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	for n, f := range r.funcs {
+		funcs[n] = f
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]int64, len(counters)+len(gauges)+len(funcs))
+	// Funcs run outside the registry lock: they may take subsystem locks of
+	// their own, and holding ours across arbitrary callbacks invites
+	// deadlock.
+	for n, f := range funcs {
+		out[n] = f()
+	}
+	for n, g := range gauges {
+		out[n] = g.Value()
+	}
+	for n, c := range counters {
+		out[n] = c.Value()
+	}
+	return out
+}
+
+// WriteTo dumps the registry as sorted "name value" lines — the plain-text
+// /metrics format of the debug server. Implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, n := range names {
+		k, err := fmt.Fprintf(w, "%s %d\n", n, snap[n])
+		total += int64(k)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// MetricsSetter is implemented by subsystems that accept a registry after
+// construction (the comm fabrics, say); core wires any fabric that
+// implements it.
+type MetricsSetter interface {
+	SetMetrics(*Registry)
+}
+
+// traceSeq numbers auto-named journal files within one process so
+// concurrent jobs tracing into one directory never collide.
+var traceSeq atomic.Int64
+
+// NextTraceSeq returns a process-unique, monotonically increasing sequence
+// number for journal file naming.
+func NextTraceSeq() int64 { return traceSeq.Add(1) }

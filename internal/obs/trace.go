@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/metrics"
+)
+
+// Tracer writes a structured JSONL trace journal: one JSON object per
+// line, each carrying a "type" discriminator. The journal is the live,
+// per-worker view of the byte accounting that JobResult only totals —
+// every superstep emits one WorkerStepEvent per worker plus one StepEvent
+// for the cluster, and mode switches, checkpoint commits, injected faults
+// and recoveries get events of their own.
+//
+// A nil Tracer drops everything, so callers emit unconditionally after one
+// nil check. Safe for concurrent Emit from worker goroutines.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+// NewTracer wraps an io.Writer. The caller owns the writer's lifetime.
+func NewTracer(w io.Writer) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// OpenTracer creates (truncating) a journal file at path; Close releases
+// it.
+func OpenTracer(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTracer(f)
+	t.c = f
+	return t, nil
+}
+
+// Emit appends one event line. Encoding or write errors latch: the first
+// one is kept, later events are dropped, and Err/Close report it. No-op on
+// a nil receiver.
+func (t *Tracer) Emit(ev any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(ev); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Events reports the number of events written so far.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Err reports the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close releases an owned file (OpenTracer) and reports the first latched
+// write error. Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		if cerr := t.c.Close(); cerr != nil && t.err == nil {
+			t.err = cerr
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// Event type discriminators (the "type" field of every journal line).
+const (
+	EventJobStart   = "job_start"
+	EventJobEnd     = "job_end"
+	EventWorkerStep = "superstep"   // one per superstep per worker
+	EventStep       = "step"        // one per superstep, cluster-aggregated
+	EventModeSwitch = "mode_switch" // hybrid executed a switch superstep
+	EventCheckpoint = "checkpoint"  // master committed a checkpoint
+	EventRestore    = "restore"     // recovery restored a committed checkpoint
+	EventFault      = "fault"       // an injected worker crash fired
+	EventRecovery   = "recovery"    // the master recovered and restarts the loop
+)
+
+// JobEvent opens (job_start) and closes (job_end) a journal.
+type JobEvent struct {
+	Type      string  `json:"type"`
+	Engine    string  `json:"engine"`
+	Algorithm string  `json:"algorithm"`
+	Workers   int     `json:"workers"`
+	Vertices  int     `json:"vertices,omitempty"`
+	Edges     int64   `json:"edges,omitempty"`
+	Steps     int     `json:"steps,omitempty"`       // job_end: supersteps kept
+	SimSecs   float64 `json:"sim_seconds,omitempty"` // job_end
+	NetBytes  int64   `json:"net_bytes,omitempty"`   // job_end
+	IOBytes   int64   `json:"io_bytes,omitempty"`    // job_end: logical superstep bytes
+	Restarts  int     `json:"restarts,omitempty"`    // job_end
+}
+
+// WorkerStepEvent is one worker's share of one superstep: the full I/O
+// breakdown of Eqs. (7)/(8), the class-tagged disk snapshot delta, and the
+// fabric bytes this worker moved. Summing a step's WorkerStepEvents
+// reproduces the StepStats the job reports — the cross-check the
+// accounting tests pin down.
+type WorkerStepEvent struct {
+	Type       string              `json:"type"`
+	Step       int                 `json:"step"`
+	Worker     int                 `json:"worker"`
+	Mode       string              `json:"mode"`
+	Updated    int64               `json:"updated"`
+	Responding int64               `json:"responding"`
+	Produced   int64               `json:"produced"`
+	Requests   int64               `json:"requests"`
+	Spilled    int64               `json:"spilled"` // messages spilled for t+1 (|M_disk|)
+	NetIn      int64               `json:"net_in"`
+	NetOut     int64               `json:"net_out"`
+	IO         diskio.Snapshot     `json:"io"`    // class-tagged disk delta
+	Parts      metrics.IOBreakdown `json:"parts"` // Eq. (7)/(8) categories
+	MemBytes   int64               `json:"mem_bytes"`
+}
+
+// StepEvent is the cluster-aggregated superstep record: the same StepStats
+// the JobResult keeps, plus hybrid's decision for superstep t+2 (the mode
+// the Q^t evaluation just scheduled). Emitted after the hybrid scheduler
+// has run, so NextMode reflects the decision this superstep's data made.
+type StepEvent struct {
+	Type     string            `json:"type"`
+	Stats    metrics.StepStats `json:"stats"`
+	NextMode string            `json:"next_mode,omitempty"` // hybrid: modes[t+2]
+}
+
+// ModeSwitchEvent records a hybrid switch superstep (Fig. 6): superstep
+// Step consumed messages per From and produced per To.
+type ModeSwitchEvent struct {
+	Type string `json:"type"`
+	Step int    `json:"step"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// CheckpointEvent records one committed checkpoint and its charged cost.
+type CheckpointEvent struct {
+	Type    string  `json:"type"`
+	Step    int     `json:"step"`
+	Workers int     `json:"workers"`
+	Bytes   int64   `json:"bytes"` // logical checkpoint I/O (snapshot writes + spill re-reads)
+	SimSecs float64 `json:"sim_seconds"`
+}
+
+// FaultEvent records an injected worker crash the master's detector saw.
+type FaultEvent struct {
+	Type   string `json:"type"`
+	Step   int    `json:"step"`
+	Worker int    `json:"worker"`
+}
+
+// RecoveryEvent records one recovery: the policy applied, the superstep
+// the restarted loop resumes from, and how many supersteps were discarded.
+type RecoveryEvent struct {
+	Type        string `json:"type"`
+	Policy      string `json:"policy"`
+	RestartStep int    `json:"restart_step"`
+	Discarded   int    `json:"discarded_steps"`
+	Restored    bool   `json:"restored"` // true when a committed checkpoint was used
+}
