@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hybridgraph"
 )
@@ -34,6 +35,16 @@ func main() {
 		trace     = flag.String("trace", "", "write a JSONL superstep trace journal to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry after the run (implied by -debug-addr)")
+
+		recovery  = flag.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined")
+		crashes   = flag.String("crashes", "", "inject worker crashes, comma-separated step:worker pairs (e.g. 4:1,7:0)")
+		stalls    = flag.String("stalls", "", "inject worker stalls, comma-separated step:worker pairs")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N supersteps (0 = policy default)")
+		deadline  = flag.Duration("barrier-deadline", 0, "barrier deadline for stall detection (0 = 250ms when stalls are scheduled)")
+		tcp       = flag.Bool("tcp", false, "run worker communication over loopback TCP")
+		netSeed   = flag.Int64("net-seed", 0, "transport fault seed (with -tcp)")
+		netDrop   = flag.Float64("net-drop", 0, "transport request/response drop probability (with -tcp)")
+		netDup    = flag.Float64("net-dup", 0, "transport duplicate probability (with -tcp)")
 	)
 	flag.Parse()
 
@@ -81,6 +92,26 @@ func main() {
 		VertexCache:     *cache,
 		SendThreshold:   *threshold,
 		TracePath:       *trace,
+		Recovery:        *recovery,
+		CheckpointEvery: *ckptEvery,
+		BarrierDeadline: *deadline,
+		TCP:             *tcp,
+	}
+	if *crashes != "" || *stalls != "" || *netDrop > 0 || *netDup > 0 {
+		plan := hybridgraph.NewFaultPlan()
+		for _, p := range parsePairs(*crashes) {
+			plan.Crashes = append(plan.Crashes, hybridgraph.Crash{Step: p[0], Worker: p[1]})
+		}
+		var sts []hybridgraph.Stall
+		for _, p := range parsePairs(*stalls) {
+			sts = append(sts, hybridgraph.Stall{Step: p[0], Worker: p[1]})
+		}
+		plan.WithStalls(sts...)
+		if *netDrop > 0 || *netDup > 0 {
+			plan.Net = &hybridgraph.TransportFaults{Seed: *netSeed,
+				DropRequest: *netDrop, DropResponse: *netDrop, Duplicate: *netDup}
+		}
+		cfg.FaultPlan = plan
 	}
 	var reg *hybridgraph.Metrics
 	if *metrics || *debugAddr != "" {
@@ -109,6 +140,11 @@ func main() {
 	fmt.Printf("network  : %d B\n", res.NetBytes)
 	fmt.Printf("memory   : %d B peak buffers\n", res.MaxMemBytes)
 	fmt.Printf("loading  : %.4f s simulated, %d B written\n", res.LoadSimSeconds, res.LoadIO.Total())
+	if res.Restarts > 0 {
+		fmt.Printf("recovery : %d restarts (%d stalls, %d confined), %d supersteps replayed, %.4f s simulated, %d B replayed, %d B logged\n",
+			res.Restarts, res.Stalls, res.ConfinedRecoveries, res.ReplayedSupersteps,
+			res.RecoverySimSeconds, res.ReplayIO.Total(), res.LogIO.Total())
+	}
 
 	if *trace != "" {
 		fmt.Printf("trace    : %s\n", *trace)
@@ -127,6 +163,23 @@ func main() {
 		fmt.Println("\nmetrics:")
 		reg.WriteTo(os.Stdout)
 	}
+}
+
+// parsePairs decodes "step:worker,step:worker" fault specs.
+func parsePairs(spec string) [][2]int {
+	var out [][2]int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var step, worker int
+		if _, err := fmt.Sscanf(part, "%d:%d", &step, &worker); err != nil {
+			fatal(fmt.Errorf("bad fault spec %q (want step:worker)", part))
+		}
+		out = append(out, [2]int{step, worker})
+	}
+	return out
 }
 
 func fatal(err error) {

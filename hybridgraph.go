@@ -88,19 +88,27 @@ var (
 )
 
 // FaultPlan is a deterministic schedule of injected faults: worker
-// crashes at (superstep, worker) points and, over TCP, seeded transport
-// faults. Assign one to Config.FaultPlan and pick a Config.Recovery
-// policy ("scratch", "resume" or "checkpoint").
+// crashes and stalls at (superstep, worker) points and, over TCP, seeded
+// transport faults. Assign one to Config.FaultPlan and pick a
+// Config.Recovery policy ("scratch", "resume", "checkpoint" or
+// "confined").
 type FaultPlan = faultplan.Plan
 
 // Crash is one scheduled worker failure.
 type Crash = faultplan.Crash
 
+// Stall is one scheduled worker hang, detected by the master's
+// barrier-deadline supervision (see Config.BarrierDeadline) instead of at
+// superstep start — the survivors complete the superstep the stalled
+// worker misses.
+type Stall = faultplan.Stall
+
 // TransportFaults seeds the resilient TCP fabric's fault injector with
 // drop/delay/duplicate probabilities.
 type TransportFaults = faultplan.TransportFaults
 
-// NewFaultPlan builds a crash schedule (sorted by superstep).
+// NewFaultPlan builds a crash schedule (sorted by superstep). Chain
+// WithStalls to add worker hangs.
 func NewFaultPlan(crashes ...Crash) *FaultPlan { return faultplan.NewPlan(crashes...) }
 
 // RandomCrashes derives a deterministic schedule of n distinct-superstep
@@ -109,9 +117,20 @@ func RandomCrashes(seed int64, n, maxStep, workers int) []Crash {
 	return faultplan.RandomCrashes(seed, n, maxStep, workers)
 }
 
+// RandomStalls derives a deterministic schedule of n distinct-superstep
+// worker hangs from a seed.
+func RandomStalls(seed int64, n, maxStep, workers int) []Stall {
+	return faultplan.RandomStalls(seed, n, maxStep, workers)
+}
+
 // ErrInjectedFailure matches (via errors.Is) the typed error a scheduled
 // crash raises inside the engines; recovery normally absorbs it.
 var ErrInjectedFailure = core.ErrInjectedFailure
+
+// ErrStalledWorker matches (via errors.Is) the typed error the master's
+// barrier-deadline supervision raises for a hung worker; recovery
+// normally absorbs it.
+var ErrStalledWorker = core.ErrStalledWorker
 
 // Run executes prog over g with the given engine and returns the result.
 func Run(g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {

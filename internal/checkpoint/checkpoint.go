@@ -20,6 +20,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -279,12 +280,23 @@ func (c Coordinator) LastCommitted() (int, bool) {
 
 // Remove deletes the checkpoint at step (marker first, so a partial removal
 // degrades to an uncommitted checkpoint, never a corrupt committed one).
-func (c Coordinator) Remove(step, workers int) {
-	os.Remove(c.commitPath(step))
-	os.Remove(c.MasterPath(step))
-	for w := 0; w < workers; w++ {
-		os.Remove(c.SnapshotPath(step, w))
+// Removal failures are joined and reported: a surviving commit marker
+// would make a later LastCommitted prefer this stale checkpoint over a
+// newer one whose files it then fails to verify, so callers must at least
+// log the error. Already-missing files are not errors.
+func (c Coordinator) Remove(step, workers int) error {
+	var errs []error
+	rm := func(path string) {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			errs = append(errs, err)
+		}
 	}
+	rm(c.commitPath(step))
+	rm(c.MasterPath(step))
+	for w := 0; w < workers; w++ {
+		rm(c.SnapshotPath(step, w))
+	}
+	return errors.Join(errs...)
 }
 
 // writeFile frames payload with magic, version and CRC and writes it to

@@ -159,3 +159,34 @@ func TestCommitProtocol(t *testing.T) {
 		t.Fatalf("after Remove(8): %d, %v; want 4", s, ok)
 	}
 }
+
+func TestRemoveReportsErrors(t *testing.T) {
+	c := Coordinator{Dir: t.TempDir()}
+	ct := &diskio.Counter{}
+	if _, err := WriteMaster(c.MasterPath(3), ct, &Master{Step: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+	// A non-empty directory squatting on a snapshot path makes os.Remove
+	// fail, standing in for any filesystem-level prune failure.
+	snap := c.SnapshotPath(3, 0)
+	if err := os.MkdirAll(filepath.Join(snap, "blocker"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(3, 1); err == nil {
+		t.Fatal("Remove swallowed a deletion failure")
+	}
+	// The marker went first regardless, so the stale checkpoint can no
+	// longer shadow a newer one.
+	if _, ok := c.LastCommitted(); ok {
+		t.Fatal("commit marker survived a failed Remove")
+	}
+	if err := os.RemoveAll(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(3, 1); err != nil {
+		t.Fatalf("Remove of missing files must be clean, got %v", err)
+	}
+}

@@ -29,7 +29,7 @@ func (w *worker) stepBPullProduce(t int, pushProduce bool) error {
 	var outbox *comm.Outbox
 	scratch := make([]graph.Half, 0, 256)
 	if pushProduce {
-		outbox = comm.NewOutbox(w.job.fabric, len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
+		outbox = comm.NewOutbox(w.fab(), len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
 	}
 	onUpdate := func(v graph.VertexID, rec *vertexfile.Record, responded bool) error {
 		// Estimate push's IO(E^t) from the in-memory adjacency index when
@@ -160,7 +160,7 @@ func (w *worker) pullBlock(t, b int) (map[graph.VertexID][]float64, int64, error
 	out := make(map[graph.VertexID][]float64)
 	var held int64
 	for y := range w.job.workers {
-		msgs, _, err := w.job.fabric.PullRequest(w.id, y, b, t)
+		msgs, _, err := w.fab().PullRequest(w.id, y, b, t)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -251,5 +251,15 @@ func (w *worker) RespondPull(reqBlock, step int) ([]comm.Msg, int64, error) {
 			s.memBytes = bsMem
 		}
 	})
+	if w.mlog != nil && w.job.layout.OwnerOfBlock(reqBlock) != w.id {
+		// Confined recovery: log the response exactly as it crosses the wire,
+		// so the requester's replay re-pull reads these bytes instead of this
+		// worker's (by then advanced) vertex values. Self-serving responses
+		// are regenerated during replay and never logged. Duplicate RPC
+		// deliveries may log twice; the reader takes the first copy.
+		if err := w.mlog.AppendPullResp(step, reqBlock, out); err != nil {
+			return nil, 0, err
+		}
+	}
 	return out, wire, nil
 }

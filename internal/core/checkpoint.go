@@ -54,7 +54,33 @@ func (j *job) maybeCheckpoint(t int, res *metrics.JobResult) error {
 	prev := j.ckptStep
 	j.ckptStep = t
 	if prev > 0 {
-		coord.Remove(prev, len(j.workers))
+		if err := coord.Remove(prev, len(j.workers)); err != nil {
+			// Pruning is housekeeping: the stale checkpoint's marker went
+			// first, so it can never shadow the one just committed. Log the
+			// failure and move on rather than failing the job.
+			j.jm.pruneFails.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.PruneFailedEvent{Type: obs.EventPruneFailed,
+					Step: prev, Reason: err.Error()})
+			}
+		}
+	}
+	// Message-log segments up to t are covered by the snapshots (parked
+	// inbox messages travel inside them), so confined replay never reads
+	// them again.
+	for _, w := range j.workers {
+		if w.mlog == nil {
+			continue
+		}
+		n, err := w.mlog.Prune(t)
+		j.jm.logPrunes.Add(int64(n))
+		if err != nil {
+			j.jm.pruneFails.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.PruneFailedEvent{Type: obs.EventPruneFailed,
+					Step: t, Reason: "msglog: " + err.Error()})
+			}
+		}
 	}
 	delta := mct.Snapshot()
 	for i, w := range j.workers {
@@ -93,27 +119,64 @@ func (j *job) masterRecord(t int) *checkpoint.Master {
 // committed checkpoint. ok is false when no committed checkpoint exists or
 // it fails verification — the caller then falls back to scratch recovery
 // (the checkpoint files never make recovery worse than the prototype's).
-// Restore I/O is charged to RecoverySimSeconds.
+// The bytes read are charged to RecoverySimSeconds and ReplayIO on every
+// exit path — an aborted restore reads real bytes before it gives up —
+// and an abort on a committed checkpoint is journaled as restore_failed.
 func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step int, ok bool, err error) {
 	coord := checkpoint.Coordinator{Dir: j.dir}
-	step, ok = coord.LastCommitted()
-	if !ok {
+	ck, committed := coord.LastCommitted()
+	if !committed {
 		return 0, false, nil
 	}
+	step = ck
 	befores := make([]diskio.Snapshot, len(j.workers))
 	for i, w := range j.workers {
 		befores[i] = w.ct.Snapshot()
 	}
 	mct := &diskio.Counter{}
+	failReason := ""
+	defer func() {
+		delta := mct.Snapshot()
+		for i, w := range j.workers {
+			delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
+		}
+		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+		res.ReplayIO = res.ReplayIO.Add(delta)
+		if ok {
+			j.jm.restores.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.CheckpointEvent{Type: obs.EventRestore, Step: ck,
+					Workers: len(j.workers), Bytes: delta.Total(),
+					SimSecs: j.cfg.Profile.DiskSeconds(delta)})
+			}
+		} else if failReason != "" {
+			j.jm.restoreFail.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.RestoreFailedEvent{Type: obs.EventRestoreFailed,
+					Step: ck, Reason: failReason})
+			}
+		}
+	}()
 	master, merr := checkpoint.ReadMaster(coord.MasterPath(step), mct)
-	if merr != nil || master.Step != step {
+	if merr != nil {
+		failReason = "master record: " + merr.Error()
+		return 0, false, nil
+	}
+	if master.Step != step {
+		failReason = fmt.Sprintf("master record claims step %d, marker says %d", master.Step, step)
 		return 0, false, nil
 	}
 	for _, w := range j.workers {
 		snap, serr := checkpoint.ReadSnapshot(coord.SnapshotPath(step, w.id), w.ct)
-		if serr != nil || snap.Step != step || snap.Worker != w.id || len(snap.Records) != w.part.Len() {
+		if serr != nil {
 			// A torn or corrupt snapshot: the commit marker promised it, but
 			// trust the CRC over the marker and recompute from scratch.
+			failReason = fmt.Sprintf("worker %d snapshot: %v", w.id, serr)
+			return 0, false, nil
+		}
+		if snap.Step != step || snap.Worker != w.id || len(snap.Records) != w.part.Len() {
+			failReason = fmt.Sprintf("worker %d snapshot claims step %d worker %d with %d records",
+				w.id, snap.Step, snap.Worker, len(snap.Records))
 			return 0, false, nil
 		}
 		if aerr := w.applySnapshot(snap); aerr != nil {
@@ -133,17 +196,6 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 		j.rco = master.Rco
 	}
 	j.prevAgg = master.PrevAgg
-	delta := mct.Snapshot()
-	for i, w := range j.workers {
-		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
-	}
-	res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
-	j.jm.restores.Inc()
-	if j.trace != nil {
-		j.trace.Emit(obs.CheckpointEvent{Type: obs.EventRestore, Step: step,
-			Workers: len(j.workers), Bytes: delta.Total(),
-			SimSecs: j.cfg.Profile.DiskSeconds(delta)})
-	}
 	return step, true, nil
 }
 

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/faultplan"
@@ -130,8 +131,22 @@ type Config struct {
 	// "checkpoint" restores every worker from the last committed
 	// superstep checkpoint (see CheckpointEvery) and replays only the
 	// supersteps since — the Pregel/Giraph policy, sound for every
-	// algorithm.
+	// algorithm. "confined" restores only the failed worker: every worker
+	// logs its outgoing push packets and served pull responses to a local
+	// superstep-segmented message log (internal/msglog, pruned on
+	// checkpoint commit), and after a failure the crashed worker alone
+	// restores its snapshot and replays the supersteps since by consuming
+	// survivors' logs — survivors serve log segments with zero recompute
+	// I/O, so recovery cost scales with the failed partition instead of
+	// the whole job. Confined requires a deterministic superstep schedule
+	// (no Async) and an engine with loggable exchanges (push, pushM,
+	// b-pull, hybrid — not the pull baseline's gather/scatter).
 	Recovery string
+	// BarrierDeadline bounds how long the master waits at a superstep
+	// barrier before declaring the unfinished workers failed (stall
+	// detection). Zero defaults to 250ms when the fault plan schedules
+	// stalls; without stalls the barrier waits forever, as before.
+	BarrierDeadline time.Duration
 	// TraceWriter, when non-nil, receives the structured JSONL superstep
 	// trace journal: one obs.WorkerStepEvent per superstep per worker with
 	// the full I/O breakdown and net in/out bytes, one obs.StepEvent per
@@ -185,11 +200,14 @@ func (c Config) withDefaults() Config {
 		c.EdgesInMemory = true
 		c.VerticesInMemory = true
 	}
-	if c.Recovery == "checkpoint" && c.CheckpointEvery <= 0 {
+	if (c.Recovery == "checkpoint" || c.Recovery == "confined") && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 5
 	}
 	if c.FaultPlan == nil && c.FailStep > 0 {
 		c.FaultPlan = faultplan.NewPlan(faultplan.Crash{Step: c.FailStep, Worker: c.FailWorker})
+	}
+	if c.BarrierDeadline <= 0 && c.FaultPlan != nil && len(c.FaultPlan.Stalls) > 0 {
+		c.BarrierDeadline = 250 * time.Millisecond
 	}
 	return c
 }
@@ -206,14 +224,25 @@ func (c Config) validate(n int) error {
 		return fmt.Errorf("core: negative BlocksPerWorker")
 	}
 	switch c.Recovery {
-	case "", "scratch", "resume", "checkpoint":
+	case "", "scratch", "resume", "checkpoint", "confined":
 	default:
 		return fmt.Errorf("core: unknown recovery policy %q", c.Recovery)
+	}
+	if c.Recovery == "confined" && c.Async {
+		// Async drains messages eagerly past the barrier, so a survivor's
+		// log is not a superstep-consistent record of what the failed
+		// worker must re-consume.
+		return fmt.Errorf("core: confined recovery requires synchronous iteration (Async is set)")
 	}
 	if c.FaultPlan != nil {
 		for _, cr := range c.FaultPlan.Crashes {
 			if cr.Worker < 0 || cr.Worker >= c.Workers {
 				return fmt.Errorf("core: fault plan crashes worker %d of %d", cr.Worker, c.Workers)
+			}
+		}
+		for _, s := range c.FaultPlan.Stalls {
+			if s.Worker < 0 || s.Worker >= c.Workers {
+				return fmt.Errorf("core: fault plan stalls worker %d of %d", s.Worker, c.Workers)
 			}
 		}
 	}

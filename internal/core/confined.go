@@ -1,0 +1,456 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/checkpoint"
+	"hybridgraph/internal/comm"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
+)
+
+// Confined recovery (Recovery: "confined"): instead of rolling every
+// worker back to the last committed checkpoint, only the failed worker
+// restores its snapshot and replays the supersteps since, consuming the
+// survivors' sender-side message logs (internal/msglog). Survivors serve
+// log segments without recomputing anything — under push the failed
+// worker's missing inbox deliveries are injected from the logs, and under
+// b-pull its re-pulls read logged responses instead of the survivors'
+// (by now advanced) vertex values. The job-level state the master keeps
+// in memory (hybrid's mode schedule, Q^t history, aggregator value)
+// survives a worker failure by construction, so nothing global is
+// restored or discarded: recovery cost scales with the failed partition,
+// which is the point.
+
+// ErrStalledWorker is the sentinel every barrier-deadline stall detection
+// matches: errors.Is(err, ErrStalledWorker) distinguishes workers the
+// supervision declared failed for hanging from crashes and real errors.
+var ErrStalledWorker = errors.New("core: worker missed the barrier deadline")
+
+// StalledWorker is the typed error the master's barrier-deadline
+// supervision raises when workers fail to reach the barrier of superstep
+// Step before the deadline. Unlike a crash — detected before the
+// superstep runs — the surviving workers have completed Step, so the
+// stalled workers must rejoin a superstep the cluster already finished.
+type StalledWorker struct {
+	Step    int
+	Workers []int
+}
+
+// Error implements error.
+func (e *StalledWorker) Error() string {
+	return fmt.Sprintf("core: workers %v missed the barrier deadline at superstep %d", e.Workers, e.Step)
+}
+
+// Is makes errors.Is(err, ErrStalledWorker) true for every detection.
+func (e *StalledWorker) Is(target error) bool { return target == ErrStalledWorker }
+
+// sendLogger wraps the job fabric for one worker under the confined
+// policy: every cross-worker push packet is appended to the worker's
+// message log before it reaches the fabric, so transport retries and
+// duplicated deliveries can never double-log. Loopback packets are not
+// logged — replay regenerates them locally. Pull responses are logged on
+// the serving side (RespondPull), where the wire form is known.
+type sendLogger struct {
+	comm.Fabric
+	w *worker
+}
+
+// Send implements comm.Fabric.
+func (s *sendLogger) Send(p *comm.Packet) error {
+	if p.To != s.w.id {
+		if err := s.w.mlog.AppendPush(p.Step, p.To, p.Msgs); err != nil {
+			return err
+		}
+	}
+	return s.Fabric.Send(p)
+}
+
+// replayFabric is the fabric the failed worker's replay supersteps run
+// through. In drop mode (crash replay) outgoing packets to survivors are
+// discarded — they already received them before the failure — loopback
+// packets are delivered locally, and pulls from survivors read their log
+// segments instead of invoking Pull-Respond. In rejoin mode (the final
+// superstep of a stalled worker, which the survivors finished without
+// hearing from it) traffic flows through the live fabric and is logged
+// like any normal superstep: the survivors' read-parity flag vectors and
+// broadcast columns for that superstep are still intact, so live serving
+// is exact.
+type replayFabric struct {
+	j      *job
+	failed int
+	rejoin bool
+
+	logCt *diskio.Counter // survivors' log-segment reads
+
+	mu     sync.Mutex
+	served map[int]int64 // survivor id -> log bytes served this replay step
+	net    int64         // replayed wire bytes this replay step
+}
+
+func (rf *replayFabric) resetStep() {
+	rf.mu.Lock()
+	rf.served = make(map[int]int64)
+	rf.net = 0
+	rf.mu.Unlock()
+}
+
+func (rf *replayFabric) takeStep() (served map[int]int64, net int64) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	return rf.served, rf.net
+}
+
+func (rf *replayFabric) addNet(n int64) {
+	rf.mu.Lock()
+	rf.net += n
+	rf.mu.Unlock()
+}
+
+// Register implements comm.Fabric (never called during replay).
+func (rf *replayFabric) Register(worker int, h comm.Handler) {}
+
+// Send implements comm.Fabric.
+func (rf *replayFabric) Send(p *comm.Packet) error {
+	w := rf.j.workers[rf.failed]
+	if rf.rejoin {
+		// The survivors never heard from this worker at the rejoin
+		// superstep: send for real, logging first like a normal superstep so
+		// a later failure of another worker can replay against this log.
+		if p.To != rf.failed {
+			if err := w.mlog.AppendPush(p.Step, p.To, p.Msgs); err != nil {
+				return err
+			}
+			rf.addNet(p.Bytes())
+		}
+		return rf.j.fabric.Send(p)
+	}
+	if p.To == rf.failed {
+		// Loopback: the worker's own deliveries are regenerated, not logged.
+		return w.DeliverMessages(p)
+	}
+	// Survivors received this packet before the failure; drop it.
+	return nil
+}
+
+// PullRequest implements comm.Fabric.
+func (rf *replayFabric) PullRequest(from, to, block, step int) ([]comm.Msg, int64, error) {
+	if to == rf.failed {
+		// Self-pull: recomputed locally from the worker's own restored state.
+		return rf.j.workers[to].RespondPull(block, step)
+	}
+	if rf.rejoin {
+		msgs, wire, err := rf.j.fabric.PullRequest(from, to, block, step)
+		if err != nil {
+			return nil, 0, err
+		}
+		rf.addNet(comm.PullReqSize + wire)
+		return msgs, wire, nil
+	}
+	// Drop mode: the survivor serves its log segment — zero recompute I/O.
+	msgs, _, err := rf.j.workers[to].mlog.PullResp(step, block, rf.logCt)
+	if err != nil {
+		return nil, 0, err
+	}
+	wire := comm.ConcatSize(msgs)
+	rf.mu.Lock()
+	rf.served[to] += wire
+	rf.net += comm.PullReqSize + wire
+	rf.mu.Unlock()
+	return msgs, wire, nil
+}
+
+// Gather implements comm.Fabric. The pull baseline is rejected at setup
+// under the confined policy, so replay can never reach here.
+func (rf *replayFabric) Gather(from, to int, ids []graph.VertexID, step int) ([]comm.GatherResult, error) {
+	return nil, fmt.Errorf("core: confined replay does not support the pull baseline")
+}
+
+// Signal implements comm.Fabric.
+func (rf *replayFabric) Signal(from, to int, ids []graph.VertexID, step int) error {
+	return fmt.Errorf("core: confined replay does not support the pull baseline")
+}
+
+// Traffic implements comm.Fabric.
+func (rf *replayFabric) Traffic(w int) (in, out int64) { return rf.j.fabric.Traffic(w) }
+
+// TotalBytes implements comm.Fabric.
+func (rf *replayFabric) TotalBytes() int64 { return rf.j.fabric.TotalBytes() }
+
+// rejoinStat is what a rejoin superstep contributes back to the stalled
+// step's StepStats: the semantic quantities that drive halting decisions.
+type rejoinStat struct {
+	updated    int64
+	responding int64
+	produced   int64
+	agg        float64
+	aggSet     bool
+}
+
+// confinedRecoverAll recovers every failed worker in turn, patches the
+// stalled step's aggregate with the rejoin contributions, and re-applies
+// the halting checks the stalled superstep skipped. halt reports that the
+// job is finished (the stalled step turned out to be the last one).
+func (j *job) confinedRecoverAll(engine Engine, res *metrics.JobResult, failed []int, failStep, lastDone int, stalled bool) (halt bool, err error) {
+	var rej rejoinStat
+	aggProg, aggregating := j.prog.(algo.Aggregating)
+	for _, fw := range failed {
+		r, rerr := j.confinedRecover(engine, res, fw, lastDone, stalled)
+		if rerr != nil {
+			return false, rerr
+		}
+		rej.updated += r.updated
+		rej.responding += r.responding
+		rej.produced += r.produced
+		if aggregating && r.aggSet {
+			if rej.aggSet {
+				rej.agg = aggProg.Reduce(rej.agg, r.agg)
+			} else {
+				rej.agg, rej.aggSet = r.agg, true
+			}
+		}
+	}
+	if !stalled || len(res.Steps) == 0 {
+		return false, nil
+	}
+	st := &res.Steps[len(res.Steps)-1]
+	if st.Step != failStep {
+		return false, nil
+	}
+	// The stalled step's stats were aggregated without the failed workers;
+	// fold their rejoin contributions back in so the halting checks the
+	// superstep skipped see the complete superstep — otherwise a confined
+	// run could iterate past the step a fault-free run stops at, diverging
+	// from it.
+	st.Updated += rej.updated
+	st.Responding += rej.responding
+	st.Produced += rej.produced
+	if rej.aggSet {
+		if j.lastStepAggSet {
+			st.Aggregate = aggProg.Reduce(st.Aggregate, rej.agg)
+		} else {
+			st.Aggregate = rej.agg
+		}
+	}
+	j.prevAgg = st.Aggregate
+	if st.Responding == 0 {
+		return true, nil
+	}
+	if aggregating && failStep > 1 && aggProg.Converged(st.Aggregate) {
+		return true, nil
+	}
+	return false, nil
+}
+
+// confinedRecover restores one failed worker from its own snapshot (or
+// per-worker scratch when no checkpoint verifies) and replays supersteps
+// [ckpt+1, lastDone] against the survivors' logs. The caller resumes the
+// main loop at lastDone+1; nothing is discarded.
+func (j *job) confinedRecover(engine Engine, res *metrics.JobResult, fw, lastDone int, stalled bool) (rejoinStat, error) {
+	w := j.workers[fw]
+	base := j.ckptStep
+	restored := false
+	if base > 0 {
+		ok, err := j.confinedRestore(w, base, res)
+		if err != nil {
+			return rejoinStat{}, err
+		}
+		restored = ok
+		if !ok {
+			base = 0
+		}
+	}
+	if !restored {
+		// Per-worker scratch: fresh flags and inboxes; replay starts at
+		// superstep 1, whose Init overwrites the vertex values.
+		w.initFlags()
+		if w.inboxes[0] != nil || w.inboxes[1] != nil {
+			w.initInboxes()
+		}
+	}
+
+	rf := &replayFabric{j: j, failed: fw, logCt: &diskio.Counter{}, served: map[int]int64{}}
+	j.replayFab = rf
+	defer func() { j.replayFab = nil }()
+
+	var rej rejoinStat
+	replayed := 0
+	for u := base + 1; u <= lastDone; u++ {
+		rf.rejoin = stalled && u == lastDone
+		r, err := j.replayStep(w, u, base, engine, rf, res)
+		if err != nil {
+			return rejoinStat{}, err
+		}
+		if rf.rejoin {
+			rej = r
+		}
+		replayed++
+	}
+	// The messages survivors sent during the last completed superstep are
+	// waiting in their logs; park them in the recovered worker's inbox for
+	// the superstep the resumed loop runs next.
+	if lastDone > base {
+		rf.rejoin = false
+		rf.resetStep()
+		wb := w.ct.Snapshot()
+		lb := rf.logCt.Snapshot()
+		if err := j.injectLogged(w, lastDone, rf); err != nil {
+			return rejoinStat{}, err
+		}
+		d := w.ct.Snapshot().Sub(wb)
+		logD := rf.logCt.Snapshot().Sub(lb)
+		_, net := rf.takeStep()
+		res.ReplayIO = res.ReplayIO.Add(d).Add(logD)
+		res.ReplayNetBytes += net
+		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(d.Add(logD)) + j.cfg.Profile.NetSeconds(net)
+	}
+
+	res.ConfinedRecoveries++
+	j.jm.recoveries.Inc()
+	j.jm.confined.Inc()
+	if j.trace != nil {
+		j.trace.Emit(obs.RecoveryEvent{Type: obs.EventRecovery, Policy: "confined",
+			RestartStep: lastDone + 1, Discarded: 0, Restored: restored,
+			Worker: fw, Replayed: replayed})
+	}
+	return rej, nil
+}
+
+// confinedRestore restores only worker w from the committed checkpoint at
+// step base. ok is false when the worker's snapshot fails verification —
+// the caller then falls back to per-worker scratch replay. Either way the
+// bytes read are charged to the recovery accounting, and an aborted
+// restore is journaled as restore_failed.
+func (j *job) confinedRestore(w *worker, base int, res *metrics.JobResult) (ok bool, err error) {
+	coord := checkpoint.Coordinator{Dir: j.dir}
+	before := w.ct.Snapshot()
+	failReason := ""
+	defer func() {
+		delta := w.ct.Snapshot().Sub(before)
+		res.ReplayIO = res.ReplayIO.Add(delta)
+		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+		if ok {
+			res.Restores++
+			j.jm.restores.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.CheckpointEvent{Type: obs.EventRestore, Step: base,
+					Workers: 1, Bytes: delta.Total(),
+					SimSecs: j.cfg.Profile.DiskSeconds(delta)})
+			}
+		} else if failReason != "" {
+			j.jm.restoreFail.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.RestoreFailedEvent{Type: obs.EventRestoreFailed,
+					Step: base, Reason: failReason})
+			}
+		}
+	}()
+	snap, serr := checkpoint.ReadSnapshot(coord.SnapshotPath(base, w.id), w.ct)
+	if serr != nil {
+		failReason = serr.Error()
+		return false, nil
+	}
+	if snap.Step != base || snap.Worker != w.id || len(snap.Records) != w.part.Len() {
+		failReason = fmt.Sprintf("snapshot claims step %d worker %d with %d records, want step %d worker %d with %d",
+			snap.Step, snap.Worker, len(snap.Records), base, w.id, w.part.Len())
+		return false, nil
+	}
+	if aerr := w.applySnapshot(snap); aerr != nil {
+		return false, aerr
+	}
+	return true, nil
+}
+
+// replayStep re-executes superstep u on the failed worker alone, behind
+// the replay fabric. Messages the survivors pushed to it during u-1 are
+// injected from their logs first (unless u-1 is the checkpoint step,
+// whose deliveries the snapshot already parked).
+func (j *job) replayStep(w *worker, u, base int, engine Engine, rf *replayFabric, res *metrics.JobResult) (rejoinStat, error) {
+	rf.resetStep()
+	wb := w.ct.Snapshot()
+	lb := rf.logCt.Snapshot()
+	survBefore := make([]diskio.Snapshot, len(j.workers))
+	for i, sv := range j.workers {
+		if i != w.id {
+			survBefore[i] = sv.ct.Snapshot()
+		}
+	}
+	w.resetStat()
+	w.clearStepFlags(u)
+	if u-1 > base {
+		if err := j.injectLogged(w, u-1, rf); err != nil {
+			return rejoinStat{}, err
+		}
+	}
+	mode := engine
+	if engine == Hybrid {
+		mode = j.modes[u]
+	}
+	if err := j.stepWorker(w, u, engine, mode); err != nil {
+		return rejoinStat{}, err
+	}
+
+	d := w.ct.Snapshot().Sub(wb)
+	logD := rf.logCt.Snapshot().Sub(lb)
+	served, net := rf.takeStep()
+	w.mu.Lock()
+	stat := w.stat
+	w.mu.Unlock()
+	cpuSec := stat.cpu.Seconds(j.cfg.Profile)
+	simSecs := cpuSec + j.cfg.Profile.DiskSeconds(d.Add(logD)) + j.cfg.Profile.NetSeconds(net)
+	res.ReplayIO = res.ReplayIO.Add(d).Add(logD)
+	res.ReplayNetBytes += net
+	res.RecoverySimSeconds += simSecs
+	res.ReplayedSupersteps++
+	j.jm.replayBytes.Add(d.Total() + logD.Total())
+	j.jm.replaySteps.Inc()
+	if j.trace != nil {
+		j.trace.Emit(obs.ReplayStepEvent{Type: obs.EventReplayStep, Step: u,
+			Worker: w.id, Rejoin: rf.rejoin, IO: d, LogBytes: logD.Total(),
+			NetBytes: net, SimSecs: simSecs})
+		for i, sv := range j.workers {
+			if i == w.id {
+				continue
+			}
+			// One line per survivor: the log bytes it served and its own
+			// compute-counter delta — the "zero recompute I/O" assertion.
+			j.trace.Emit(obs.ReplayServeEvent{Type: obs.EventReplayServe, Step: u,
+				Worker: i, Bytes: served[i], IO: sv.ct.Snapshot().Sub(survBefore[i])})
+		}
+	}
+	return rejoinStat{updated: stat.updated, responding: stat.responding,
+		produced: stat.produced, agg: stat.agg, aggSet: stat.aggSet}, nil
+}
+
+// injectLogged parks the messages every survivor pushed to w during
+// superstep step into w's inbox for step+1, reading them back from the
+// survivors' logs. Log reads are charged to the replay fabric's counter;
+// the re-delivered bytes count as replayed network traffic.
+func (j *job) injectLogged(w *worker, step int, rf *replayFabric) error {
+	for _, sv := range j.workers {
+		if sv.id == w.id {
+			continue
+		}
+		msgs, err := sv.mlog.PushTo(step, w.id, rf.logCt)
+		if err != nil {
+			return err
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		if err := w.DeliverMessages(&comm.Packet{From: sv.id, To: w.id, Step: step, Msgs: msgs}); err != nil {
+			return err
+		}
+		wire := int64(len(msgs)) * comm.MsgWireSize
+		rf.mu.Lock()
+		rf.served[sv.id] += wire
+		rf.net += wire
+		rf.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/checkpoint"
+	"hybridgraph/internal/graph"
+)
+
+// flipByte corrupts one byte in the middle of a checkpoint file.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("%s is empty", path)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreSurvivesCorruption seeds a work directory with a committed
+// checkpoint, corrupts one of its pieces, and drives a crash recovery
+// through it: the CRC must catch the damage, the job must fall back to
+// scratch recomputation with values exactly matching a fault-free run,
+// the aborted restore must be journaled as restore_failed, and the bytes
+// it read before giving up must be charged to RecoverySimSeconds.
+func TestRestoreSurvivesCorruption(t *testing.T) {
+	g := graph.GenRMAT(400, 3000, 0.57, 0.19, 0.19, 71)
+	prog := func() algo.Program { return algo.NewPageRank(0.85) }
+
+	clean, err := Run(g, prog(), Config{Workers: 3, MsgBuf: 100, MaxSteps: 5}, Push)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// seed writes a committed checkpoint at superstep 3 into dir.
+	seed := func(t *testing.T, dir string) {
+		cfg := Config{Workers: 3, MsgBuf: 100, MaxSteps: 4, CheckpointEvery: 3,
+			WorkDir: dir, KeepFiles: true}
+		if _, err := Run(g, prog(), cfg, Push); err != nil {
+			t.Fatal(err)
+		}
+		coord := checkpoint.Coordinator{Dir: dir}
+		if step, ok := coord.LastCommitted(); !ok || step != 3 {
+			t.Fatalf("seed run committed step %d (ok=%v), want 3", step, ok)
+		}
+	}
+
+	// crash runs the same job with a crash at superstep 2 under the
+	// checkpoint policy, so recovery attempts a restore from the (damaged)
+	// directory, and returns the result plus the parsed trace.
+	crash := func(t *testing.T, dir string) (*parsedTrace, float64, []float64) {
+		var buf bytes.Buffer
+		cfg := Config{Workers: 3, MsgBuf: 100, MaxSteps: 5, Recovery: "checkpoint",
+			CheckpointEvery: 10, WorkDir: dir, KeepFiles: true,
+			FailStep: 2, FailWorker: 1, TraceWriter: &buf}
+		res, err := Run(g, prog(), cfg, Push)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parseTrace(t, buf.Bytes()), res.RecoverySimSeconds, res.Values
+	}
+
+	// baseline: the same crash with no checkpoint directory at all — the
+	// recovery-time difference against it is the aborted restore's reads.
+	_, baseSecs, _ := crash(t, t.TempDir())
+
+	check := func(t *testing.T, p *parsedTrace, secs float64, vals []float64, wantExtraSecs bool) {
+		if len(p.restores) != 0 {
+			t.Fatal("a corrupt checkpoint must not restore")
+		}
+		if len(p.restoreFailed) != 1 {
+			t.Fatalf("restore_failed events = %d, want 1", len(p.restoreFailed))
+		}
+		if p.restoreFailed[0].Reason == "" {
+			t.Fatal("restore_failed event carries no reason")
+		}
+		if len(p.recoveries) != 1 || p.recoveries[0].RestartStep != 1 {
+			t.Fatalf("recovery = %+v, want scratch fallback restarting at 1", p.recoveries)
+		}
+		if wantExtraSecs && secs <= baseSecs {
+			t.Fatalf("RecoverySimSeconds = %g, want > %g: the aborted restore read real bytes",
+				secs, baseSecs)
+		}
+		for v := range clean.Values {
+			if vals[v] != clean.Values[v] {
+				t.Fatalf("vertex %d = %g after fallback, fault-free run has %g",
+					v, vals[v], clean.Values[v])
+			}
+		}
+	}
+
+	t.Run("worker-snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		seed(t, dir)
+		flipByte(t, checkpoint.Coordinator{Dir: dir}.SnapshotPath(3, 1))
+		p, secs, vals := crash(t, dir)
+		check(t, p, secs, vals, true)
+	})
+	t.Run("master-record", func(t *testing.T) {
+		dir := t.TempDir()
+		seed(t, dir)
+		flipByte(t, checkpoint.Coordinator{Dir: dir}.MasterPath(3))
+		p, secs, vals := crash(t, dir)
+		check(t, p, secs, vals, true)
+	})
+	t.Run("stale-commit-marker", func(t *testing.T) {
+		// A commit marker promising a checkpoint whose files never made it:
+		// the marker is trusted for discovery but nothing verifies, so the
+		// job must fall back to scratch, not crash or restore garbage.
+		dir := t.TempDir()
+		seed(t, dir)
+		if err := os.WriteFile(filepath.Join(dir, "ckpt-000009.commit"), []byte("9"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, secs, vals := crash(t, dir)
+		// The phantom checkpoint has no master record to read, so no extra
+		// bytes are charged — only the failure is journaled.
+		check(t, p, secs, vals, false)
+		if p.restoreFailed[0].Step != 9 {
+			t.Fatalf("restore_failed at step %d, want the phantom step 9", p.restoreFailed[0].Step)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/msglog"
 	"hybridgraph/internal/obs"
 	"hybridgraph/internal/veblock"
 	"hybridgraph/internal/vertexfile"
@@ -44,8 +45,18 @@ type job struct {
 	prevAgg float64 // last superstep's reduced aggregator value
 
 	crashFired []bool // per fault-plan crash: already injected
+	stallFired []bool // per fault-plan stall: already injected
 	resuming   bool   // lightweight recovery: superstep 1 re-announces values
 	ckptStep   int    // last committed checkpoint superstep (0 = none)
+
+	// lastStepAggSet records whether any worker contributed to the last
+	// superstep's aggregate — confined stall recovery needs it to fold the
+	// rejoin contribution in correctly.
+	lastStepAggSet bool
+	// replayFab, while non-nil, redirects the failed worker's superstep
+	// sends and pulls through the confined replay fabric. Installed and
+	// removed between supersteps only.
+	replayFab *replayFabric
 
 	// observability: nil trace drops events, nil-instrument jm no-ops.
 	trace *obs.Tracer
@@ -224,6 +235,13 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 	j.parts = graph.RangePartition(j.g.NumVertices, t)
 	if j.cfg.FaultPlan != nil {
 		j.crashFired = make([]bool, len(j.cfg.FaultPlan.Crashes))
+		j.stallFired = make([]bool, len(j.cfg.FaultPlan.Stalls))
+	}
+	if j.cfg.Recovery == "confined" && engine == Pull {
+		// The pull baseline's gather/scatter exchanges carry whole vertex
+		// states on demand, not superstep-framed messages; there is nothing
+		// a sender-side log could replay.
+		return fmt.Errorf("core: confined recovery does not support the pull baseline")
 	}
 	if j.cfg.TCP {
 		var tcfg comm.TCPConfig
@@ -311,6 +329,15 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		if engine == Pull {
 			wk.vcache = newPullCache(wk.vstore, j.cfg.VertexCache, j.cfg.Metrics)
 		}
+		if j.cfg.Recovery == "confined" {
+			wk.logCt = &diskio.Counter{}
+			ml, err := msglog.Open(filepath.Join(wk.dir, "msglog"), wk.logCt)
+			if err != nil {
+				return err
+			}
+			wk.mlog = ml
+			wk.sendLog = &sendLogger{Fabric: j.fabric, w: wk}
+		}
 		j.fabric.Register(w, wk)
 		j.workers[w] = wk
 	}
@@ -339,16 +366,45 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 	start := 1
 	for {
 		err := j.runOnce(engine, res, start)
-		if err == nil || !errors.Is(err, ErrInjectedFailure) {
+		if err == nil {
+			return nil
+		}
+		var failed []int
+		var failStep, lastDone int
+		stalled := false
+		var inj *InjectedFailure
+		var stl *StalledWorker
+		switch {
+		case errors.As(err, &inj):
+			// A crash fires before superstep Step runs: Step-1 completed.
+			failed, failStep, lastDone = []int{inj.Worker}, inj.Step, inj.Step-1
+		case errors.As(err, &stl):
+			// A stall is detected at the barrier of Step: the survivors
+			// completed Step, the stalled workers did not.
+			failed, failStep, lastDone, stalled = stl.Workers, stl.Step, stl.Step, true
+			res.Stalls += len(stl.Workers)
+		default:
 			return err
 		}
 		res.Restarts++
+		if j.cfg.Recovery == "confined" {
+			halt, rerr := j.confinedRecoverAll(engine, res, failed, failStep, lastDone, stalled)
+			if rerr != nil {
+				return rerr
+			}
+			if halt {
+				return nil
+			}
+			start = lastDone + 1
+			continue
+		}
 		restart, rerr := j.recover(engine, res)
 		if rerr != nil {
 			return rerr
 		}
 		// Steps the restart will redo are discarded; their simulated time
-		// is the price of recovery.
+		// and I/O are the price of recovery — the quantity confined
+		// recovery's ReplayIO is compared against.
 		kept := 0
 		for i := range res.Steps {
 			if res.Steps[i].Step >= restart {
@@ -359,6 +415,8 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 		for _, s := range res.Steps[kept:] {
 			res.RecoverySimSeconds += s.SimSeconds
 			res.ReplayedSupersteps++
+			res.ReplayIO = res.ReplayIO.Add(s.IO)
+			res.ReplayNetBytes += s.NetBytes
 		}
 		discarded := len(res.Steps) - kept
 		res.Steps = res.Steps[:kept]
@@ -454,7 +512,8 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 			mode = j.modes[t]
 		}
 		st, err := j.superstep(t, engine, mode)
-		if err != nil {
+		var stallErr *StalledWorker
+		if err != nil && !errors.As(err, &stallErr) {
 			return err
 		}
 		res.Steps = append(res.Steps, st)
@@ -478,6 +537,21 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 			}
 		}
 		j.prevAgg = st.Aggregate
+		if stallErr != nil {
+			// The stalled workers missed the barrier deadline: journal the
+			// fault and hand the incomplete superstep to recovery. The
+			// halting checks are re-applied after recovery folds the rejoin
+			// contributions back into this step's stats.
+			j.jm.faults.Inc()
+			j.jm.stalls.Add(int64(len(stallErr.Workers)))
+			if j.trace != nil {
+				for _, w := range stallErr.Workers {
+					j.trace.Emit(obs.FaultEvent{Type: obs.EventFault, Step: t,
+						Worker: w, Kind: "stall"})
+				}
+			}
+			return stallErr
+		}
 		if st.Responding == 0 {
 			break
 		}
@@ -502,10 +576,35 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 	return nil
 }
 
+// injectStalls reports which workers a scheduled, not-yet-fired stall
+// freezes at superstep t (nil when none). Like crashes, each stall fires
+// at most once per job.
+func (j *job) injectStalls(t int) []bool {
+	plan := j.cfg.FaultPlan
+	if plan == nil {
+		return nil
+	}
+	var out []bool
+	for i, s := range plan.Stalls {
+		if s.Step == t && !j.stallFired[i] {
+			j.stallFired[i] = true
+			if out == nil {
+				out = make([]bool, len(j.workers))
+			}
+			out[s.Worker] = true
+		}
+	}
+	return out
+}
+
 // superstep runs one superstep across all workers and aggregates stats.
+// A returned *StalledWorker error (and only that error) comes with valid
+// stats: the survivors completed the superstep and their numbers are
+// real; the stalled workers contributed nothing.
 func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	type before struct {
 		io      diskio.Snapshot
+		log     diskio.Snapshot
 		in, out int64
 	}
 	befores := make([]before, len(j.workers))
@@ -514,23 +613,67 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		w.clearStepFlags(t)
 		in, out := j.fabric.Traffic(w.id)
 		befores[i] = before{io: w.ct.Snapshot(), in: in, out: out}
+		if w.logCt != nil {
+			befores[i].log = w.logCt.Snapshot()
+		}
 	}
 	wallStart := time.Now()
 
+	stalling := j.injectStalls(t)
+	var release chan struct{}
+	if stalling != nil {
+		release = make(chan struct{})
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(j.workers))
 	for i, w := range j.workers {
 		wg.Add(1)
 		go func(i int, w *worker) {
 			defer wg.Done()
+			if release != nil && stalling[i] {
+				// The stalled worker hangs mid-superstep: it stays reachable —
+				// deliveries land in its inbox and its Pull-Respond handler
+				// keeps serving — but it never reaches the barrier. The
+				// master's deadline supervision declares it failed.
+				<-release
+				errs[i] = &StalledWorker{Step: t, Workers: []int{w.id}}
+				return
+			}
 			errs[i] = j.stepWorker(w, t, engine, mode)
 		}(i, w)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return metrics.StepStats{}, err
+	if release == nil {
+		wg.Wait()
+	} else {
+		deadline := j.cfg.BarrierDeadline
+		if deadline <= 0 {
+			deadline = 250 * time.Millisecond
 		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(deadline):
+			// Barrier deadline expired: declare the missing workers failed
+			// and release their goroutines.
+			close(release)
+			<-done
+		}
+	}
+	var stallErr *StalledWorker
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var se *StalledWorker
+		if errors.As(err, &se) {
+			if stallErr == nil {
+				stallErr = &StalledWorker{Step: t}
+			}
+			stallErr.Workers = append(stallErr.Workers, se.Workers...)
+			continue
+		}
+		return metrics.StepStats{}, err
 	}
 	wall := time.Since(wallStart).Seconds()
 
@@ -543,6 +686,10 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	var simMax float64
 	for i, w := range j.workers {
 		d := w.ct.Snapshot().Sub(befores[i].io)
+		var logD diskio.Snapshot
+		if w.logCt != nil {
+			logD = w.logCt.Snapshot().Sub(befores[i].log)
+		}
 		in, out := j.fabric.Traffic(w.id)
 		nIn, nOut := in-befores[i].in, out-befores[i].out
 
@@ -565,6 +712,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		st.Updated += s.updated
 		st.Spilled += s.parts.MdiskW / comm.MsgWireSize
 		st.IO = st.IO.Add(d)
+		st.LogIO = st.LogIO.Add(logD)
 		addBreakdown(&st.Parts, s.parts)
 
 		mem := s.memBytes
@@ -590,11 +738,15 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 				Produced: s.produced, Requests: s.requests,
 				Spilled: s.parts.MdiskW / comm.MsgWireSize,
 				NetIn:   nIn, NetOut: nOut,
-				IO: d, Parts: s.parts, MemBytes: mem})
+				IO: d, LogIO: logD, Parts: s.parts, MemBytes: mem})
 		}
 
 		cpuSec := s.cpu.Seconds(j.cfg.Profile)
-		diskSec := j.cfg.Profile.DiskSeconds(d)
+		// Message-log appends are real sequential writes the confined policy
+		// pays during normal execution; they cost time but stay out of st.IO
+		// so the Q^t inputs and the trace-vs-stats cross-check see pure
+		// Eq. (7)/(8) traffic.
+		diskSec := j.cfg.Profile.DiskSeconds(d.Add(logD))
 		netSec := j.cfg.Profile.NetSeconds(nIn + nOut)
 		st.CPUSeconds += cpuSec
 		st.DiskSeconds += diskSec
@@ -621,6 +773,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		}
 	}
 	st.SimSeconds = simMax
+	j.lastStepAggSet = aggSet
 	j.finishQt(t, mode, &st)
 
 	j.jm.supersteps.Inc()
@@ -630,7 +783,11 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	j.jm.spilled.Add(st.Spilled)
 	j.jm.netBytes.Add(st.NetBytes)
 	j.jm.ioBytes.Add(st.IO.Total())
+	j.jm.logBytes.Add(st.LogIO.Total())
 	j.jm.memPeak.Max(st.MemBytes)
+	if stallErr != nil {
+		return st, stallErr
+	}
 	return st, nil
 }
 

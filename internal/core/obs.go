@@ -25,6 +25,14 @@ type jobMetrics struct {
 	ckptCommits *obs.Counter // "checkpoint.commits"
 	ckptBytes   *obs.Counter // "checkpoint.bytes"
 	restores    *obs.Counter // "checkpoint.restores"
+	restoreFail *obs.Counter // "checkpoint.restore_failures"
+	pruneFails  *obs.Counter // "checkpoint.prune_failures"
+	stalls      *obs.Counter // "core.stalled_workers"
+	confined    *obs.Counter // "core.confined_recoveries"
+	logBytes    *obs.Counter // "msglog.bytes_logged"
+	logPrunes   *obs.Counter // "msglog.segments_pruned"
+	replayBytes *obs.Counter // "replay.bytes"
+	replaySteps *obs.Counter // "replay.supersteps"
 	step        *obs.Gauge   // "core.superstep" (the superstep in flight)
 	memPeak     *obs.Gauge   // "core.mem_bytes_peak"
 }
@@ -43,6 +51,14 @@ func newJobMetrics(reg *obs.Registry) jobMetrics {
 		ckptCommits: reg.Counter("checkpoint.commits"),
 		ckptBytes:   reg.Counter("checkpoint.bytes"),
 		restores:    reg.Counter("checkpoint.restores"),
+		restoreFail: reg.Counter("checkpoint.restore_failures"),
+		pruneFails:  reg.Counter("checkpoint.prune_failures"),
+		stalls:      reg.Counter("core.stalled_workers"),
+		confined:    reg.Counter("core.confined_recoveries"),
+		logBytes:    reg.Counter("msglog.bytes_logged"),
+		logPrunes:   reg.Counter("msglog.segments_pruned"),
+		replayBytes: reg.Counter("replay.bytes"),
+		replaySteps: reg.Counter("replay.supersteps"),
 		step:        reg.Gauge("core.superstep"),
 		memPeak:     reg.Gauge("core.mem_bytes_peak"),
 	}

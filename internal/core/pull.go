@@ -114,7 +114,7 @@ func (w *worker) stepPull(t int) error {
 func (w *worker) gatherAll(t int, ids []graph.VertexID) (map[graph.VertexID][]float64, error) {
 	out := make(map[graph.VertexID][]float64, len(ids))
 	for y := range w.job.workers {
-		res, err := w.job.fabric.Gather(w.id, y, ids, t)
+		res, err := w.fab().Gather(w.id, y, ids, t)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +210,7 @@ func (w *worker) scatterSignals(t int, v graph.VertexID) error {
 	for o, targets := range byOwner {
 		// Signals sent at step t are read at t+1 via readParity(t+1) ==
 		// writeParity(t), so DeliverSignals writes at the sender's parity.
-		if err := w.job.fabric.Signal(w.id, o, targets, t); err != nil {
+		if err := w.fab().Signal(w.id, o, targets, t); err != nil {
 			return err
 		}
 	}

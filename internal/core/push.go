@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/vertexfile"
@@ -19,7 +21,7 @@ func (w *worker) stepPush(t int, produce bool) error {
 	}
 	var outbox *comm.Outbox
 	if produce {
-		outbox = comm.NewOutbox(w.job.fabric, len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
+		outbox = comm.NewOutbox(w.fab(), len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
 		if w.job.cfg.SenderCombine {
 			if c := w.job.prog.Combiner(); c != nil {
 				outbox.SetCombine(c)
@@ -118,7 +120,7 @@ func (w *worker) relaxAsync(t int) error {
 		if len(msgs) == 0 {
 			return nil
 		}
-		outbox := comm.NewOutbox(w.job.fabric, len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
+		outbox := comm.NewOutbox(w.fab(), len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
 		var updated, responding, sent int64
 		for v, mv := range msgs {
 			rec, err := w.vstore.ReadRecord(v)
@@ -180,6 +182,12 @@ func (w *worker) drainInbox(t int) (map[graph.VertexID][]float64, error) {
 	}
 	var inMem int64
 	for _, vals := range msgs {
+		// Canonicalise each vertex's message list: delivery order depends on
+		// goroutine interleaving across senders, and floating-point update
+		// functions (PageRank's sum) are order-sensitive. Sorting makes every
+		// run — and every recovery replay, whose injected messages arrive in
+		// log order — produce bit-identical values.
+		sort.Float64s(vals)
 		inMem += int64(len(vals))
 	}
 	inMem -= spilled

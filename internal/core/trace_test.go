@@ -22,6 +22,10 @@ type parsedTrace struct {
 	restores         []obs.CheckpointEvent
 	faults           []obs.FaultEvent
 	recoveries       []obs.RecoveryEvent
+	restoreFailed    []obs.RestoreFailedEvent
+	replaySteps      []obs.ReplayStepEvent
+	replayServes     []obs.ReplayServeEvent
+	pruneFailed      []obs.PruneFailedEvent
 }
 
 func parseTrace(t *testing.T, data []byte) *parsedTrace {
@@ -88,6 +92,30 @@ func parseTrace(t *testing.T, data []byte) *parsedTrace {
 				t.Fatal(err)
 			}
 			p.recoveries = append(p.recoveries, ev)
+		case obs.EventRestoreFailed:
+			var ev obs.RestoreFailedEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.restoreFailed = append(p.restoreFailed, ev)
+		case obs.EventReplayStep:
+			var ev obs.ReplayStepEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.replaySteps = append(p.replaySteps, ev)
+		case obs.EventReplayServe:
+			var ev obs.ReplayServeEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.replayServes = append(p.replayServes, ev)
+		case obs.EventPruneFailed:
+			var ev obs.PruneFailedEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.pruneFailed = append(p.pruneFailed, ev)
 		default:
 			t.Fatalf("unknown event type %q", head.Type)
 		}

@@ -13,6 +13,7 @@ import (
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/msglog"
 	"hybridgraph/internal/msgstore"
 	"hybridgraph/internal/veblock"
 	"hybridgraph/internal/vertexfile"
@@ -52,6 +53,17 @@ type worker struct {
 	hot     map[graph.VertexID]bool // pushM hot vertex set
 
 	vcache *pullCache // pull baseline's resident vertex set
+
+	// Confined recovery (Recovery: "confined"): every outgoing push packet
+	// and served pull response is appended to mlog so survivors can serve
+	// a failed worker's replay without recomputing. Log writes are charged
+	// to logCt, kept apart from ct so Q^t inputs and the trace-vs-stats
+	// cross-check see pure Eq. (7)/(8) traffic; the per-step delta
+	// surfaces as StepStats.LogIO. sendLog wraps the job fabric with the
+	// append-before-send hook; nil when the policy is off.
+	mlog    *msglog.Log
+	logCt   *diskio.Counter
+	sendLog comm.Fabric
 
 	// scanPages tracks which vertex-file pages this superstep's
 	// Pull-Respond scans have already pulled in: the value columns of the
@@ -119,6 +131,21 @@ func (w *worker) addStat(f func(*workerStat)) {
 
 // owner maps a vertex to its worker.
 func (w *worker) owner(v graph.VertexID) int { return graph.OwnerOf(w.job.parts, v) }
+
+// fab is the fabric this worker's superstep code sends through: the
+// replay fabric while the job is replaying a failed worker, the logging
+// wrapper under the confined policy, or the job's fabric directly. The
+// replay fabric is installed and removed between supersteps (never while
+// worker goroutines run), so the read is race-free.
+func (w *worker) fab() comm.Fabric {
+	if rf := w.job.replayFab; rf != nil {
+		return rf
+	}
+	if w.sendLog != nil {
+		return w.sendLog
+	}
+	return w.job.fabric
+}
 
 // localIdx converts a vertex id into the worker-local flag index.
 func (w *worker) localIdx(v graph.VertexID) int { return int(v - w.part.Lo) }
@@ -445,6 +472,9 @@ func (w *worker) close() error {
 	}
 	if w.ve != nil {
 		keep(w.ve.Close())
+	}
+	if w.mlog != nil {
+		keep(w.mlog.Close())
 	}
 	return first
 }

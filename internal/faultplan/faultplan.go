@@ -30,6 +30,24 @@ func (c Crash) String() string {
 	return fmt.Sprintf("crash(step=%d, worker=%d)", c.Step, c.Worker)
 }
 
+// Stall schedules one worker hang: at superstep Step the worker stops
+// making progress without crashing, and the master's barrier-deadline
+// supervision declares it failed once the deadline expires. Unlike a
+// crash — which fires at the start of the superstep, before any worker
+// runs — a stall lets the survivors complete superstep Step, which is
+// exactly the asymmetry confined recovery must handle (the stalled
+// worker rejoins a superstep the rest of the cluster already finished).
+// Each stall fires at most once per job, like crashes.
+type Stall struct {
+	Step   int
+	Worker int
+}
+
+// String implements fmt.Stringer.
+func (s Stall) String() string {
+	return fmt.Sprintf("stall(step=%d, worker=%d)", s.Step, s.Worker)
+}
+
 // TransportFaults describes seeded network-level faults the TCP fabric
 // injects on the serving side of each RPC. Rates are probabilities in
 // [0, 1] evaluated independently per request from a deterministic stream
@@ -58,6 +76,9 @@ type TransportFaults struct {
 type Plan struct {
 	// Crashes lists the scheduled worker failures.
 	Crashes []Crash
+	// Stalls lists the scheduled worker hangs, detected by the master's
+	// barrier-deadline supervision rather than at superstep start.
+	Stalls []Stall
 	// Net holds transport faults applied when the job runs over TCP;
 	// nil injects none.
 	Net *TransportFaults
@@ -72,6 +93,19 @@ func NewPlan(crashes ...Crash) *Plan {
 			return p.Crashes[i].Step < p.Crashes[j].Step
 		}
 		return p.Crashes[i].Worker < p.Crashes[j].Worker
+	})
+	return p
+}
+
+// WithStalls returns the plan with the given stalls added, sorted by step
+// (ties by worker). The receiver is returned for chaining.
+func (p *Plan) WithStalls(stalls ...Stall) *Plan {
+	p.Stalls = append(p.Stalls, stalls...)
+	sort.Slice(p.Stalls, func(i, j int) bool {
+		if p.Stalls[i].Step != p.Stalls[j].Step {
+			return p.Stalls[i].Step < p.Stalls[j].Step
+		}
+		return p.Stalls[i].Worker < p.Stalls[j].Worker
 	})
 	return p
 }
@@ -93,6 +127,19 @@ func RandomCrashes(seed int64, n, maxStep, workers int) []Crash {
 		out = append(out, Crash{Step: s + 2, Worker: rng.Intn(workers)})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// RandomStalls deterministically draws n stalls at distinct supersteps in
+// [2, maxStep] across workers in [0, workers), sorted by step. The same
+// arguments always yield the same schedule, and a seed distinct from the
+// one used for RandomCrashes yields an independent schedule.
+func RandomStalls(seed int64, n, maxStep, workers int) []Stall {
+	crashes := RandomCrashes(seed, n, maxStep, workers)
+	out := make([]Stall, len(crashes))
+	for i, c := range crashes {
+		out[i] = Stall{Step: c.Step, Worker: c.Worker}
+	}
 	return out
 }
 

@@ -78,3 +78,46 @@ func TestRollerZeroFaults(t *testing.T) {
 		}
 	}
 }
+
+func TestWithStallsSorts(t *testing.T) {
+	p := NewPlan(Crash{Step: 4, Worker: 0}).WithStalls(
+		Stall{Step: 9, Worker: 2}, Stall{Step: 3, Worker: 1}, Stall{Step: 3, Worker: 0})
+	want := []Stall{{Step: 3, Worker: 0}, {Step: 3, Worker: 1}, {Step: 9, Worker: 2}}
+	if len(p.Stalls) != len(want) {
+		t.Fatalf("got %d stalls, want %d", len(p.Stalls), len(want))
+	}
+	for i := range want {
+		if p.Stalls[i] != want[i] {
+			t.Fatalf("Stalls[%d] = %v, want %v", i, p.Stalls[i], want[i])
+		}
+	}
+	if len(p.Crashes) != 1 {
+		t.Fatalf("crashes lost: %v", p.Crashes)
+	}
+}
+
+func TestRandomStallsDeterministic(t *testing.T) {
+	a := RandomStalls(7, 3, 10, 4)
+	b := RandomStalls(7, 3, 10, 4)
+	if len(a) != 3 {
+		t.Fatalf("got %d stalls, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+		if a[i].Step < 2 || a[i].Step > 10 || a[i].Worker < 0 || a[i].Worker >= 4 {
+			t.Fatalf("stall out of range: %v", a[i])
+		}
+	}
+	c := RandomStalls(8, 3, 10, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}

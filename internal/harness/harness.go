@@ -42,6 +42,13 @@ type Options struct {
 	// Metrics, when non-nil, receives live counters from every job the
 	// experiments run (see core.Config.Metrics).
 	Metrics *obs.Registry
+	// ChaosSeed is the base seed of the chaos campaign's deterministic
+	// fault schedules (default 1); consecutive seeds derive from it.
+	ChaosSeed int64
+	// Recovery, when set, restricts the recovery-policy sweeps of the
+	// chaos and recovery experiments to one policy ("scratch", "resume",
+	// "checkpoint" or "confined"). Empty runs each experiment's full list.
+	Recovery string
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +63,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Profile.SNet == 0 {
 		o.Profile = diskio.HDDLocal
+	}
+	if o.ChaosSeed == 0 {
+		o.ChaosSeed = 1
 	}
 	return o
 }
@@ -143,6 +153,8 @@ var Experiments = []Experiment{
 	{"fig25", "Vblock count sweep: runtime (livej, wiki)", Fig25},
 	{"fig26", "Combining effectiveness vs sending threshold (PageRank over orkut)", Fig26},
 	{"table5", "Modified-pull scenarios (original/ext-mem/ext-edge/v3/v2.5)", Table5},
+	{"recovery", "Recovery cost by policy: scratch/resume/checkpoint/confined", RecoveryCost},
+	{"chaos", "Chaos campaign: seeded crash+stall+transport faults, values must match fault-free", Chaos},
 }
 
 // ByName finds an experiment.

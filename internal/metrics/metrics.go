@@ -64,6 +64,13 @@ type StepStats struct {
 	Parts    IOBreakdown
 	MemBytes int64 // peak message-buffer + metadata memory across workers
 
+	// LogIO is the confined recovery policy's sender-side message-log
+	// writes this superstep (internal/msglog), charged to DiskSeconds but
+	// kept out of IO and Parts so the Q^t inputs and the trace-vs-stats
+	// cross-check stay exact: log bytes are policy overhead, not Eq.
+	// (7)/(8) traffic.
+	LogIO diskio.Snapshot
+
 	// Cross-mode estimates hybrid gathers while running the other engine
 	// (Section 5.3): what push's edge reads would have cost during a
 	// b-pull superstep (EstEt), and what b-pull's Eblock scan, fragment
@@ -113,8 +120,29 @@ type JobResult struct {
 	// ReplayedSupersteps counts supersteps whose work was discarded by a
 	// failure and had to be re-executed. Scratch recovery replays
 	// everything since superstep 1; checkpoint recovery replays only the
-	// steps since the last committed checkpoint.
+	// steps since the last committed checkpoint; confined recovery replays
+	// them on the failed worker alone.
 	ReplayedSupersteps int
+	// Stalls counts workers the barrier-deadline supervision declared
+	// failed (hangs rather than crashes); included in Restarts.
+	Stalls int
+
+	// LogIO is the confined policy's total sender-side message-log writes
+	// (Σ step LogIO, derived by Finish). Zero under other policies.
+	LogIO diskio.Snapshot
+	// ReplayIO is the disk traffic recovery forced: restore reads plus, for
+	// the global policies, the I/O of the discarded-and-redone supersteps,
+	// or, for confined, the failed worker's recompute I/O and the
+	// survivors' log-segment reads. Comparing it across policies on the
+	// same fault plan is the recovery-cost experiment.
+	ReplayIO diskio.Snapshot
+	// ReplayNetBytes is the wire traffic confined replay re-delivered to
+	// the recovering worker (logged pushes injected plus re-pulled
+	// responses).
+	ReplayNetBytes int64
+	// ConfinedRecoveries counts recoveries handled by the confined policy
+	// (single-worker restore + log replay, no global rollback).
+	ConfinedRecoveries int
 
 	// Checkpoints counts committed checkpoints; CheckpointIO is the disk
 	// traffic they performed (snapshot writes plus spill re-reads) and
@@ -135,12 +163,14 @@ type JobResult struct {
 func (r *JobResult) Finish() {
 	r.SimSeconds, r.WallSeconds, r.NetBytes, r.MaxMemBytes = 0, 0, 0, 0
 	r.IO = diskio.Snapshot{}
+	r.LogIO = diskio.Snapshot{}
 	for i := range r.Steps {
 		s := &r.Steps[i]
 		r.SimSeconds += s.SimSeconds
 		r.WallSeconds += s.WallSeconds
 		r.NetBytes += s.NetBytes
 		r.IO = r.IO.Add(s.IO)
+		r.LogIO = r.LogIO.Add(s.LogIO)
 		if s.MemBytes > r.MaxMemBytes {
 			r.MaxMemBytes = s.MemBytes
 		}

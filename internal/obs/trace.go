@@ -113,8 +113,14 @@ const (
 	EventModeSwitch = "mode_switch" // hybrid executed a switch superstep
 	EventCheckpoint = "checkpoint"  // master committed a checkpoint
 	EventRestore    = "restore"     // recovery restored a committed checkpoint
-	EventFault      = "fault"       // an injected worker crash fired
+	EventFault      = "fault"       // an injected worker crash or stall fired
 	EventRecovery   = "recovery"    // the master recovered and restarts the loop
+
+	// Confined-recovery events (the msglog-based per-worker policy).
+	EventRestoreFailed = "restore_failed"    // a committed checkpoint failed verification
+	EventReplayStep    = "replay_step"       // the failed worker replayed one superstep
+	EventReplayServe   = "replay_serve"      // one survivor's share of a replayed superstep
+	EventPruneFailed   = "ckpt_prune_failed" // checkpoint or msglog pruning reported errors
 )
 
 // JobEvent opens (job_start) and closes (job_end) a journal.
@@ -152,6 +158,11 @@ type WorkerStepEvent struct {
 	IO         diskio.Snapshot     `json:"io"`    // class-tagged disk delta
 	Parts      metrics.IOBreakdown `json:"parts"` // Eq. (7)/(8) categories
 	MemBytes   int64               `json:"mem_bytes"`
+	// LogIO is the confined policy's sender-side message-log writes this
+	// worker performed during the superstep. Kept apart from IO so the
+	// worker-events-sum-to-StepStats cross-check and the Q^t inputs stay
+	// exact: log bytes are policy overhead, not Eq. (7)/(8) traffic.
+	LogIO diskio.Snapshot `json:"log_io"`
 }
 
 // StepEvent is the cluster-aggregated superstep record: the same StepStats
@@ -182,19 +193,76 @@ type CheckpointEvent struct {
 	SimSecs float64 `json:"sim_seconds"`
 }
 
-// FaultEvent records an injected worker crash the master's detector saw.
+// FaultEvent records an injected worker fault the master's detector saw:
+// a crash (detected at superstep start) or, with Kind "stall", a hang the
+// barrier-deadline supervision declared failed.
 type FaultEvent struct {
 	Type   string `json:"type"`
 	Step   int    `json:"step"`
 	Worker int    `json:"worker"`
+	Kind   string `json:"kind,omitempty"` // "" = crash, "stall" = barrier-deadline hang
 }
 
 // RecoveryEvent records one recovery: the policy applied, the superstep
 // the restarted loop resumes from, and how many supersteps were discarded.
+// Confined recoveries discard nothing; they name the worker that replayed
+// and how many supersteps it consumed from the survivors' logs.
 type RecoveryEvent struct {
 	Type        string `json:"type"`
 	Policy      string `json:"policy"`
 	RestartStep int    `json:"restart_step"`
 	Discarded   int    `json:"discarded_steps"`
 	Restored    bool   `json:"restored"` // true when a committed checkpoint was used
+	Worker      int    `json:"worker,omitempty"`
+	Replayed    int    `json:"replayed_steps,omitempty"`
+}
+
+// RestoreFailedEvent records a restore that aborted: a committed
+// checkpoint existed but failed verification (torn/corrupt snapshot,
+// stale or unreadable master record). The bytes read before the abort are
+// still charged to RecoverySimSeconds; this event makes the fallback to
+// scratch visible in the journal.
+type RestoreFailedEvent struct {
+	Type   string `json:"type"`
+	Step   int    `json:"step"`   // the checkpoint step that failed
+	Reason string `json:"reason"` // what the verification rejected
+}
+
+// ReplayStepEvent records one superstep the failed worker re-executed
+// during confined recovery: its own recompute I/O, the bytes survivors
+// served from their logs, and the modelled time charged to
+// RecoverySimSeconds. Rejoin marks a stalled worker's final replay step,
+// which runs against the live fabric (survivors never finished hearing
+// from it) instead of dropping its output.
+type ReplayStepEvent struct {
+	Type     string          `json:"type"`
+	Step     int             `json:"step"`
+	Worker   int             `json:"worker"`
+	Rejoin   bool            `json:"rejoin,omitempty"`
+	IO       diskio.Snapshot `json:"io"`        // failed worker's recompute disk delta
+	LogBytes int64           `json:"log_bytes"` // bytes read from survivors' logs
+	NetBytes int64           `json:"net_bytes"` // replayed wire bytes (re-pulls + injected pushes)
+	SimSecs  float64         `json:"sim_seconds"`
+}
+
+// ReplayServeEvent records one survivor's share of one replayed
+// superstep: the log bytes it served and its own compute-counter delta —
+// which must be zero, the "survivors do no recompute I/O" property the
+// confined policy exists to provide.
+type ReplayServeEvent struct {
+	Type   string          `json:"type"`
+	Step   int             `json:"step"`
+	Worker int             `json:"worker"`
+	Bytes  int64           `json:"bytes"` // log bytes served to the recovering worker
+	IO     diskio.Snapshot `json:"io"`    // survivor's compute disk delta (zero)
+}
+
+// PruneFailedEvent records a checkpoint or message-log pruning failure.
+// Pruning failures never fail the job — they leave garbage that a later
+// restore must not trust, which is why Coordinator.Remove deletes the
+// commit marker first — but they must be visible.
+type PruneFailedEvent struct {
+	Type   string `json:"type"`
+	Step   int    `json:"step"`
+	Reason string `json:"reason"`
 }
