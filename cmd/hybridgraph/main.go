@@ -1,9 +1,18 @@
-// Command hybridgraph runs one iterative graph job: pick a dataset (a
-// synthetic Table 4 stand-in or an edge-list file), an algorithm, an
-// engine and a memory regime, and get the paper's per-superstep metrics.
+// Command hybridgraph runs iterative graph jobs: either one synchronous
+// job from flags (the legacy mode), or against a long-running graph
+// service daemon via subcommands.
+//
+// One-shot mode:
 //
 //	hybridgraph -graph wiki -algo pagerank -engine hybrid -buffer 1000 -v
 //	hybridgraph -file edges.txt -algo sssp -source 0 -engine b-pull
+//
+// Service mode:
+//
+//	hybridgraph serve -addr :8080 -data /var/lib/hybridgraph
+//	hybridgraph ingest -server http://localhost:8080 -name web1 -gen web -vertices 10000 -edges 80000
+//	hybridgraph submit -server http://localhost:8080 -graph web1 -algo pagerank -engine hybrid -wait
+//	hybridgraph status job-000001 | result job-000001 | cancel job-000001 | ls
 package main
 
 import (
@@ -16,6 +25,19 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve", "ingest", "submit", "status", "result", "cancel", "ls":
+			if err := runService(os.Args[1], os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
+	runLegacy()
+}
+
+func runLegacy() {
 	var (
 		dataset   = flag.String("graph", "wiki", "synthetic dataset name (livej, wiki, orkut, twi, fri, uk)")
 		file      = flag.String("file", "", "edge-list file to load instead of a synthetic dataset")

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridgraph/internal/service"
+)
+
+// runService dispatches the daemon subcommands.
+func runService(cmd string, args []string) error {
+	switch cmd {
+	case "serve":
+		return cmdServe(args)
+	case "ingest":
+		return cmdIngest(args)
+	case "submit":
+		return cmdSubmit(args)
+	case "status":
+		return cmdStatus(args)
+	case "result":
+		return cmdResult(args)
+	case "cancel":
+		return cmdCancel(args)
+	case "ls":
+		return cmdLs(args)
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// serverFlag registers the shared -server flag.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "http://127.0.0.1:8080", "daemon base URL")
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	data := fs.String("data", "hybridgraph-data", "data directory (catalog, job dirs, journals)")
+	maxQueued := fs.Int("max-queued", 64, "admission: maximum queued jobs")
+	maxConc := fs.Int("max-concurrent", 2, "admission: maximum concurrently running jobs")
+	maxBuf := fs.Int("max-buffer", 0, "admission: per-worker message-buffer cap in messages (0 = uncapped)")
+	grace := fs.Duration("drain-grace", 5*time.Second, "how long shutdown lets running jobs finish before cancelling")
+	fs.Parse(args)
+
+	srv, err := service.NewServer(service.ServerConfig{
+		Addr:          *addr,
+		DataDir:       *data,
+		MaxQueued:     *maxQueued,
+		MaxConcurrent: *maxConc,
+		MaxMsgBuf:     *maxBuf,
+		DrainGrace:    *grace,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hybridgraph daemon listening on %s (data: %s)\n", srv.Addr, *data)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("received %s, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace+10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-done
+	case err := <-done:
+		return err
+	}
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	server := serverFlag(fs)
+	name := fs.String("name", "", "catalog name for the graph (required)")
+	file := fs.String("file", "", "edge-list file to upload")
+	gen := fs.String("gen", "", "generator kind instead of a file: rmat, web, uniform, chain")
+	vertices := fs.Int("vertices", 10000, "generator vertex count")
+	edges := fs.Int("edges", 80000, "generator edge count")
+	seed := fs.Int64("seed", 1, "generator seed")
+	workers := fs.Int("workers", 5, "partition count the stores are built for")
+	blocks := fs.Int("blocks", 1, "Vblocks per worker")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("ingest: -name is required")
+	}
+	req := service.IngestRequest{Name: *name, Workers: *workers, BlocksPer: *blocks}
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		req.EdgeList = string(data)
+	case *gen != "":
+		req.Generator = &service.GenSpec{Kind: *gen, Vertices: *vertices, Edges: *edges, Seed: *seed}
+	default:
+		return fmt.Errorf("ingest: one of -file or -gen is required")
+	}
+	m, err := service.NewClient(*server).Ingest(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	return printJSON(m)
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := serverFlag(fs)
+	graphName := fs.String("graph", "", "catalog graph name (required)")
+	algoName := fs.String("algo", "pagerank", "algorithm: pagerank, pagerank-converging, sssp, lpa")
+	engine := fs.String("engine", "hybrid", "engine: push, pushM, pull, b-pull, hybrid")
+	steps := fs.Int("steps", 0, "maximum supersteps (0 = default)")
+	buffer := fs.Int("buffer", 0, "message buffer per worker in messages (0 = unlimited)")
+	source := fs.Int("source", 0, "source vertex for sssp")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	tcp := fs.Bool("tcp", false, "run worker communication over loopback TCP")
+	recovery := fs.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined")
+	retries := fs.Int("retries", 0, "scheduler re-enqueues after a failure this many times")
+	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
+	fs.Parse(args)
+	if *graphName == "" {
+		return fmt.Errorf("submit: -graph is required")
+	}
+	c := service.NewClient(*server)
+	st, err := c.Submit(context.Background(), service.JobSpec{
+		Graph:     *graphName,
+		Algorithm: *algoName,
+		Engine:    *engine,
+		MaxSteps:  *steps,
+		MsgBuf:    *buffer,
+		Source:    *source,
+		Priority:  *priority,
+		TCP:       *tcp,
+		Recovery:  *recovery,
+		Retries:   *retries,
+	})
+	if err != nil {
+		return err
+	}
+	if *wait {
+		st, err = c.WaitJob(context.Background(), st.ID, 0)
+		if err != nil {
+			return err
+		}
+	}
+	return printJSON(st)
+}
+
+// jobIDArg extracts the trailing job-id argument subcommands take.
+func jobIDArg(fs *flag.FlagSet, cmd string) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("%s: want exactly one job id argument", cmd)
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	id, err := jobIDArg(fs, "status")
+	if err != nil {
+		return err
+	}
+	st, err := service.NewClient(*server).Job(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdResult(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	id, err := jobIDArg(fs, "result")
+	if err != nil {
+		return err
+	}
+	res, err := service.NewClient(*server).Result(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	// JSON cannot carry the non-finite distances SSSP leaves on unreached
+	// vertices; render those as strings and the rest as numbers.
+	vals := make([]any, len(res.Values))
+	for i, v := range res.Values {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			vals[i] = fmt.Sprint(v)
+		} else {
+			vals[i] = v
+		}
+	}
+	cp := *res
+	cp.Values = nil
+	return printJSON(struct {
+		Result any   `json:"result"`
+		Values []any `json:"values"`
+	}{cp, vals})
+}
+
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	id, err := jobIDArg(fs, "cancel")
+	if err != nil {
+		return err
+	}
+	st, err := service.NewClient(*server).Cancel(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	c := service.NewClient(*server)
+	ctx := context.Background()
+	graphs, err := c.Graphs(ctx)
+	if err != nil {
+		return err
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graphs (%d):\n", len(graphs))
+	for _, m := range graphs {
+		fmt.Printf("  %-20s %9dv %10de  workers=%d blocks=%v\n",
+			m.Name, m.Vertices, m.Edges, m.Workers, m.BlocksPer)
+	}
+	fmt.Printf("jobs (%d):\n", len(jobs))
+	for _, j := range jobs {
+		extra := ""
+		if j.State == service.JobDone {
+			extra = fmt.Sprintf("  steps=%d sim=%.3fs", j.Steps, j.SimSeconds)
+		} else if j.Error != "" {
+			extra = "  " + j.Error
+		}
+		fmt.Printf("  %-12s %-10s %s/%s/%s%s\n",
+			j.ID, j.State, j.Spec.Graph, j.Spec.Algorithm, j.Spec.Engine, extra)
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ package hybridgraph
 
 import (
 	"bytes"
+	"context"
 
 	"hybridgraph/internal/algo"
 	"hybridgraph/internal/core"
@@ -136,6 +137,19 @@ var ErrStalledWorker = core.ErrStalledWorker
 func Run(g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {
 	return core.Run(g, prog, cfg, engine)
 }
+
+// RunContext is Run under a context: cancelling ctx (or exceeding its
+// deadline) aborts the job promptly — the master checks it at every
+// superstep barrier and both comm fabrics fail in-flight exchanges fast —
+// returning an error matching ctx's cause via errors.Is.
+func RunContext(ctx context.Context, g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {
+	return core.RunContext(ctx, g, prog, cfg, engine)
+}
+
+// StoreSource supplies pre-built read-only edge stores to a job (set
+// Config.Stores); a catalog Entry implements it. See internal/catalog and
+// internal/service for the persistent catalog and the service daemon.
+type StoreSource = core.StoreSource
 
 // Metrics is a live counter/gauge registry. Assign one to Config.Metrics
 // and every subsystem under the job — engines, comm fabrics, message

@@ -68,6 +68,41 @@ func BuildReverse(path string, ct *diskio.Counter, g *graph.Graph, part graph.Pa
 	return Build(path, ct, g.Reverse(), part)
 }
 
+// Open opens a previously built adjacency file read-only, recomputing the
+// offset index from the staged graph — the index is a deterministic
+// function of (g, part), so the catalog need not persist it. The file size
+// must match the index; deeper integrity is the manifest CRC's job.
+func Open(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition) (*Store, error) {
+	f, err := diskio.OpenRead(path, ct)
+	if err != nil {
+		return nil, err
+	}
+	n := part.Len()
+	s := &Store{f: f, lo: part.Lo, offs: make([]int64, n+1)}
+	var off int64
+	for i := 0; i < n; i++ {
+		s.offs[i] = off
+		d := g.OutDegree(part.Lo + graph.VertexID(i))
+		off += int64(d) * edgeSize
+		s.nEdges += int64(d)
+	}
+	s.offs[n] = off
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size != off {
+		f.Close()
+		return nil, fmt.Errorf("adjstore: %s is %d bytes, index expects %d", path, size, off)
+	}
+	return s, nil
+}
+
+// SizeBytes reports the store's edge-run bytes (the on-disk file size for
+// file-backed stores).
+func (s *Store) SizeBytes() int64 { return s.nEdges * edgeSize }
+
 // Close releases the underlying file, if any.
 func (s *Store) Close() error {
 	if s.f == nil {

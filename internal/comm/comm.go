@@ -9,6 +9,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -155,12 +156,50 @@ type Fabric interface {
 	TotalBytes() int64
 }
 
+// ContextSetter is implemented by fabrics that honour job cancellation:
+// once a context is installed, fabric operations fail fast with the
+// context's error after it is cancelled, so a cancelled job's workers
+// unwind mid-superstep instead of finishing the exchange. Both built-in
+// fabrics implement it.
+type ContextSetter interface {
+	SetContext(ctx context.Context)
+}
+
+// ctxHolder is the shared cancellation plumbing of both fabrics: an
+// atomically swappable context consulted before every operation.
+type ctxHolder struct {
+	v atomic.Pointer[context.Context]
+}
+
+func (c *ctxHolder) SetContext(ctx context.Context) {
+	if ctx != nil {
+		c.v.Store(&ctx)
+	}
+}
+
+// err reports the installed context's cancellation error, nil when no
+// context was installed or it is still live.
+func (c *ctxHolder) err() error {
+	if p := c.v.Load(); p != nil {
+		return context.Cause(*p)
+	}
+	return nil
+}
+
+func (c *ctxHolder) done() <-chan struct{} {
+	if p := c.v.Load(); p != nil {
+		return (*p).Done()
+	}
+	return nil
+}
+
 // Local is the in-process fabric: handlers are invoked directly, which
 // keeps superstep semantics identical to a networked run while the paper's
 // byte accounting is applied to every interaction.
 type Local struct {
 	mu       sync.RWMutex
 	handlers map[int]Handler
+	ctx      ctxHolder
 	in       []atomic.Int64
 	out      []atomic.Int64
 	total    atomic.Int64
@@ -187,6 +226,10 @@ func (l *Local) SetMetrics(reg *obs.Registry) {
 	l.mSignals = reg.Counter("comm.signals")
 	reg.RegisterFunc("comm.net_bytes", l.total.Load)
 }
+
+// SetContext implements ContextSetter: after ctx is cancelled every
+// fabric operation fails fast with its error.
+func (l *Local) SetContext(ctx context.Context) { l.ctx.SetContext(ctx) }
 
 // Register implements Fabric.
 func (l *Local) Register(worker int, h Handler) {
@@ -218,6 +261,9 @@ func (l *Local) account(from, to int, bytes int64) {
 
 // Send implements Fabric.
 func (l *Local) Send(p *Packet) error {
+	if err := l.ctx.err(); err != nil {
+		return err
+	}
 	h, err := l.handler(p.To)
 	if err != nil {
 		return err
@@ -229,6 +275,9 @@ func (l *Local) Send(p *Packet) error {
 
 // PullRequest implements Fabric.
 func (l *Local) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
+	if err := l.ctx.err(); err != nil {
+		return nil, 0, err
+	}
 	h, err := l.handler(to)
 	if err != nil {
 		return nil, 0, err
@@ -245,6 +294,9 @@ func (l *Local) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
 
 // Gather implements Fabric.
 func (l *Local) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherResult, error) {
+	if err := l.ctx.err(); err != nil {
+		return nil, err
+	}
 	h, err := l.handler(to)
 	if err != nil {
 		return nil, err
@@ -261,6 +313,9 @@ func (l *Local) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherRe
 
 // Signal implements Fabric.
 func (l *Local) Signal(from, to int, ids []graph.VertexID, step int) error {
+	if err := l.ctx.err(); err != nil {
+		return err
+	}
 	h, err := l.handler(to)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ type TCP struct {
 	peers     []*tcpPeer
 	dedups    []*dedup
 	cfg       TCPConfig
+	ctx       ctxHolder
 	roller    *faultplan.Roller
 	seq       atomic.Uint64
 	in        []atomic.Int64
@@ -281,6 +283,11 @@ func (f *TCP) SetMetrics(reg *obs.Registry) {
 	reg.RegisterFunc("comm.net_bytes", f.total.Load)
 }
 
+// SetContext implements ContextSetter: once ctx is cancelled, round trips
+// in flight stop retrying, backoff sleeps abort, and new operations fail
+// fast with the context's error.
+func (f *TCP) SetContext(ctx context.Context) { f.ctx.SetContext(ctx) }
+
 // Register implements Fabric.
 func (f *TCP) Register(worker int, h Handler) {
 	f.mu.Lock()
@@ -426,7 +433,12 @@ func (f *TCP) roundTrip(w int, req *tcpRequest) (*tcpResponse, error) {
 	for attempt := 0; attempt <= f.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			f.mRetries.Inc()
-			f.sleepBackoff(attempt)
+			if err := f.sleepBackoff(attempt); err != nil {
+				return nil, err
+			}
+		}
+		if err := f.ctx.err(); err != nil {
+			return nil, err
 		}
 		if f.closed.Load() {
 			return nil, errFabricClosed
@@ -452,8 +464,9 @@ func (f *TCP) roundTrip(w int, req *tcpRequest) (*tcpResponse, error) {
 }
 
 // sleepBackoff waits 2^(attempt-1)·Backoff, capped at 100ms, plus up to
-// 100% jitter so synchronised retry storms spread out.
-func (f *TCP) sleepBackoff(attempt int) {
+// 100% jitter so synchronised retry storms spread out. A cancelled job
+// context aborts the wait and returns its error.
+func (f *TCP) sleepBackoff(attempt int) error {
 	d := f.cfg.Backoff << uint(attempt-1)
 	if max := 100 * time.Millisecond; d > max {
 		d = max
@@ -461,7 +474,14 @@ func (f *TCP) sleepBackoff(attempt int) {
 	f.jmu.Lock()
 	j := time.Duration(f.jrng.Int63n(int64(d) + 1))
 	f.jmu.Unlock()
-	time.Sleep(d + j)
+	tm := time.NewTimer(d + j)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return nil
+	case <-f.ctx.done():
+		return f.ctx.err()
+	}
 }
 
 func (f *TCP) account(from, to int, bytes int64) {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/graph"
+)
+
+// cancelProbe wraps a Program so a test can cancel mid-superstep
+// deterministically: the first Update call of blockStep signals entered
+// and parks until release is closed, holding the job inside that
+// superstep while the test cancels the context.
+type cancelProbe struct {
+	algo.Program
+	blockStep int
+	entered   chan struct{}
+	release   chan struct{}
+	once      sync.Once
+}
+
+func newCancelProbe(p algo.Program, step int) *cancelProbe {
+	return &cancelProbe{Program: p, blockStep: step,
+		entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (p *cancelProbe) Update(ctx *algo.Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	if ctx.Step == p.blockStep {
+		p.once.Do(func() {
+			close(p.entered)
+			<-p.release
+		})
+	}
+	return p.Program.Update(ctx, v, outdeg, val, msgs)
+}
+
+// waitGoroutines allows the runtime a moment to reap worker and fabric
+// goroutines before declaring a leak.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancel: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCancelMidSuperstep cancels a running job from another goroutine
+// while a superstep is executing, for each engine over both fabrics. The
+// job must return promptly with an error matching context.Canceled, leak
+// no goroutines and leave no per-worker or checkpoint files behind.
+func TestCancelMidSuperstep(t *testing.T) {
+	g := graph.GenRMAT(600, 4200, 0.57, 0.19, 0.19, 21)
+	for _, tcp := range []bool{false, true} {
+		for _, e := range []Engine{Push, BPull, Hybrid} {
+			fabric := "inproc"
+			if tcp {
+				fabric = "tcp"
+			}
+			t.Run(fmt.Sprintf("%s/%s", e, fabric), func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				prog := newCancelProbe(algo.NewPageRank(0.85), 3)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				dir := filepath.Join(t.TempDir(), "job")
+				errc := make(chan error, 1)
+				go func() {
+					_, err := RunContext(ctx, g, prog,
+						Config{Workers: 3, MsgBuf: 150, MaxSteps: 8, WorkDir: dir, TCP: tcp}, e)
+					errc <- err
+				}()
+				select {
+				case <-prog.entered:
+				case <-time.After(10 * time.Second):
+					t.Fatal("job never reached the probed superstep")
+				}
+				cancel()
+				close(prog.release)
+				select {
+				case err := <-errc:
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("RunContext error = %v, want context.Canceled", err)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatal("job did not return within 10s of cancellation")
+				}
+				for _, pat := range []string{"w[0-9]*", "ckpt-*"} {
+					if m, _ := filepath.Glob(filepath.Join(dir, pat)); len(m) != 0 {
+						t.Fatalf("orphaned files after cancel: %v", m)
+					}
+				}
+				waitGoroutines(t, before)
+			})
+		}
+	}
+}
+
+// TestCancelBeforeStart rejects an already-cancelled context without
+// doing any setup work.
+func TestCancelBeforeStart(t *testing.T) {
+	g := graph.GenUniform(100, 500, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, g, algo.NewPageRank(0.85),
+		Config{Workers: 2, MsgBuf: 50, MaxSteps: 3}, Push)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeadlineExceeded surfaces a deadline cause the same way.
+func TestDeadlineExceeded(t *testing.T) {
+	g := graph.GenUniform(100, 500, 13)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunContext(ctx, g, algo.NewPageRank(0.85),
+		Config{Workers: 2, MsgBuf: 50, MaxSteps: 3}, Push)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext error = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -12,11 +12,38 @@ import (
 	"io"
 	"time"
 
+	"hybridgraph/internal/adjstore"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/obs"
+	"hybridgraph/internal/veblock"
 )
+
+// StoreSource supplies pre-built, read-only edge stores for a job — the
+// persistent graph catalog's hook into the engines. When Config.Stores is
+// set, setup opens the source's adjacency and VE-BLOCK files instead of
+// rebuilding them, so the one-time ingestion cost is amortised across
+// every job over the same graph (the paper's VE-BLOCK is built once at
+// load time; see internal/catalog). The source's partitioning geometry is
+// authoritative: the job must run with Workers() workers and, for
+// block-centric engines, the BlocksPer() Vblock counts the layout was
+// built with. Opens are charged to the worker's loading counter; a reused
+// store performs zero build writes. The pull baseline's mirror store is
+// not part of a source and is still built per job.
+type StoreSource interface {
+	// GraphName labels the source in traces ("" is fine).
+	GraphName() string
+	// Workers reports the partition count the stores were built for.
+	Workers() int
+	// BlocksPer reports the per-worker Vblock counts of the VE layout.
+	BlocksPer() []int
+	// OpenAdj opens worker w's adjacency store read-only.
+	OpenAdj(w int, ct *diskio.Counter, g *graph.Graph, part graph.Partition) (*adjstore.Store, error)
+	// OpenVE opens worker w's VE-BLOCK store read-only against layout,
+	// which must match the geometry the file was built with.
+	OpenVE(w int, ct *diskio.Counter, g *graph.Graph, layout *veblock.Layout) (*veblock.Store, error)
+}
 
 // Engine names one message-handling approach.
 type Engine string
@@ -168,6 +195,19 @@ type Config struct {
 	// report live counters into; snapshot it any time, or serve it via
 	// obs.StartDebug. Nil disables metrics at near-zero cost.
 	Metrics *obs.Registry
+	// Stores, when non-nil, supplies pre-built read-only edge stores (a
+	// persistent-catalog hit): setup opens the source's adjacency and
+	// VE-BLOCK files instead of rebuilding them, Workers is forced to the
+	// source's partition count, and block-centric engines adopt the
+	// source's Vblock geometry (BlocksPerWorker/Eq. 5-6 derivation are
+	// ignored). LoadIO then contains only the per-job vertex-store init;
+	// layout-build writes are zero, which the "catalog" trace event and
+	// JobResult.LayoutBuildBytes make checkable.
+	Stores StoreSource
+	// JobLabel tags this run's trace events (job_start/job_end) and is
+	// purely informational — the service daemon sets it to the job id so
+	// journals from concurrent jobs attribute cleanly.
+	JobLabel string
 	// CheckpointEvery, when > 0, makes every worker write an atomic,
 	// CRC-verified snapshot of its vertex values, flag vectors and parked
 	// inbox messages every that many supersteps; the master commits the
@@ -180,6 +220,9 @@ type Config struct {
 
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
+	if c.Stores != nil && c.Workers <= 0 {
+		c.Workers = c.Stores.Workers()
+	}
 	if c.Workers <= 0 {
 		c.Workers = 5
 	}
@@ -222,6 +265,10 @@ func (c Config) validate(n int) error {
 	}
 	if c.BlocksPerWorker < 0 {
 		return fmt.Errorf("core: negative BlocksPerWorker")
+	}
+	if c.Stores != nil && c.Workers != c.Stores.Workers() {
+		return fmt.Errorf("core: %d workers but the store source was built for %d",
+			c.Workers, c.Stores.Workers())
 	}
 	switch c.Recovery {
 	case "", "scratch", "resume", "checkpoint", "confined":

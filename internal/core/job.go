@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 // job is one engine run over one graph.
 type job struct {
 	cfg     Config
+	runCtx  context.Context
 	g       *graph.Graph
 	prog    algo.Program
 	engine  Engine
@@ -32,6 +34,12 @@ type job struct {
 	loadCts []*diskio.Counter
 	dir     string
 	ownDir  bool
+
+	// Catalog accounting: bytes written building edge layouts during setup
+	// (adj, VE-BLOCK, mirror) and bytes reused from a pre-built store
+	// source. A catalog hit makes buildBytes zero by construction.
+	layoutBuildBytes  int64
+	layoutReusedBytes int64
 
 	totalFrags int64
 	bTotal     int64 // B = Σ B_i in messages (0 = unlimited)
@@ -85,13 +93,26 @@ func (e *InjectedFailure) Is(target error) bool { return target == ErrInjectedFa
 
 // Run executes one algorithm over one graph with the given engine and
 // returns the per-superstep statistics. It is the package's main entry
-// point.
+// point; RunContext adds cancellation.
 func Run(g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (*metrics.JobResult, error) {
+	return RunContext(context.Background(), g, prog, cfg, engine)
+}
+
+// RunContext is Run under a context: cancelling ctx (or exceeding its
+// deadline) aborts the job promptly — the master loop checks the context
+// at every superstep barrier, and both comm fabrics fail in-flight
+// exchanges fast once the context is done — returning an error matching
+// ctx's cause via errors.Is (context.Canceled / DeadlineExceeded). A
+// cancelled job's work directory is removed like any failed job's.
+func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (_ *metrics.JobResult, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(g.NumVertices); err != nil {
 		return nil, err
 	}
-	j := &job{cfg: cfg, g: g, prog: prog, engine: engine}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{cfg: cfg, runCtx: ctx, g: g, prog: prog, engine: engine}
 	tr, err := newJobTracer(cfg, prog, engine)
 	if err != nil {
 		return nil, err
@@ -102,10 +123,10 @@ func Run(g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (*metrics
 	if err := j.setupDir(); err != nil {
 		return nil, err
 	}
-	defer j.close()
+	defer func() { j.close(err != nil) }()
 	if tr != nil {
-		tr.Emit(obs.JobEvent{Type: obs.EventJobStart, Engine: string(engine),
-			Algorithm: prog.Name(), Workers: cfg.Workers,
+		tr.Emit(obs.JobEvent{Type: obs.EventJobStart, JobID: cfg.JobLabel,
+			Engine: string(engine), Algorithm: prog.Name(), Workers: cfg.Workers,
 			Vertices: g.NumVertices, Edges: int64(g.NumEdges())})
 	}
 	res := &metrics.JobResult{
@@ -126,8 +147,8 @@ func Run(g *graph.Graph, prog algo.Program, cfg Config, engine Engine) (*metrics
 	}
 	res.Values = vals
 	if tr != nil {
-		tr.Emit(obs.JobEvent{Type: obs.EventJobEnd, Engine: string(engine),
-			Algorithm: prog.Name(), Workers: cfg.Workers,
+		tr.Emit(obs.JobEvent{Type: obs.EventJobEnd, JobID: cfg.JobLabel,
+			Engine: string(engine), Algorithm: prog.Name(), Workers: cfg.Workers,
 			Steps: len(res.Steps), SimSecs: res.SimSeconds,
 			NetBytes: res.NetBytes, IOBytes: res.IO.Total(), Restarts: res.Restarts})
 	}
@@ -166,7 +187,11 @@ func (j *job) setupDir() error {
 	return nil
 }
 
-func (j *job) close() {
+// close releases every resource. failed marks a run that ended in an
+// error (including cancellation): its on-disk artifacts are removed even
+// under a caller-provided WorkDir, so an aborted job never leaves
+// per-worker data directories or checkpoint files behind.
+func (j *job) close(failed bool) {
 	for _, w := range j.workers {
 		if w != nil {
 			w.close()
@@ -175,8 +200,24 @@ func (j *job) close() {
 	if c, ok := j.fabric.(interface{ Close() error }); ok {
 		c.Close()
 	}
-	if j.ownDir && !j.cfg.KeepFiles {
+	if j.cfg.KeepFiles {
+		return
+	}
+	if j.ownDir {
 		os.RemoveAll(j.dir)
+		return
+	}
+	if failed {
+		// Caller-provided WorkDir: remove only what this job created —
+		// the w<i> store directories and any checkpoint artifacts — and
+		// leave the directory itself to its owner. Glob rather than walk
+		// j.workers so dirs created before a mid-setup failure go too.
+		for _, pat := range []string{"w[0-9]*", "ckpt-*"} {
+			matches, _ := filepath.Glob(filepath.Join(j.dir, pat))
+			for _, m := range matches {
+				os.RemoveAll(m)
+			}
+		}
 	}
 }
 
@@ -188,8 +229,13 @@ func (j *job) ctx(t int) *algo.Context {
 func (j *job) loadCt(w int) *diskio.Counter { return j.loadCts[w] }
 
 // blocksPerWorker derives each worker's Vblock count from Eq. (5)/(6), or
-// honours the explicit configuration.
+// honours the explicit configuration. A store source's geometry is
+// authoritative: its VE files were laid out for a specific block count,
+// so reusing them means adopting it.
 func (j *job) blocksPerWorker() []int {
+	if j.cfg.Stores != nil {
+		return append([]int(nil), j.cfg.Stores.BlocksPer()...)
+	}
 	t := j.cfg.Workers
 	out := make([]int, t)
 	for w, p := range j.parts {
@@ -259,6 +305,9 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 	if ms, ok := j.fabric.(obs.MetricsSetter); ok {
 		ms.SetMetrics(j.cfg.Metrics)
 	}
+	if cs, ok := j.fabric.(comm.ContextSetter); ok {
+		cs.SetContext(j.runCtx)
+	}
 	j.loadCts = make([]*diskio.Counter, t)
 	j.workers = make([]*worker, t)
 	if j.cfg.MsgBuf > 0 {
@@ -296,6 +345,10 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		if err := wk.buildVertexStore(j.g); err != nil {
 			return err
 		}
+		// Edge-layout builds are bracketed so their write bytes can be
+		// told apart from the per-job vertex-store init: on a catalog hit
+		// this delta must be zero (the stores are opened, not rebuilt).
+		edgeBase := j.loadCts[w].Snapshot()
 		if needAdj {
 			if err := wk.buildAdj(j.g); err != nil {
 				return err
@@ -312,6 +365,7 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 			}
 			j.totalFrags += wk.ve.Fragments()
 		}
+		j.layoutBuildBytes += j.loadCts[w].Snapshot().Sub(edgeBase).Bytes[diskio.SeqWrite]
 		if engine == PushM {
 			wk.pickHotSet(j.g, j.cfg.MsgBuf)
 		}
@@ -350,6 +404,17 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 	res.LoadIO = loadIO
 	res.LoadSimSeconds = j.cfg.Profile.DiskSeconds(loadIO) +
 		float64(j.g.NumEdges())*metrics.CostPerEdge*j.cfg.Profile.CPUFactor
+	res.CatalogHit = j.cfg.Stores != nil
+	res.LayoutBuildBytes = j.layoutBuildBytes
+	res.LayoutReusedBytes = j.layoutReusedBytes
+	if j.trace != nil {
+		ev := obs.CatalogEvent{Type: obs.EventCatalog, Hit: res.CatalogHit,
+			BuiltBytes: j.layoutBuildBytes, ReusedBytes: j.layoutReusedBytes}
+		if j.cfg.Stores != nil {
+			ev.Graph = j.cfg.Stores.GraphName()
+		}
+		j.trace.Emit(ev)
+	}
 
 	if engine == Hybrid {
 		j.initHybridModes()
@@ -384,6 +449,13 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 			failed, failStep, lastDone, stalled = stl.Workers, stl.Step, stl.Step, true
 			res.Stalls += len(stl.Workers)
 		default:
+			// A cancelled run context makes fabric operations fail with
+			// whatever they were doing; attribute the abort to the cause so
+			// callers can match it with errors.Is regardless of which layer
+			// noticed first.
+			if cerr := context.Cause(j.runCtx); cerr != nil {
+				return cerr
+			}
 			return err
 		}
 		res.Restarts++
@@ -499,6 +571,12 @@ func (j *job) resetForRecovery(engine Engine) error {
 
 func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 	for t := start; t <= j.cfg.MaxSteps; t++ {
+		// Master barrier loop cancellation point: a cancelled context stops
+		// the job between supersteps even when no fabric traffic is in
+		// flight (e.g. a single-worker run doing pure local compute).
+		if err := context.Cause(j.runCtx); err != nil {
+			return err
+		}
 		if w, fired := j.injectCrash(t); fired {
 			// The fault detector notices the crashed worker at the barrier.
 			j.jm.faults.Inc()

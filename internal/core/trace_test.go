@@ -26,6 +26,8 @@ type parsedTrace struct {
 	replaySteps      []obs.ReplayStepEvent
 	replayServes     []obs.ReplayServeEvent
 	pruneFailed      []obs.PruneFailedEvent
+	catalogs         []obs.CatalogEvent
+	scheduler        []obs.SchedulerEvent
 }
 
 func parseTrace(t *testing.T, data []byte) *parsedTrace {
@@ -116,6 +118,18 @@ func parseTrace(t *testing.T, data []byte) *parsedTrace {
 				t.Fatal(err)
 			}
 			p.pruneFailed = append(p.pruneFailed, ev)
+		case obs.EventCatalog:
+			var ev obs.CatalogEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.catalogs = append(p.catalogs, ev)
+		case obs.EventJobQueued, obs.EventJobCancelled:
+			var ev obs.SchedulerEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.scheduler = append(p.scheduler, ev)
 		default:
 			t.Fatalf("unknown event type %q", head.Type)
 		}

@@ -173,6 +173,15 @@ func (w *worker) buildAdj(g *graph.Graph) error {
 	if w.adj != nil {
 		return nil
 	}
+	if src := w.job.cfg.Stores; src != nil {
+		a, err := src.OpenAdj(w.id, w.job.loadCt(w.id), g, w.part)
+		if err != nil {
+			return err
+		}
+		w.adj = a
+		w.job.layoutReusedBytes += a.SizeBytes()
+		return nil
+	}
 	if w.job.cfg.EdgesInMemory {
 		w.adj = adjstore.BuildMem(g, w.part)
 		return nil
@@ -212,6 +221,15 @@ func (w *worker) buildMirror(g *graph.Graph) error {
 
 func (w *worker) buildVE(g *graph.Graph) error {
 	if w.ve != nil {
+		return nil
+	}
+	if src := w.job.cfg.Stores; src != nil {
+		ve, err := src.OpenVE(w.id, w.job.loadCt(w.id), g, w.job.layout)
+		if err != nil {
+			return err
+		}
+		w.ve = ve
+		w.job.layoutReusedBytes += ve.SizeBytes()
 		return nil
 	}
 	if w.job.cfg.EdgesInMemory {

@@ -193,6 +193,17 @@ func Open(path string, ct *Counter) (*File, error) {
 	return &File{f: f, ct: ct, lastPage: -1}, nil
 }
 
+// OpenRead opens an existing file for accounted read-only access. Catalog
+// stores are shared by concurrent jobs and must never be written, so the
+// OS-level permission backs up the convention.
+func OpenRead(path string, ct *Counter) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, ct: ct, lastPage: -1}, nil
+}
+
 // devCharge computes the device bytes an access moves and records the page
 // position. Sequential classes transfer what they read; random classes
 // transfer whole pages, except repeated touches of the most recent page

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/graph"
+)
+
+// BenchResult is one engine run in the machine-readable benchmark
+// artifact: runtime, the Eq. (7)/(8) I/O totals and the Q^t signal the
+// hybrid switcher acts on.
+type BenchResult struct {
+	Graph      string  `json:"graph"`
+	Algorithm  string  `json:"algorithm"`
+	Engine     string  `json:"engine"`
+	Supersteps int     `json:"supersteps"`
+	SimSeconds float64 `json:"sim_seconds"`
+	NetBytes   int64   `json:"net_bytes"`
+	IOBytes    int64   `json:"io_bytes"` // device bytes, loading excluded
+	// Eq7CioPush and Eq8CioBpull are the job totals of the paper's two
+	// I/O cost equations, summed over supersteps.
+	Eq7CioPush  int64 `json:"eq7_cio_push_bytes"`
+	Eq8CioBpull int64 `json:"eq8_cio_bpull_bytes"`
+	// QtMean and QtLast summarise Eq. (11) over the run (b-pull is the
+	// profitable mode while Q^t >= 0).
+	QtMean float64 `json:"qt_mean"`
+	QtLast float64 `json:"qt_last"`
+}
+
+// BenchGraph records one benchmark input so runs are comparable across
+// commits.
+type BenchGraph struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Seed     int64  `json:"seed"`
+}
+
+// BenchArtifact is the BENCH_pr4.json document.
+type BenchArtifact struct {
+	Workers int           `json:"workers"`
+	MsgBuf  int           `json:"msg_buf"`
+	Profile string        `json:"profile"`
+	Graphs  []BenchGraph  `json:"graphs"`
+	Results []BenchResult `json:"results"`
+}
+
+// BenchPath is where the bench experiment writes its JSON artifact.
+// Overridable for tests; CI uploads the file as a build artifact.
+var BenchPath = "BENCH_pr4.json"
+
+// Bench runs the fixed benchmark matrix — two seeded graphs x
+// {PageRank, SSSP} x {push, b-pull, hybrid} under limited memory — and
+// writes BenchPath. The numbers are regression-tracking material, not a
+// paper figure: CI keeps the artifact per commit so runtime or byte-count
+// drifts are visible without gating the build.
+func Bench(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	n, m := 8000, 64000
+	if o.Quick {
+		n, m = 2000, 16000
+	}
+	art := BenchArtifact{
+		Workers: o.Workers,
+		MsgBuf:  n / 10,
+		Profile: o.Profile.Name,
+		Graphs: []BenchGraph{
+			{Name: "rmat", Kind: "rmat", Vertices: n, Edges: m, Seed: 7},
+			{Name: "web", Kind: "web", Vertices: n, Edges: m, Seed: 7},
+		},
+	}
+	graphs := map[string]*graph.Graph{
+		"rmat": graph.GenRMAT(n, m, 0.57, 0.19, 0.19, 7),
+		"web":  graph.GenWeb(n, m, 64, 0.8, 7),
+	}
+	algos := []struct {
+		name string
+		prog func() algo.Program
+	}{
+		{"pagerank", func() algo.Program { return algo.NewPageRank(0.85) }},
+		{"sssp", func() algo.Program { return algo.NewSSSP(0) }},
+	}
+	engines := []core.Engine{core.Push, core.BPull, core.Hybrid}
+
+	tb := &Table{ID: "bench", Title: "Benchmark matrix (also written to " + BenchPath + ")",
+		Header: []string{"graph", "algo", "engine", "steps", "sim-s", "net-B", "io-B", "Eq7-B", "Eq8-B", "Qt-mean"}}
+	for _, bg := range art.Graphs {
+		g := graphs[bg.Name]
+		for _, a := range algos {
+			for _, e := range engines {
+				cfg := core.Config{
+					Workers:  o.Workers,
+					MsgBuf:   art.MsgBuf,
+					MaxSteps: maxStepsFor(a.name),
+					Profile:  o.Profile,
+					Metrics:  o.Metrics,
+				}
+				res, err := core.Run(g, a.prog(), cfg, e)
+				if err != nil {
+					return nil, fmt.Errorf("bench %s/%s/%s: %w", bg.Name, a.name, e, err)
+				}
+				var qtSum, qtLast float64
+				var cio7, cio8 int64
+				for _, s := range res.Steps {
+					cio7 += s.Parts.CioPush()
+					cio8 += s.Parts.CioBpull()
+					qtSum += s.Qt
+					qtLast = s.Qt
+				}
+				qtMean := 0.0
+				if len(res.Steps) > 0 {
+					qtMean = qtSum / float64(len(res.Steps))
+				}
+				br := BenchResult{
+					Graph:       bg.Name,
+					Algorithm:   a.name,
+					Engine:      string(e),
+					Supersteps:  res.Supersteps(),
+					SimSeconds:  res.SimSeconds,
+					NetBytes:    res.NetBytes,
+					IOBytes:     res.IO.DevTotal(),
+					Eq7CioPush:  cio7,
+					Eq8CioBpull: cio8,
+					QtMean:      qtMean,
+					QtLast:      qtLast,
+				}
+				art.Results = append(art.Results, br)
+				tb.Rows = append(tb.Rows, []string{
+					bg.Name, a.name, string(e),
+					fmt.Sprintf("%d", br.Supersteps),
+					fmt.Sprintf("%.4f", br.SimSeconds),
+					fmt.Sprintf("%d", br.NetBytes),
+					fmt.Sprintf("%d", br.IOBytes),
+					fmt.Sprintf("%d", br.Eq7CioPush),
+					fmt.Sprintf("%d", br.Eq8CioBpull),
+					fmt.Sprintf("%+.4g", br.QtMean),
+				})
+			}
+		}
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(BenchPath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return []*Table{tb}, nil
+}

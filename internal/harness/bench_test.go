@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchWritesArtifact(t *testing.T) {
+	old := BenchPath
+	BenchPath = filepath.Join(t.TempDir(), "BENCH_pr4.json")
+	defer func() { BenchPath = old }()
+
+	tables, err := Bench(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 12 {
+		t.Fatalf("bench table shape: %d tables, %d rows (want 1 x 12)", len(tables), len(tables[0].Rows))
+	}
+	data, err := os.ReadFile(BenchPath)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art BenchArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Graphs) != 2 || len(art.Results) != 12 {
+		t.Fatalf("artifact has %d graphs, %d results (want 2, 12)", len(art.Graphs), len(art.Results))
+	}
+	for _, r := range art.Results {
+		if r.Supersteps <= 0 || r.SimSeconds <= 0 {
+			t.Fatalf("%s/%s/%s: empty run (%d steps, %g s)",
+				r.Graph, r.Algorithm, r.Engine, r.Supersteps, r.SimSeconds)
+		}
+		if r.Eq7CioPush <= 0 || r.Eq8CioBpull <= 0 {
+			t.Fatalf("%s/%s/%s: Eq. 7/8 byte totals not populated (%d, %d)",
+				r.Graph, r.Algorithm, r.Engine, r.Eq7CioPush, r.Eq8CioBpull)
+		}
+	}
+	// The headline shape the paper argues: under memory pressure b-pull's
+	// Eq. (8) traffic beats push's Eq. (7) traffic for PageRank.
+	byKey := map[string]BenchResult{}
+	for _, r := range art.Results {
+		byKey[r.Graph+"/"+r.Algorithm+"/"+r.Engine] = r
+	}
+	push := byKey["rmat/pagerank/push"]
+	bpull := byKey["rmat/pagerank/b-pull"]
+	if bpull.Eq8CioBpull >= push.Eq7CioPush {
+		t.Errorf("b-pull Eq8 bytes %d should undercut push Eq7 bytes %d on rmat/pagerank",
+			bpull.Eq8CioBpull, push.Eq7CioPush)
+	}
+}

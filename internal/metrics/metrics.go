@@ -111,6 +111,15 @@ type JobResult struct {
 	LoadSimSeconds float64 // graph loading cost (Fig. 16), reported separately
 	LoadIO         diskio.Snapshot
 
+	// CatalogHit marks a run whose edge layouts (adjacency, VE-BLOCK) were
+	// opened read-only from a pre-built store source instead of rebuilt.
+	// LayoutBuildBytes is the sequential-write cost of building them fresh
+	// (zero on a hit); LayoutReusedBytes the on-disk layout bytes served by
+	// the source (zero on a miss).
+	CatalogHit        bool
+	LayoutBuildBytes  int64
+	LayoutReusedBytes int64
+
 	// Restarts counts recoveries after detected worker failures (any
 	// policy); RecoverySimSeconds is the simulated time recovery burned:
 	// the discarded supersteps plus, under the checkpoint policy, the

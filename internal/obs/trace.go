@@ -121,11 +121,17 @@ const (
 	EventReplayStep    = "replay_step"       // the failed worker replayed one superstep
 	EventReplayServe   = "replay_serve"      // one survivor's share of a replayed superstep
 	EventPruneFailed   = "ckpt_prune_failed" // checkpoint or msglog pruning reported errors
+
+	// Service events (the graph service daemon's catalog and scheduler).
+	EventCatalog      = "catalog"       // setup resolved its edge layouts (hit = reused)
+	EventJobQueued    = "job_queued"    // the scheduler admitted a job into its queue
+	EventJobCancelled = "job_cancelled" // a queued or running job was cancelled
 )
 
 // JobEvent opens (job_start) and closes (job_end) a journal.
 type JobEvent struct {
 	Type      string  `json:"type"`
+	JobID     string  `json:"job_id,omitempty"` // service-assigned id (Config.JobLabel)
 	Engine    string  `json:"engine"`
 	Algorithm string  `json:"algorithm"`
 	Workers   int     `json:"workers"`
@@ -255,6 +261,29 @@ type ReplayServeEvent struct {
 	Worker int             `json:"worker"`
 	Bytes  int64           `json:"bytes"` // log bytes served to the recovering worker
 	IO     diskio.Snapshot `json:"io"`    // survivor's compute disk delta (zero)
+}
+
+// CatalogEvent records how a job's setup resolved its edge layouts: a hit
+// opened pre-built stores from a catalog source (ReusedBytes of layout
+// served read-only, BuiltBytes zero by construction), a miss built them
+// fresh (BuiltBytes of sequential layout writes). The catalog-reuse tests
+// cross-check the "zero layout-rebuild writes" claim against this line.
+type CatalogEvent struct {
+	Type        string `json:"type"`
+	Graph       string `json:"graph,omitempty"` // catalog graph name on a hit
+	Hit         bool   `json:"hit"`
+	BuiltBytes  int64  `json:"built_bytes"`
+	ReusedBytes int64  `json:"reused_bytes"`
+}
+
+// SchedulerEvent records a scheduler transition for one job: admission into
+// the queue (job_queued, with its position) or cancellation
+// (job_cancelled, with the state it was cancelled from).
+type SchedulerEvent struct {
+	Type   string `json:"type"`
+	JobID  string `json:"job_id"`
+	Queued int    `json:"queued,omitempty"` // queue depth after the transition
+	From   string `json:"from,omitempty"`   // job_cancelled: state left behind
 }
 
 // PruneFailedEvent records a checkpoint or message-log pruning failure.

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hybridgraph/internal/catalog"
+	"hybridgraph/internal/metrics"
+)
+
+// Client talks to a running daemon's JSON API. The zero HTTPClient uses
+// http.DefaultClient.
+type Client struct {
+	Base       string // e.g. "http://127.0.0.1:8080"
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON round trip; a non-nil out receives the decoded body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, ae.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health reports whether the daemon answers /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ingest ingests a graph and returns its manifest.
+func (c *Client) Ingest(ctx context.Context, req IngestRequest) (*catalog.Manifest, error) {
+	m := &catalog.Manifest{}
+	if err := c.do(ctx, http.MethodPost, "/api/graphs", req, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Graphs lists the catalog's manifests.
+func (c *Client) Graphs(ctx context.Context) ([]*catalog.Manifest, error) {
+	var out []*catalog.Manifest
+	if err := c.do(ctx, http.MethodGet, "/api/graphs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit enqueues a job.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/jobs", spec, &st)
+	return st, err
+}
+
+// Job reports one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/api/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/api/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Result fetches a done job's full result.
+func (c *Client) Result(ctx context.Context, id string) (*metrics.JobResult, error) {
+	var wire resultWire
+	if err := c.do(ctx, http.MethodGet, "/api/jobs/"+id+"/result", nil, &wire); err != nil {
+		return nil, err
+	}
+	return wire.toResult(), nil
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// WaitJob polls until the job reaches a terminal state or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,521 @@
+// Package service implements the graph service daemon: a persistent graph
+// catalog (internal/catalog) fronted by a bounded multi-job scheduler and
+// an HTTP JSON API. Graphs are ingested once; jobs over them reuse the
+// pre-built VE-BLOCK and adjacency layouts read-only (zero layout-rebuild
+// writes, trace-verified), run concurrently up to an admission-controlled
+// limit, and are cancellable mid-superstep through the context plumbing in
+// core.RunContext.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/catalog"
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// The five job states. Queued and Running are live; the rest are terminal.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobSpec is what a client submits: which catalog graph to compute over,
+// with which algorithm and engine, under which budgets.
+type JobSpec struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"` // pagerank | pagerank-converging | sssp | lpa
+	Engine    string `json:"engine"`    // push | pushM | pull | b-pull | hybrid
+	// MaxSteps caps supersteps (default 30). MsgBuf is the per-worker
+	// message-buffer budget in messages (0 = unlimited), bounded by the
+	// scheduler's MaxMsgBuf admission rule.
+	MaxSteps int `json:"max_steps,omitempty"`
+	MsgBuf   int `json:"msg_buf,omitempty"`
+	// Source seeds SSSP (default 0).
+	Source int `json:"source,omitempty"`
+	// Priority orders the queue: higher first, FIFO within a priority.
+	Priority int `json:"priority,omitempty"`
+	// TCP routes worker traffic over the loopback TCP fabric.
+	TCP bool `json:"tcp,omitempty"`
+	// Recovery selects the fault-tolerance policy ("", scratch, resume,
+	// checkpoint, confined) and Retries the number of times the scheduler
+	// re-enqueues the job after a non-cancellation failure.
+	Recovery string `json:"recovery,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
+}
+
+// JobStatus is the externally visible job record (JSON-served as-is).
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Spec     JobSpec  `json:"spec"`
+	State    JobState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Attempts int      `json:"attempts"`
+	// Summary numbers lifted off the JobResult when the job is done; the
+	// full result (including final vertex values) is served separately.
+	Steps       int     `json:"steps,omitempty"`
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+	NetBytes    int64   `json:"net_bytes,omitempty"`
+	IOBytes     int64   `json:"io_bytes,omitempty"`
+	CatalogHit  bool    `json:"catalog_hit,omitempty"`
+	LayoutBuild int64   `json:"layout_build_bytes,omitempty"`
+	LayoutReuse int64   `json:"layout_reused_bytes,omitempty"`
+
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// job is the scheduler's internal record.
+type job struct {
+	status JobStatus
+	seq    int64 // FIFO tiebreak within a priority
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+	result *metrics.JobResult
+}
+
+// SchedulerConfig bounds the scheduler (admission control).
+type SchedulerConfig struct {
+	// MaxQueued bounds the queue; submits beyond it are rejected (default
+	// 64). MaxConcurrent bounds simultaneously running jobs (default 2).
+	MaxQueued     int
+	MaxConcurrent int
+	// MaxMsgBuf caps a job's per-worker message-buffer budget; specs
+	// asking for more (or for unlimited, MsgBuf <= 0, when a cap is set)
+	// are clamped to it. Zero means uncapped.
+	MaxMsgBuf int
+	// DataDir holds per-job work directories (jobs/<id>); they are removed
+	// on every terminal state. Empty uses the OS temp dir per job.
+	DataDir string
+	// Tracer, when non-nil, receives job_queued / job_cancelled scheduler
+	// events. Metrics, when non-nil, receives service.* counters and is
+	// shared with every job the scheduler runs.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+	// TraceDir, when set, gives every job a JSONL trace journal
+	// <TraceDir>/<jobid>.jsonl (the journal the catalog-reuse acceptance
+	// check reads).
+	TraceDir string
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	return c
+}
+
+// Scheduler admits jobs into a bounded priority queue and runs at most
+// MaxConcurrent of them at once over a shared catalog.
+type Scheduler struct {
+	cfg SchedulerConfig
+	cat *catalog.Catalog
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	queue    []*job // ordered: higher priority first, then FIFO
+	jobs     map[string]*job
+	order    []string // all job ids in submit order (for listing)
+	running  int
+	nextSeq  int64
+	draining bool
+	wg       sync.WaitGroup
+
+	mSubmitted *obs.Counter
+	mDone      *obs.Counter
+	mFailed    *obs.Counter
+	mCancelled *obs.Counter
+	mRejected  *obs.Counter
+}
+
+// NewScheduler builds a scheduler over cat. Call Drain to shut it down.
+func NewScheduler(cat *catalog.Catalog, cfg SchedulerConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Scheduler{cfg: cfg, cat: cat, baseCtx: ctx, stop: stop,
+		jobs: make(map[string]*job)}
+	reg := cfg.Metrics
+	s.mSubmitted = reg.Counter("service.jobs_submitted")
+	s.mDone = reg.Counter("service.jobs_done")
+	s.mFailed = reg.Counter("service.jobs_failed")
+	s.mCancelled = reg.Counter("service.jobs_cancelled")
+	s.mRejected = reg.Counter("service.jobs_rejected")
+	reg.RegisterFunc("service.jobs_running", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.running)
+	})
+	reg.RegisterFunc("service.queue_depth", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.queue))
+	})
+	return s
+}
+
+// progFor maps a spec to its vertex program.
+func progFor(spec JobSpec) (algo.Program, error) {
+	switch spec.Algorithm {
+	case "pagerank":
+		return algo.NewPageRank(0.85), nil
+	case "pagerank-converging":
+		return algo.NewConvergingPageRank(0.85, 1e-3), nil
+	case "sssp":
+		return algo.NewSSSP(graph.VertexID(spec.Source)), nil
+	case "lpa":
+		return algo.NewLPA(), nil
+	}
+	return nil, fmt.Errorf("service: unknown algorithm %q", spec.Algorithm)
+}
+
+func engineFor(spec JobSpec) (core.Engine, error) {
+	for _, e := range core.Engines {
+		if string(e) == spec.Engine {
+			return e, nil
+		}
+	}
+	return "", fmt.Errorf("service: unknown engine %q", spec.Engine)
+}
+
+// Submit validates spec against the catalog and the admission rules and
+// enqueues it. The returned status is a snapshot.
+func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
+	if _, err := progFor(spec); err != nil {
+		return JobStatus{}, err
+	}
+	if _, err := engineFor(spec); err != nil {
+		return JobStatus{}, err
+	}
+	if _, err := s.cat.Entry(spec.Graph); err != nil {
+		return JobStatus{}, err
+	}
+	if s.cfg.MaxMsgBuf > 0 && (spec.MsgBuf <= 0 || spec.MsgBuf > s.cfg.MaxMsgBuf) {
+		// Admission's memory budget: unlimited buffers are not available
+		// on a shared daemon.
+		spec.MsgBuf = s.cfg.MaxMsgBuf
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.mRejected.Inc()
+		return JobStatus{}, fmt.Errorf("service: scheduler is draining")
+	}
+	if len(s.queue) >= s.cfg.MaxQueued {
+		s.mRejected.Inc()
+		return JobStatus{}, fmt.Errorf("service: queue full (%d queued)", len(s.queue))
+	}
+	s.nextSeq++
+	j := &job{seq: s.nextSeq, done: make(chan struct{})}
+	j.status = JobStatus{
+		ID:         fmt.Sprintf("job-%06d", s.nextSeq),
+		Spec:       spec,
+		State:      JobQueued,
+		EnqueuedAt: time.Now(),
+	}
+	s.jobs[j.status.ID] = j
+	s.order = append(s.order, j.status.ID)
+	s.enqueueLocked(j)
+	s.mSubmitted.Inc()
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.SchedulerEvent{Type: obs.EventJobQueued,
+			JobID: j.status.ID, Queued: len(s.queue)})
+	}
+	s.maybeStartLocked()
+	return j.status, nil
+}
+
+// enqueueLocked inserts j in priority order (stable FIFO within one
+// priority). Callers hold s.mu.
+func (s *Scheduler) enqueueLocked(j *job) {
+	i := sort.Search(len(s.queue), func(i int) bool {
+		q := s.queue[i]
+		if q.status.Spec.Priority != j.status.Spec.Priority {
+			return q.status.Spec.Priority < j.status.Spec.Priority
+		}
+		return q.seq > j.seq
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+}
+
+// maybeStartLocked dispatches queue heads while capacity remains.
+func (s *Scheduler) maybeStartLocked() {
+	for !s.draining && s.running < s.cfg.MaxConcurrent && len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.startLocked(j)
+	}
+}
+
+func (s *Scheduler) startLocked(j *job) {
+	j.status.State = JobRunning
+	j.status.StartedAt = time.Now()
+	j.status.Attempts++
+	s.running++
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	j.cancel = cancel
+	s.wg.Add(1)
+	go s.runJob(j, ctx)
+}
+
+// runJob executes one attempt and applies the terminal (or retry)
+// transition. Job work directories are removed on every exit path.
+func (s *Scheduler) runJob(j *job, ctx context.Context) {
+	defer s.wg.Done()
+	res, err := s.execute(j, ctx)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	switch {
+	case err == nil:
+		j.result = res
+		st := &j.status
+		st.State = JobDone
+		st.Steps = res.Supersteps()
+		st.SimSeconds = res.SimSeconds
+		st.NetBytes = res.NetBytes
+		st.IOBytes = res.IO.Total()
+		st.CatalogHit = res.CatalogHit
+		st.LayoutBuild = res.LayoutBuildBytes
+		st.LayoutReuse = res.LayoutReusedBytes
+		s.mDone.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
+		j.status.State = JobCancelled
+		j.status.Error = err.Error()
+		s.mCancelled.Inc()
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.SchedulerEvent{Type: obs.EventJobCancelled,
+				JobID: j.status.ID, From: string(JobRunning)})
+		}
+	case j.status.Attempts <= j.status.Spec.Retries && !s.draining:
+		// Transient failure budget left: back into the queue it goes. The
+		// per-run recovery policies already absorb injected faults; this
+		// retry layer covers whole-attempt failures.
+		j.status.Error = err.Error()
+		j.status.State = JobQueued
+		s.enqueueLocked(j)
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.SchedulerEvent{Type: obs.EventJobQueued,
+				JobID: j.status.ID, Queued: len(s.queue)})
+		}
+		s.maybeStartLocked()
+		return
+	default:
+		j.status.State = JobFailed
+		j.status.Error = err.Error()
+		s.mFailed.Inc()
+	}
+	j.status.FinishedAt = time.Now()
+	close(j.done)
+	s.maybeStartLocked()
+}
+
+// execute runs one attempt of j under ctx.
+func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, error) {
+	spec := j.status.Spec
+	prog, err := progFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := engineFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := s.cat.Entry(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Stores:   entry,
+		JobLabel: j.status.ID,
+		MaxSteps: spec.MaxSteps,
+		MsgBuf:   spec.MsgBuf,
+		TCP:      spec.TCP,
+		Recovery: spec.Recovery,
+		Metrics:  s.cfg.Metrics,
+	}
+	if s.cfg.TraceDir != "" {
+		cfg.TracePath = filepath.Join(s.cfg.TraceDir,
+			fmt.Sprintf("%s-a%d.jsonl", j.status.ID, j.status.Attempts))
+	}
+	if s.cfg.DataDir != "" {
+		cfg.WorkDir = filepath.Join(s.cfg.DataDir, "jobs", j.status.ID)
+		// A successful run keeps a caller-provided WorkDir; the daemon has
+		// no use for finished per-worker stores, so remove the whole job
+		// directory once the attempt ends, whatever the outcome.
+		defer os.RemoveAll(cfg.WorkDir)
+	}
+	return core.RunContext(ctx, entry.Graph(), prog, cfg, engine)
+}
+
+// Cancel cancels a queued or running job. Cancelling a queued job
+// finalises it immediately; a running job unwinds at its next fabric
+// operation or superstep barrier. Cancelling a terminal job is an error.
+func (s *Scheduler) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("service: no job %q", id)
+	}
+	switch j.status.State {
+	case JobQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.status.State = JobCancelled
+		j.status.Error = context.Canceled.Error()
+		j.status.FinishedAt = time.Now()
+		close(j.done)
+		s.mCancelled.Inc()
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.SchedulerEvent{Type: obs.EventJobCancelled,
+				JobID: id, From: string(JobQueued)})
+		}
+		st := j.status
+		s.mu.Unlock()
+		return st, nil
+	case JobRunning:
+		cancel := j.cancel
+		s.mu.Unlock()
+		cancel(context.Canceled)
+		<-j.done
+		s.mu.Lock()
+		st := j.status
+		s.mu.Unlock()
+		return st, nil
+	default:
+		st := j.status
+		s.mu.Unlock()
+		return st, fmt.Errorf("service: job %q is already %s", id, st.State)
+	}
+}
+
+// Job reports one job's status snapshot.
+func (s *Scheduler) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: no job %q", id)
+	}
+	return j.status, nil
+}
+
+// Result returns a finished job's full result.
+func (s *Scheduler) Result(id string) (*metrics.JobResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: no job %q", id)
+	}
+	if j.status.State != JobDone {
+		return nil, fmt.Errorf("service: job %q is %s, not done", id, j.status.State)
+	}
+	return j.result, nil
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status)
+	}
+	return out
+}
+
+// Wait blocks until job id reaches a terminal state (or ctx expires).
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: no job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.status, nil
+}
+
+// Drain shuts the scheduler down: submissions are rejected, every queued
+// job is finalised as cancelled, and running jobs are given grace to
+// finish before being cancelled too. It returns once every job goroutine
+// has exited.
+func (s *Scheduler) Drain(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	queued := s.queue
+	s.queue = nil
+	for _, j := range queued {
+		j.status.State = JobCancelled
+		j.status.Error = "cancelled: service shutting down"
+		j.status.FinishedAt = time.Now()
+		close(j.done)
+		s.mCancelled.Inc()
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.SchedulerEvent{Type: obs.EventJobCancelled,
+				JobID: j.status.ID, From: string(JobQueued)})
+		}
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() { s.wg.Wait(); close(finished) }()
+	if grace > 0 {
+		tm := time.NewTimer(grace)
+		select {
+		case <-finished:
+			tm.Stop()
+			return
+		case <-tm.C:
+		}
+	}
+	s.stop() // cancels every running job's context
+	<-finished
+}

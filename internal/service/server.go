@@ -1,0 +1,388 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hybridgraph/internal/catalog"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+	"hybridgraph/internal/obs"
+)
+
+// ServerConfig configures the daemon.
+type ServerConfig struct {
+	// Addr is the listen address (":8080"; use ":0" for an ephemeral port).
+	Addr string
+	// DataDir is the daemon's root: the catalog lives in <DataDir>/catalog,
+	// job work directories in <DataDir>/jobs, per-job trace journals in
+	// <DataDir>/traces, and the service journal at <DataDir>/service.jsonl.
+	DataDir string
+	// Scheduler bounds; DataDir/Tracer/Metrics/TraceDir fields are managed
+	// by the server and ignored here.
+	MaxQueued     int
+	MaxConcurrent int
+	MaxMsgBuf     int
+	// DrainGrace is how long Shutdown lets running jobs finish before
+	// cancelling them (default 5s).
+	DrainGrace time.Duration
+}
+
+// Server is a running graph service daemon.
+type Server struct {
+	Addr string // bound address
+
+	cfg   ServerConfig
+	cat   *catalog.Catalog
+	sched *Scheduler
+	reg   *obs.Registry
+	trace *obs.Tracer
+	srv   *http.Server
+	ln    net.Listener
+}
+
+// NewServer builds the daemon: opens (or creates) the catalog under
+// cfg.DataDir, starts the scheduler, and binds the listener. Call Serve to
+// run it and Shutdown to drain.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: DataDir is required")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
+	for _, sub := range []string{"catalog", "jobs", "traces"} {
+		if err := os.MkdirAll(filepath.Join(cfg.DataDir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	cat, err := catalog.Open(filepath.Join(cfg.DataDir, "catalog"))
+	if err != nil {
+		return nil, err
+	}
+	tracer, err := obs.OpenTracer(filepath.Join(cfg.DataDir, "service.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	sched := NewScheduler(cat, SchedulerConfig{
+		MaxQueued:     cfg.MaxQueued,
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxMsgBuf:     cfg.MaxMsgBuf,
+		DataDir:       cfg.DataDir,
+		Tracer:        tracer,
+		Metrics:       reg,
+		TraceDir:      filepath.Join(cfg.DataDir, "traces"),
+	})
+	s := &Server{cfg: cfg, cat: cat, sched: sched, reg: reg, trace: tracer}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		tracer.Close()
+		return nil, err
+	}
+	s.ln = ln
+	s.Addr = ln.Addr().String()
+	s.srv = &http.Server{Handler: s.mux()}
+	return s, nil
+}
+
+// Serve runs the HTTP loop until Shutdown; it returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	err := s.srv.Serve(s.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon: the scheduler cancels queued jobs and gives
+// running jobs DrainGrace to finish, then the HTTP server stops accepting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.sched.Drain(s.cfg.DrainGrace)
+	err := s.srv.Shutdown(ctx)
+	if cerr := s.trace.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// Scheduler exposes the scheduler (tests drive it directly).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Catalog exposes the catalog.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// GenSpec describes a seeded synthetic graph (the generator alternative to
+// uploading an edge list).
+type GenSpec struct {
+	Kind     string  `json:"kind"` // rmat | web | uniform | chain
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	Seed     int64   `json:"seed"`
+	A        float64 `json:"a,omitempty"` // rmat partition probabilities
+	B        float64 `json:"b,omitempty"`
+	C        float64 `json:"c,omitempty"`
+	HostSize int     `json:"host_size,omitempty"`  // web
+	Intra    float64 `json:"intra_prob,omitempty"` // web
+	Stride   int     `json:"stride,omitempty"`     // chain
+}
+
+// Generate materialises the spec.
+func (g GenSpec) Generate() (*graph.Graph, error) {
+	if g.Vertices <= 0 {
+		return nil, fmt.Errorf("service: generator needs vertices > 0")
+	}
+	switch g.Kind {
+	case "rmat":
+		a, b, c := g.A, g.B, g.C
+		if a == 0 && b == 0 && c == 0 {
+			a, b, c = 0.57, 0.19, 0.19
+		}
+		return graph.GenRMAT(g.Vertices, g.Edges, a, b, c, g.Seed), nil
+	case "web":
+		hs := g.HostSize
+		if hs <= 0 {
+			hs = 64
+		}
+		intra := g.Intra
+		if intra <= 0 {
+			intra = 0.8
+		}
+		return graph.GenWeb(g.Vertices, g.Edges, hs, intra, g.Seed), nil
+	case "uniform":
+		return graph.GenUniform(g.Vertices, g.Edges, g.Seed), nil
+	case "chain":
+		st := g.Stride
+		if st <= 0 {
+			st = 1
+		}
+		return graph.GenChain(g.Vertices, st, g.Seed), nil
+	}
+	return nil, fmt.Errorf("service: unknown generator kind %q", g.Kind)
+}
+
+// IngestRequest asks the daemon to ingest a graph into the catalog, from
+// exactly one of: an inline edge list, a server-side edge-list file, or a
+// generator spec.
+type IngestRequest struct {
+	Name      string   `json:"name"`
+	Workers   int      `json:"workers"`
+	BlocksPer int      `json:"blocks_per,omitempty"`
+	EdgeList  string   `json:"edge_list,omitempty"` // inline text edge list
+	Path      string   `json:"path,omitempty"`      // server-side file path
+	Generator *GenSpec `json:"generator,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// resultWire carries a JobResult across the API. Vertex values travel as
+// IEEE-754 bit patterns: JSON has no encoding for the non-finite
+// distances SSSP leaves on unreached vertices, and bits round-trip
+// bit-identically besides.
+type resultWire struct {
+	Result     *metrics.JobResult `json:"result"`
+	ValuesBits []uint64           `json:"values_bits,omitempty"`
+}
+
+func toWire(res *metrics.JobResult) resultWire {
+	cp := *res
+	bits := make([]uint64, len(cp.Values))
+	for i, v := range cp.Values {
+		bits[i] = math.Float64bits(v)
+	}
+	cp.Values = nil
+	return resultWire{Result: &cp, ValuesBits: bits}
+}
+
+func (w resultWire) toResult() *metrics.JobResult {
+	res := w.Result
+	if res == nil {
+		res = &metrics.JobResult{}
+	}
+	if len(w.ValuesBits) > 0 {
+		res.Values = make([]float64, len(w.ValuesBits))
+		for i, b := range w.ValuesBits {
+			res.Values[i] = math.Float64frombits(b)
+		}
+	}
+	return res
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the response so an encoding failure can
+	// still produce a well-formed error status.
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("POST /api/graphs", s.handleIngest)
+	mux.HandleFunc("GET /api/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /api/graphs/{name}", s.handleGraph)
+	mux.HandleFunc("POST /api/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.WriteTo(w)
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var g *graph.Graph
+	var err error
+	sources := 0
+	for _, set := range []bool{req.EdgeList != "", req.Path != "", req.Generator != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("service: ingest needs exactly one of edge_list, path, generator"))
+		return
+	}
+	switch {
+	case req.EdgeList != "":
+		g, err = graph.ReadEdgeList(strings.NewReader(req.EdgeList))
+	case req.Path != "":
+		g, err = graph.LoadEdgeList(req.Path)
+	default:
+		g, err = req.Generator.Generate()
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Workers <= 0 {
+		req.Workers = 5
+	}
+	entry, err := s.cat.Ingest(req.Name, g, req.Workers, req.BlocksPer)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entry.Manifest())
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
+	list, err := s.cat.List()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if list == nil {
+		list = []*catalog.Manifest{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.cat.Entry(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.Manifest())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.sched.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") || strings.Contains(err.Error(), "draining") {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.sched.Result(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusConflict
+		if strings.Contains(err.Error(), "no job") {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(res))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Cancel(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusConflict
+		if strings.Contains(err.Error(), "no job") {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// startServer runs a daemon on an ephemeral port and returns a client for
+// it; the server is shut down when the test ends.
+func startServer(t *testing.T, cfg ServerConfig) (*Server, *Client) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, NewClient("http://" + srv.Addr)
+}
+
+// TestServerEndToEnd is the HTTP smoke test: ingest over the API, run
+// concurrent jobs to completion, fetch results, cancel a running job and
+// shut down cleanly.
+func TestServerEndToEnd(t *testing.T) {
+	dataDir := t.TempDir()
+	_, c := startServer(t, ServerConfig{DataDir: dataDir, MaxConcurrent: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Ingest(ctx, IngestRequest{
+		Name: "web1", Workers: 3, BlocksPer: 2,
+		Generator: &GenSpec{Kind: "web", Vertices: 1500, Edges: 12000, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "web1" || m.Vertices != 1500 || m.Workers != 3 {
+		t.Fatalf("ingest manifest = %+v", m)
+	}
+	// Ingesting the same name again conflicts.
+	if _, err := c.Ingest(ctx, IngestRequest{Name: "web1", Workers: 3,
+		Generator: &GenSpec{Kind: "uniform", Vertices: 100, Edges: 500, Seed: 1}}); err == nil {
+		t.Fatal("duplicate ingest succeeded over HTTP")
+	}
+	graphs, err := c.Graphs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 1 {
+		t.Fatalf("%d graphs listed, want 1", len(graphs))
+	}
+
+	// Three concurrent jobs over the shared catalog entry (the acceptance
+	// scenario): all complete, all reuse the layout with zero build bytes.
+	specs := []JobSpec{
+		{Graph: "web1", Algorithm: "pagerank", Engine: "hybrid", MaxSteps: 8, MsgBuf: 300},
+		{Graph: "web1", Algorithm: "sssp", Engine: "b-pull", MaxSteps: 30, MsgBuf: 300},
+		{Graph: "web1", Algorithm: "pagerank", Engine: "push", MaxSteps: 8, MsgBuf: 300},
+	}
+	var ids []string
+	for _, spec := range specs {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i, id := range ids {
+		st, err := c.WaitJob(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobDone {
+			t.Fatalf("%s (%s/%s): state %s (%s)", id, specs[i].Algorithm, specs[i].Engine, st.State, st.Error)
+		}
+		if !st.CatalogHit || st.LayoutBuild != 0 {
+			t.Fatalf("%s: catalog_hit=%v layout_build=%d", id, st.CatalogHit, st.LayoutBuild)
+		}
+		res, err := c.Result(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Values) != 1500 || res.Supersteps() == 0 {
+			t.Fatalf("%s: result %d values, %d steps", id, len(res.Values), res.Supersteps())
+		}
+	}
+
+	// Cancel a long-running job through the API.
+	st, err := c.Submit(ctx, JobSpec{Graph: "web1", Algorithm: "pagerank", Engine: "push",
+		MaxSteps: 1000, MsgBuf: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == JobRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := c.Cancel(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobCancelled {
+		t.Fatalf("state after cancel = %s (%s)", got.State, got.Error)
+	}
+	// Result of a cancelled job is a conflict, not a 404.
+	if _, err := c.Result(ctx, st.ID); err == nil {
+		t.Fatal("Result of a cancelled job succeeded")
+	}
+	// Unknown ids are 404s.
+	if _, err := c.Job(ctx, "job-999999"); err == nil {
+		t.Fatal("status of unknown job succeeded")
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs listed, want 4", len(jobs))
+	}
+	// No job work directories survive.
+	if m, _ := filepath.Glob(filepath.Join(dataDir, "jobs", "*")); len(m) != 0 {
+		t.Fatalf("job directories left behind: %v", m)
+	}
+
+}
+
+// TestServerDrainWithQueuedJobs shuts the daemon down while jobs are
+// queued; queued jobs must be reported cancelled and the drain must not
+// hang.
+func TestServerDrainWithQueuedJobs(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, c := startServer(t, ServerConfig{DataDir: dataDir, MaxConcurrent: 1, DrainGrace: 100 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := c.Ingest(ctx, IngestRequest{Name: "g", Workers: 2,
+		Generator: &GenSpec{Kind: "rmat", Vertices: 1000, Edges: 8000, Seed: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Long jobs, so the queue is still populated when the daemon drains:
+	// the running one is cancelled after the short grace, the queued ones
+	// immediately.
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 5000, MsgBuf: 300}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The scheduler is still inspectable in-process after shutdown.
+	sawCancelled := 0
+	for _, id := range ids {
+		st, err := srv.Scheduler().Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("%s: state %s after shutdown", id, st.State)
+		}
+		if st.State == JobCancelled {
+			sawCancelled++
+			if st.Error == "" {
+				t.Fatalf("%s: cancelled with empty error", id)
+			}
+		}
+	}
+	if sawCancelled < 2 {
+		t.Fatalf("%d queued jobs reported cancelled, want >= 2", sawCancelled)
+	}
+}
+
+// TestServerRestartReopensCatalog checks persistence: a new daemon over
+// the same DataDir serves the previously ingested graph without
+// re-ingesting.
+func TestServerRestartReopensCatalog(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	{
+		srv, c := startServer(t, ServerConfig{DataDir: dataDir})
+		if _, err := c.Ingest(ctx, IngestRequest{Name: "keep", Workers: 2,
+			Generator: &GenSpec{Kind: "uniform", Vertices: 500, Edges: 3000, Seed: 9}}); err != nil {
+			t.Fatal(err)
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			t.Fatal(err)
+		}
+		scancel()
+	}
+	srv2, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv2.Serve() }()
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		if err := srv2.Shutdown(sctx); err != nil {
+			t.Error(err)
+		}
+		<-done
+	}()
+	c2 := NewClient("http://" + srv2.Addr)
+	st, err := c2.Submit(ctx, JobSpec{Graph: "keep", Algorithm: "pagerank", Engine: "b-pull",
+		MaxSteps: 5, MsgBuf: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c2.WaitJob(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || !final.CatalogHit {
+		t.Fatalf("restarted daemon: state=%s hit=%v (%s)", final.State, final.CatalogHit, final.Error)
+	}
+	if final.LayoutBuild != 0 {
+		t.Fatalf("restarted daemon rebuilt %d layout bytes", final.LayoutBuild)
+	}
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridgraph/internal/catalog"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/obs"
+)
+
+// newTestCatalog ingests one small graph as "g".
+func newTestCatalog(t *testing.T, dir string) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.Open(filepath.Join(dir, "catalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GenRMAT(1500, 12000, 0.57, 0.19, 0.19, 7)
+	if _, err := c.Ingest("g", g, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func waitAll(t *testing.T, s *Scheduler, ids []string) map[string]JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out := make(map[string]JobStatus, len(ids))
+	for _, id := range ids {
+		st, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+		out[id] = st
+	}
+	return out
+}
+
+func TestSchedulerConcurrencyAndQueueing(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	reg := obs.NewRegistry()
+	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 2, DataDir: dir, Metrics: reg})
+	defer s.Drain(time.Minute)
+
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "hybrid", MaxSteps: 10, MsgBuf: 300}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// Right after the submit burst at most MaxConcurrent run; the rest
+	// queue (admission control, not fan-out).
+	running, queued := 0, 0
+	for _, st := range s.Jobs() {
+		switch st.State {
+		case JobRunning:
+			running++
+		case JobQueued:
+			queued++
+		}
+	}
+	if running > 2 {
+		t.Fatalf("%d jobs running, admission limit is 2", running)
+	}
+	if running+queued < 4 {
+		t.Fatalf("only %d jobs live right after submit (running=%d queued=%d)",
+			running+queued, running, queued)
+	}
+	for id, st := range waitAll(t, s, ids) {
+		if st.State != JobDone {
+			t.Fatalf("%s: state %s (%s), want done", id, st.State, st.Error)
+		}
+		if !st.CatalogHit || st.LayoutBuild != 0 {
+			t.Fatalf("%s: catalog_hit=%v layout_build=%d, want hit with zero build bytes",
+				id, st.CatalogHit, st.LayoutBuild)
+		}
+	}
+	if got := reg.Snapshot()["service.jobs_done"]; got != 5 {
+		t.Fatalf("service.jobs_done = %d, want 5", got)
+	}
+	// All results identical: same graph, same spec, shared read-only stores.
+	first, err := s.Result(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range first.Values {
+			if res.Values[v] != first.Values[v] {
+				t.Fatalf("%s: vertex %d = %g, first job %g", id, v, res.Values[v], first.Values[v])
+			}
+		}
+	}
+	// Terminal jobs leave no work directories behind.
+	if m, _ := filepath.Glob(filepath.Join(dir, "jobs", "*")); len(m) != 0 {
+		t.Fatalf("job directories left behind: %v", m)
+	}
+}
+
+func TestQueueFullAndBufferClamp(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, MaxQueued: 1, MaxMsgBuf: 500, DataDir: dir})
+	defer s.Drain(time.Minute)
+
+	long := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 30}
+	st1, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Spec.MsgBuf != 500 {
+		t.Fatalf("unlimited MsgBuf admitted as %d, want clamp to 500", st1.Spec.MsgBuf)
+	}
+	st2, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(long); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("third submit error = %v, want queue full", err)
+	}
+	if _, err := s.Submit(JobSpec{Graph: "nope", Algorithm: "pagerank", Engine: "push"}); err == nil {
+		t.Fatal("submit over unknown graph succeeded")
+	}
+	if _, err := s.Submit(JobSpec{Graph: "g", Algorithm: "bogus", Engine: "push"}); err == nil {
+		t.Fatal("submit with unknown algorithm succeeded")
+	}
+	if _, err := s.Submit(JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "bogus"}); err == nil {
+		t.Fatal("submit with unknown engine succeeded")
+	}
+	waitAll(t, s, []string{st1.ID, st2.ID})
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	defer s.Drain(time.Minute)
+
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "b-pull", MaxSteps: 5, MsgBuf: 300}
+	head, err := s.Submit(spec) // occupies the single slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := spec
+	low.Priority = 0
+	lowSt, err := s.Submit(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := spec
+	high.Priority = 5
+	highSt, err := s.Submit(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := waitAll(t, s, []string{head.ID, lowSt.ID, highSt.ID})
+	if !sts[highSt.ID].StartedAt.Before(sts[lowSt.ID].StartedAt) {
+		t.Fatalf("high-priority job started %v, after low-priority %v",
+			sts[highSt.ID].StartedAt, sts[lowSt.ID].StartedAt)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	defer s.Drain(time.Minute)
+
+	st, err := s.Submit(JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 500, MsgBuf: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := s.Job(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	got, err := s.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobCancelled {
+		t.Fatalf("state after cancel = %s (%s)", got.State, got.Error)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel of a running job took %v", d)
+	}
+	// Cancelling a terminal job errors; its status is still reported.
+	if _, err := s.Cancel(st.ID); err == nil {
+		t.Fatal("second cancel succeeded")
+	}
+	// The cancelled job's work directory is gone.
+	if m, _ := filepath.Glob(filepath.Join(dir, "jobs", "*")); len(m) != 0 {
+		t.Fatalf("cancelled job left directories: %v", m)
+	}
+}
+
+func TestFailedJobRetriesThenCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	defer s.Drain(time.Minute)
+
+	// pushM requires a combinable program; lpa is not, so every attempt
+	// fails at run time — exercising the retry and failure paths.
+	st, err := s.Submit(JobSpec{Graph: "g", Algorithm: "lpa", Engine: "pushM", Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitAll(t, s, []string{st.ID})[st.ID]
+	if final.State != JobFailed {
+		t.Fatalf("state = %s, want failed", final.State)
+	}
+	if final.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", final.Attempts)
+	}
+	if final.Error == "" {
+		t.Fatal("failed job has no error")
+	}
+	// The bug fix under test: failed jobs must not leave per-worker data
+	// directories behind on any exit path.
+	if m, _ := filepath.Glob(filepath.Join(dir, "jobs", "*")); len(m) != 0 {
+		t.Fatalf("failed job left directories: %v", m)
+	}
+}
+
+func TestDrainCancelsQueuedAndRejectsSubmits(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 10, MsgBuf: 300}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	s.Drain(30 * time.Second)
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("submit after Drain succeeded")
+	}
+	cancelled := 0
+	for _, id := range ids {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("%s: non-terminal state %s after Drain", id, st.State)
+		}
+		if st.State == JobCancelled {
+			cancelled++
+		}
+	}
+	// The two queued jobs are cancelled; the running one had grace to
+	// finish.
+	if cancelled < 2 {
+		t.Fatalf("%d jobs cancelled by Drain, want >= 2", cancelled)
+	}
+}

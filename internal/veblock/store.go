@@ -72,6 +72,33 @@ func Build(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w in
 	return s, nil
 }
 
+// Open opens a previously built VE-BLOCK file read-only. The span index
+// and X_j metadata are recomputed from the staged graph — they are a
+// deterministic function of (g, layout, w), so the catalog need not
+// persist them. The file size must match the assembled layout; deeper
+// integrity is the manifest CRC's job.
+func Open(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w int) (*Store, error) {
+	s, buf, err := assemble(g, layout, w)
+	if err != nil {
+		return nil, err
+	}
+	f, err := diskio.OpenRead(path, ct)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size != int64(len(buf)) {
+		f.Close()
+		return nil, fmt.Errorf("veblock: %s is %d bytes, layout expects %d", path, size, len(buf))
+	}
+	s.f = f
+	return s, nil
+}
+
 // BuildMem constructs worker w's VE-BLOCK in memory: same structure and
 // scan semantics, no I/O charges (sufficient-memory scenario).
 func BuildMem(g *graph.Graph, layout *Layout, w int) (*Store, error) {
@@ -182,6 +209,10 @@ func (s *Store) Fragments() int64 { return s.frags }
 
 // Edges reports the number of edges stored.
 func (s *Store) Edges() int64 { return s.edges }
+
+// SizeBytes reports the store's Eblock bytes (the on-disk file size for
+// file-backed stores).
+func (s *Store) SizeBytes() int64 { return s.frags*FragAuxSize + s.edges*edgeSize }
 
 // Meta returns the metadata X_j of local block j (0-based local index).
 func (s *Store) Meta(j int) *BlockMeta { return &s.meta[j] }
