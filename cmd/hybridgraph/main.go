@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"hybridgraph"
@@ -60,6 +61,7 @@ func runLegacy() {
 
 		recovery  = flag.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined")
 		crashes   = flag.String("crashes", "", "inject worker crashes, comma-separated step:worker pairs (e.g. 4:1,7:0)")
+		diskSpec  = flag.String("disk-faults", "", "inject seeded storage faults, comma-separated k=v spec: seed=1,enospc=0.01,torn=0.01,syncfail=0.05,bitflip=0.001,cut=500,max=3")
 		stalls    = flag.String("stalls", "", "inject worker stalls, comma-separated step:worker pairs")
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N supersteps (0 = policy default)")
 		deadline  = flag.Duration("barrier-deadline", 0, "barrier deadline for stall detection (0 = 250ms when stalls are scheduled)")
@@ -119,7 +121,7 @@ func runLegacy() {
 		BarrierDeadline: *deadline,
 		TCP:             *tcp,
 	}
-	if *crashes != "" || *stalls != "" || *netDrop > 0 || *netDup > 0 {
+	if *crashes != "" || *stalls != "" || *netDrop > 0 || *netDup > 0 || *diskSpec != "" {
 		plan := hybridgraph.NewFaultPlan()
 		for _, p := range parsePairs(*crashes) {
 			plan.Crashes = append(plan.Crashes, hybridgraph.Crash{Step: p[0], Worker: p[1]})
@@ -132,6 +134,13 @@ func runLegacy() {
 		if *netDrop > 0 || *netDup > 0 {
 			plan.Net = &hybridgraph.TransportFaults{Seed: *netSeed,
 				DropRequest: *netDrop, DropResponse: *netDrop, Duplicate: *netDup}
+		}
+		if *diskSpec != "" {
+			dc, err := parseDiskFaults(*diskSpec)
+			if err != nil {
+				fatal(err)
+			}
+			plan.WithDisk(dc)
 		}
 		cfg.FaultPlan = plan
 	}
@@ -168,6 +177,11 @@ func runLegacy() {
 			res.RecoverySimSeconds, res.ReplayIO.Total(), res.LogIO.Total())
 	}
 
+	if res.DiskFaults > 0 || res.CheckpointWriteFailures > 0 {
+		fmt.Printf("storage  : %d disk faults injected, %d checkpoint attempts abandoned\n",
+			res.DiskFaults, res.CheckpointWriteFailures)
+	}
+
 	if *trace != "" {
 		fmt.Printf("trace    : %s\n", *trace)
 	}
@@ -185,6 +199,45 @@ func runLegacy() {
 		fmt.Println("\nmetrics:")
 		reg.WriteTo(os.Stdout)
 	}
+}
+
+// parseDiskFaults decodes the -disk-faults "k=v,k=v" spec into a seeded
+// storage-fault description.
+func parseDiskFaults(spec string) (hybridgraph.DiskFaults, error) {
+	var cfg hybridgraph.DiskFaults
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad disk-fault field %q (want key=value)", part)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "enospc":
+			cfg.WriteENOSPC, err = strconv.ParseFloat(v, 64)
+		case "torn":
+			cfg.TornWrite, err = strconv.ParseFloat(v, 64)
+		case "syncfail":
+			cfg.SyncFail, err = strconv.ParseFloat(v, 64)
+		case "bitflip":
+			cfg.ReadBitFlip, err = strconv.ParseFloat(v, 64)
+		case "cut":
+			cfg.PowerCutAfter, err = strconv.ParseInt(v, 10, 64)
+		case "max":
+			cfg.MaxFaults, err = strconv.Atoi(v)
+		default:
+			return cfg, fmt.Errorf("unknown disk-fault key %q (want seed, enospc, torn, syncfail, bitflip, cut or max)", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("bad disk-fault value %q: %v", part, err)
+		}
+	}
+	return cfg, nil
 }
 
 // parsePairs decodes "step:worker,step:worker" fault specs.

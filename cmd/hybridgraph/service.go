@@ -54,6 +54,7 @@ func cmdServe(args []string) error {
 	maxConc := fs.Int("max-concurrent", 2, "admission: maximum concurrently running jobs")
 	maxBuf := fs.Int("max-buffer", 0, "admission: per-worker message-buffer cap in messages (0 = uncapped)")
 	grace := fs.Duration("drain-grace", 5*time.Second, "how long shutdown lets running jobs finish before cancelling")
+	walDir := fs.String("wal-dir", "", "job WAL directory for crash-safe restarts (default <data>/wal; \"off\" disables durability)")
 	fs.Parse(args)
 
 	srv, err := service.NewServer(service.ServerConfig{
@@ -63,6 +64,7 @@ func cmdServe(args []string) error {
 		MaxConcurrent: *maxConc,
 		MaxMsgBuf:     *maxBuf,
 		DrainGrace:    *grace,
+		WALDir:        *walDir,
 	})
 	if err != nil {
 		return err
@@ -134,6 +136,7 @@ func cmdSubmit(args []string) error {
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
 	tcp := fs.Bool("tcp", false, "run worker communication over loopback TCP")
 	recovery := fs.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined")
+	ckptEvery := fs.Int("ckpt-every", 0, "checkpoint every N supersteps (0 = policy default)")
 	retries := fs.Int("retries", 0, "scheduler re-enqueues after a failure this many times")
 	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
 	fs.Parse(args)
@@ -142,16 +145,17 @@ func cmdSubmit(args []string) error {
 	}
 	c := service.NewClient(*server)
 	st, err := c.Submit(context.Background(), service.JobSpec{
-		Graph:     *graphName,
-		Algorithm: *algoName,
-		Engine:    *engine,
-		MaxSteps:  *steps,
-		MsgBuf:    *buffer,
-		Source:    *source,
-		Priority:  *priority,
-		TCP:       *tcp,
-		Recovery:  *recovery,
-		Retries:   *retries,
+		Graph:           *graphName,
+		Algorithm:       *algoName,
+		Engine:          *engine,
+		MaxSteps:        *steps,
+		MsgBuf:          *buffer,
+		Source:          *source,
+		Priority:        *priority,
+		TCP:             *tcp,
+		Recovery:        *recovery,
+		CheckpointEvery: *ckptEvery,
+		Retries:         *retries,
 	})
 	if err != nil {
 		return err

@@ -108,6 +108,21 @@ type Stall = faultplan.Stall
 // drop/delay/duplicate probabilities.
 type TransportFaults = faultplan.TransportFaults
 
+// DiskFaults seeds the storage-fault injector installed over the job's
+// working directory: ENOSPC, torn writes, failed fsyncs, bit-flip reads
+// and a simulated power cut, all drawn from a deterministic stream.
+// Attach one to a plan with FaultPlan.WithDisk.
+type DiskFaults = diskio.FaultConfig
+
+// ErrDiskFault matches (via errors.Is) every injected storage fault. A
+// job that fails under disk-fault injection fails with an error wrapping
+// this sentinel; real I/O errors annotated by the layer do not match.
+var ErrDiskFault = diskio.ErrDiskFault
+
+// IsPowerCut reports whether err is (or wraps) a simulated power cut —
+// the one storage fault no in-process retry survives.
+func IsPowerCut(err error) bool { return diskio.IsPowerCut(err) }
+
 // NewFaultPlan builds a crash schedule (sorted by superstep). Chain
 // WithStalls to add worker hangs.
 func NewFaultPlan(crashes ...Crash) *FaultPlan { return faultplan.NewPlan(crashes...) }

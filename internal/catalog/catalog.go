@@ -138,7 +138,10 @@ func (c *Catalog) Ingest(name string, g *graph.Graph, workers, blocksPer int) (*
 		os.RemoveAll(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	// The publishing rename goes through diskio so the storage-fault layer
+	// can model it (a simulated power cut on the rename leaves the entry
+	// fully absent, never half-published).
+	if err := diskio.Rename(tmp, final); err != nil {
 		os.RemoveAll(tmp)
 		return nil, err
 	}
@@ -183,13 +186,21 @@ func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int) (
 		}
 	}
 	m.IngestWriteBytes = ct.Bytes(diskio.SeqWrite)
-	// Checksum everything built so far (the manifest itself is excluded).
+	// Fsync then checksum everything built so far (the manifest itself is
+	// excluded). The sync is the durability half of the ingest contract:
+	// the manifest asserts these exact bytes, so they must be on the
+	// platter before the manifest — let alone the publishing rename —
+	// exists. A power cut after Ingest returns must find a verifiable
+	// entry (see DESIGN.md, "Durability contract").
 	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
 			return err
 		}
 		rel, err := filepath.Rel(dir, path)
 		if err != nil {
+			return err
+		}
+		if err := diskio.SyncFile(path, ct); err != nil {
 			return err
 		}
 		sum, err := checksumFile(path)
@@ -219,22 +230,16 @@ func checksumFile(path string) (FileSum, error) {
 	return FileSum{Size: n, CRC32: h.Sum32()}, nil
 }
 
+// writeManifest publishes the manifest via write-temp/fsync/rename
+// (diskio.WriteFileSync), so a crash never leaves a torn manifest: the
+// entry either has its complete manifest or none at all.
 func writeManifest(path string, m *Manifest) error {
-	f, err := os.Create(path)
+	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(m); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	data = append(data, '\n')
+	return diskio.WriteFileSync(path, data, &diskio.Counter{}, diskio.SeqWrite)
 }
 
 // Entry loads (or returns the cached) entry for name, verifying every

@@ -1,0 +1,121 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+)
+
+func smallGraph() *graph.Graph {
+	return graph.GenRMAT(60, 320, 0.57, 0.19, 0.19, 13)
+}
+
+// TestIngestSurvivesImmediatePowerCut is the fsync half of the ingest
+// durability contract: power lost the very instant Ingest returns must
+// find the entry complete and verifiable. Without the sync-before-
+// manifest walk, the built store files are volatile and the power cut
+// truncates them out from under the committed manifest.
+func TestIngestSurvivesImmediatePowerCut(t *testing.T) {
+	root := t.TempDir()
+	fs := diskio.NewFaultFS(diskio.FaultConfig{Seed: 1})
+	diskio.Install(root, fs)
+	defer diskio.Uninstall(root)
+
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallGraph()
+	if _, err := c.Ingest("g", g, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut()
+	diskio.Uninstall(root)
+
+	// Reboot: a fresh catalog over the same directory must serve the
+	// entry, fully verified against its manifest.
+	c2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c2.Entry("g")
+	if err != nil {
+		t.Fatalf("entry failed verification after power cut: %v", err)
+	}
+	if e.Graph().NumVertices != g.NumVertices || e.Graph().NumEdges() != g.NumEdges() {
+		t.Fatalf("entry is %dv/%de after power cut, ingested %dv/%de",
+			e.Graph().NumVertices, e.Graph().NumEdges(), g.NumVertices, g.NumEdges())
+	}
+}
+
+// TestIngestPowerCutAtEveryOp cuts power at every single mutating disk
+// op an ingest performs, reboots, and reopens the catalog: the entry
+// must be fully absent (a crashed ingest never half-publishes), the
+// error must be typed, and a clean re-ingest under the same name must
+// succeed — the crash leaves nothing behind that wedges recovery.
+func TestIngestPowerCutAtEveryOp(t *testing.T) {
+	g := smallGraph()
+
+	// Probe run: count the mutating ops of a clean ingest.
+	probe := t.TempDir()
+	pfs := diskio.NewFaultFS(diskio.FaultConfig{})
+	diskio.Install(probe, pfs)
+	pc, err := Open(probe)
+	if err != nil {
+		diskio.Uninstall(probe)
+		t.Fatal(err)
+	}
+	if _, err := pc.Ingest("g", g, 2, 2); err != nil {
+		diskio.Uninstall(probe)
+		t.Fatal(err)
+	}
+	diskio.Uninstall(probe)
+	total := pfs.Stats().Ops
+	if total < 10 {
+		t.Fatalf("clean ingest performed only %d tracked mutating ops; interception broken?", total)
+	}
+
+	for k := int64(1); k <= total; k++ {
+		root := t.TempDir()
+		fs := diskio.NewFaultFS(diskio.FaultConfig{Seed: k, PowerCutAfter: k})
+		diskio.Install(root, fs)
+		c, err := Open(root)
+		if err != nil {
+			diskio.Uninstall(root)
+			t.Fatal(err)
+		}
+		_, ierr := c.Ingest("g", g, 2, 2)
+		diskio.Uninstall(root)
+		if ierr == nil {
+			t.Fatalf("cut at op %d/%d: ingest reported success", k, total)
+		}
+		if !errors.Is(ierr, diskio.ErrDiskFault) {
+			t.Fatalf("cut at op %d/%d: error is not a typed disk fault: %v", k, total, ierr)
+		}
+
+		// Reboot: all-or-nothing. A crashed ingest must leave the entry
+		// fully absent — not listed, not loadable.
+		c2, err := Open(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms, err := c2.List(); err != nil {
+			t.Fatalf("cut at op %d/%d: List after reboot: %v", k, total, err)
+		} else if len(ms) != 0 {
+			t.Fatalf("cut at op %d/%d: crashed ingest left a listed entry %q", k, total, ms[0].Name)
+		}
+		if _, err := c2.Entry("g"); err == nil {
+			t.Fatalf("cut at op %d/%d: absent entry loaded", k, total)
+		}
+
+		// And nothing the crash left behind blocks a clean retry.
+		if _, err := c2.Ingest("g", g, 2, 2); err != nil {
+			t.Fatalf("cut at op %d/%d: re-ingest after reboot failed: %v", k, total, err)
+		}
+		if _, err := c2.Entry("g"); err != nil {
+			t.Fatalf("cut at op %d/%d: re-ingested entry failed verification: %v", k, total, err)
+		}
+	}
+}

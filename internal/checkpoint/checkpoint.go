@@ -26,6 +26,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -244,24 +245,35 @@ func (c Coordinator) commitPath(step int) string {
 
 // Commit atomically publishes the checkpoint at step: after Commit returns,
 // LastCommitted will report it. Call only once every snapshot and the
-// master record are durably in place.
-func (c Coordinator) Commit(step int) error {
-	tmp := c.commitPath(step) + ".tmp"
-	if err := os.WriteFile(tmp, []byte(strconv.Itoa(step)), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, c.commitPath(step))
+// master record are durably in place. The marker is written, fsynced and
+// renamed through the diskio fault layer: a commit marker that survives
+// a power cut while its snapshots do not is exactly the torn state the
+// fault campaign exists to catch.
+func (c Coordinator) Commit(step int, ct *diskio.Counter) error {
+	return diskio.WriteFileSync(c.commitPath(step), []byte(strconv.Itoa(step)), ct, diskio.SeqWrite)
 }
 
 // LastCommitted reports the newest committed checkpoint step, if any.
 // Uncommitted (marker-less) snapshot files are invisible here, which is
 // what makes a crash mid-checkpoint harmless.
 func (c Coordinator) LastCommitted() (int, bool) {
-	ents, err := os.ReadDir(c.Dir)
-	if err != nil {
+	steps := c.Committed()
+	if len(steps) == 0 {
 		return 0, false
 	}
-	best, found := 0, false
+	return steps[0], true
+}
+
+// Committed lists every committed checkpoint step, newest first. More
+// than one exists when the retention policy keeps a fallback: a restore
+// that fails to verify the newest checkpoint (torn by a storage fault)
+// walks down this list before giving up.
+func (c Coordinator) Committed() []int {
+	ents, err := os.ReadDir(c.Dir)
+	if err != nil {
+		return nil
+	}
+	var steps []int
 	for _, e := range ents {
 		name := e.Name()
 		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".commit") {
@@ -271,11 +283,10 @@ func (c Coordinator) LastCommitted() (int, bool) {
 		if err != nil {
 			continue
 		}
-		if !found || s > best {
-			best, found = s, true
-		}
+		steps = append(steps, s)
 	}
-	return best, found
+	sort.Sort(sort.Reverse(sort.IntSlice(steps)))
+	return steps
 }
 
 // Remove deletes the checkpoint at step (marker first, so a partial removal
@@ -300,29 +311,17 @@ func (c Coordinator) Remove(step, workers int) error {
 }
 
 // writeFile frames payload with magic, version and CRC and writes it to
-// path atomically (tmp + rename) as one sequential write.
+// path atomically (tmp + fsync + rename) as one sequential write. The
+// fsync before the rename is the durability half of the commit rule:
+// without it a power cut can leave a fully renamed, fully referenced
+// snapshot whose bytes never reached the platter.
 func writeFile(path string, ct *diskio.Counter, payload []byte) (int64, error) {
 	buf := make([]byte, 0, len(magic)+8+len(payload)+4)
 	buf = append(buf, magic...)
 	buf = appendU32(buf, version)
 	buf = append(buf, payload...)
 	buf = appendU32(buf, crc32.ChecksumIEEE(payload))
-	tmp := path + ".tmp"
-	f, err := diskio.Create(tmp, ct)
-	if err != nil {
-		return 0, err
-	}
-	if _, err := f.WriteAtClass(buf, 0, diskio.SeqWrite); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := diskio.WriteFileSync(path, buf, ct, diskio.SeqWrite); err != nil {
 		return 0, err
 	}
 	return int64(len(buf)), nil

@@ -142,13 +142,13 @@ func TestCommitProtocol(t *testing.T) {
 	if _, ok := c.LastCommitted(); ok {
 		t.Fatal("uncommitted checkpoint visible")
 	}
-	if err := c.Commit(4); err != nil {
+	if err := c.Commit(4, &diskio.Counter{}); err != nil {
 		t.Fatal(err)
 	}
 	if s, ok := c.LastCommitted(); !ok || s != 4 {
 		t.Fatalf("LastCommitted = %d, %v; want 4", s, ok)
 	}
-	if err := c.Commit(8); err != nil {
+	if err := c.Commit(8, &diskio.Counter{}); err != nil {
 		t.Fatal(err)
 	}
 	if s, _ := c.LastCommitted(); s != 8 {
@@ -166,7 +166,7 @@ func TestRemoveReportsErrors(t *testing.T) {
 	if _, err := WriteMaster(c.MasterPath(3), ct, &Master{Step: 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Commit(3); err != nil {
+	if err := c.Commit(3, &diskio.Counter{}); err != nil {
 		t.Fatal(err)
 	}
 	// A non-empty directory squatting on a snapshot path makes os.Remove

@@ -24,77 +24,135 @@ import (
 // the interval says so. All checkpoint I/O runs through the workers' disk
 // counters and is surfaced as CheckpointIO/CheckpointSimSeconds, so the
 // overhead is charged to the same cost model as the computation.
+//
+// Durability: every snapshot and the master record are fsynced before
+// the rename that publishes them (checkpoint.writeFile), every worker's
+// message-log segments are fsynced, and only then is the commit marker
+// written — so a committed checkpoint never references volatile bytes.
+// A storage fault during the attempt abandons it (no marker, recovery
+// uses the previous committed checkpoint) and the job continues; only a
+// simulated power cut fails the job, because nothing after it can ever
+// reach disk.
 func (j *job) maybeCheckpoint(t int, res *metrics.JobResult) error {
 	if j.cfg.CheckpointEvery <= 0 || t%j.cfg.CheckpointEvery != 0 {
 		return nil
 	}
 	coord := checkpoint.Coordinator{Dir: j.dir}
 	befores := make([]diskio.Snapshot, len(j.workers))
+	logBefores := make([]diskio.Snapshot, len(j.workers))
 	for i, w := range j.workers {
 		befores[i] = w.ct.Snapshot()
-	}
-	for _, w := range j.workers {
-		snap, err := w.buildSnapshot(t)
-		if err != nil {
-			return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
-		}
-		if _, err := checkpoint.WriteSnapshot(coord.SnapshotPath(t, w.id), w.ct, snap); err != nil {
-			return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+		if w.logCt != nil {
+			logBefores[i] = w.logCt.Snapshot()
 		}
 	}
 	// The master's own record is tiny; charge it to a scratch counter and
 	// fold it into the same checkpoint tally.
 	mct := &diskio.Counter{}
-	if _, err := checkpoint.WriteMaster(coord.MasterPath(t), mct, j.masterRecord(t)); err != nil {
-		return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+	werr := j.writeCheckpoint(coord, t, mct)
+	// Bytes moved before a failed attempt are real: charge the delta on
+	// every path. The msglog fsyncs ride the workers' log counters and are
+	// folded into the same tally (the LogIO side of the sync contract).
+	delta := mct.Snapshot()
+	for i, w := range j.workers {
+		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
+		if w.logCt != nil {
+			delta = delta.Add(w.logCt.Snapshot().Sub(logBefores[i]))
+		}
 	}
-	if err := coord.Commit(t); err != nil {
-		return fmt.Errorf("core: checkpoint at superstep %d: %w", t, err)
+	res.CheckpointIO = res.CheckpointIO.Add(delta)
+	res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	if werr != nil {
+		if diskio.IsPowerCut(werr) {
+			return fmt.Errorf("core: checkpoint at superstep %d: %w", t, werr)
+		}
+		// Abandon the attempt: no commit marker was written, so recovery
+		// still sees the previous committed checkpoint. Remove what partial
+		// files made it to disk (marker first, as always).
+		res.CheckpointWriteFailures++
+		j.jm.ckptFails.Inc()
+		if j.trace != nil {
+			j.trace.Emit(obs.CheckpointFailedEvent{Type: obs.EventCheckpointFailed,
+				Step: t, Reason: werr.Error()})
+		}
+		coord.Remove(t, len(j.workers))
+		return nil
 	}
-	prev := j.ckptStep
+	older := j.ckptPrev
+	j.ckptPrev = j.ckptStep
 	j.ckptStep = t
-	if prev > 0 {
-		if err := coord.Remove(prev, len(j.workers)); err != nil {
+	if older > 0 {
+		if err := coord.Remove(older, len(j.workers)); err != nil {
 			// Pruning is housekeeping: the stale checkpoint's marker went
 			// first, so it can never shadow the one just committed. Log the
 			// failure and move on rather than failing the job.
 			j.jm.pruneFails.Inc()
 			if j.trace != nil {
 				j.trace.Emit(obs.PruneFailedEvent{Type: obs.EventPruneFailed,
-					Step: prev, Reason: err.Error()})
+					Step: older, Reason: err.Error()})
 			}
 		}
 	}
-	// Message-log segments up to t are covered by the snapshots (parked
-	// inbox messages travel inside them), so confined replay never reads
-	// them again.
-	for _, w := range j.workers {
-		if w.mlog == nil {
-			continue
-		}
-		n, err := w.mlog.Prune(t)
-		j.jm.logPrunes.Add(int64(n))
-		if err != nil {
-			j.jm.pruneFails.Inc()
-			if j.trace != nil {
-				j.trace.Emit(obs.PruneFailedEvent{Type: obs.EventPruneFailed,
-					Step: t, Reason: "msglog: " + err.Error()})
+	// Two checkpoints are retained (t and the previous one) so a restore
+	// that finds t torn by a storage fault can fall back. Message-log
+	// segments are therefore pruned only through the *older* retained
+	// checkpoint: a fallback restore to it must still replay forward from
+	// the survivors' logs, and a pruned segment would silently replay as
+	// "nothing sent".
+	if through := j.ckptPrev; through > 0 {
+		for _, w := range j.workers {
+			if w.mlog == nil {
+				continue
+			}
+			n, err := w.mlog.Prune(through)
+			j.jm.logPrunes.Add(int64(n))
+			if err != nil {
+				j.jm.pruneFails.Inc()
+				if j.trace != nil {
+					j.trace.Emit(obs.PruneFailedEvent{Type: obs.EventPruneFailed,
+						Step: through, Reason: "msglog: " + err.Error()})
+				}
 			}
 		}
-	}
-	delta := mct.Snapshot()
-	for i, w := range j.workers {
-		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
 	}
 	res.Checkpoints++
-	res.CheckpointIO = res.CheckpointIO.Add(delta)
-	res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(delta)
 	j.jm.ckptCommits.Inc()
 	j.jm.ckptBytes.Add(delta.Total())
 	if j.trace != nil {
 		j.trace.Emit(obs.CheckpointEvent{Type: obs.EventCheckpoint, Step: t,
 			Workers: len(j.workers), Bytes: delta.Total(),
 			SimSecs: j.cfg.Profile.DiskSeconds(delta)})
+	}
+	return nil
+}
+
+// writeCheckpoint performs the durable write sequence for the checkpoint
+// at t: fsynced worker snapshots, fsynced master record, fsynced message
+// logs, then the fsynced commit marker. Any error aborts before the
+// marker exists.
+func (j *job) writeCheckpoint(coord checkpoint.Coordinator, t int, mct *diskio.Counter) error {
+	for _, w := range j.workers {
+		snap, err := w.buildSnapshot(t)
+		if err != nil {
+			return fmt.Errorf("worker %d snapshot: %w", w.id, err)
+		}
+		if _, err := checkpoint.WriteSnapshot(coord.SnapshotPath(t, w.id), w.ct, snap); err != nil {
+			return fmt.Errorf("worker %d snapshot: %w", w.id, err)
+		}
+	}
+	if _, err := checkpoint.WriteMaster(coord.MasterPath(t), mct, j.masterRecord(t)); err != nil {
+		return fmt.Errorf("master record: %w", err)
+	}
+	for _, w := range j.workers {
+		if w.mlog == nil {
+			continue
+		}
+		if err := w.mlog.Sync(); err != nil {
+			return fmt.Errorf("worker %d msglog sync: %w", w.id, err)
+		}
+	}
+	if err := coord.Commit(t, mct); err != nil {
+		return fmt.Errorf("commit marker: %w", err)
 	}
 	return nil
 }
@@ -115,26 +173,29 @@ func (j *job) masterRecord(t int) *checkpoint.Master {
 	return m
 }
 
-// restoreFromCheckpoint brings every worker and the master back to the last
-// committed checkpoint. ok is false when no committed checkpoint exists or
-// it fails verification — the caller then falls back to scratch recovery
-// (the checkpoint files never make recovery worse than the prototype's).
-// The bytes read are charged to RecoverySimSeconds and ReplayIO on every
-// exit path — an aborted restore reads real bytes before it gives up —
-// and an abort on a committed checkpoint is journaled as restore_failed.
+// restoreFromCheckpoint brings every worker and the master back to the
+// newest committed checkpoint that verifies. ok is false when no
+// committed checkpoint exists or none verifies — the caller then falls
+// back to scratch recovery (the checkpoint files never make recovery
+// worse than the prototype's). Because the retention policy keeps two
+// committed checkpoints, a newest checkpoint torn by a storage fault
+// (failed verification, bad CRC) falls back to the previous one instead
+// of all the way to superstep 1; each rejected candidate is journaled
+// as restore_failed and removed so it can never shadow a good one
+// again. The bytes read are charged to RecoverySimSeconds and ReplayIO
+// on every exit path — an aborted restore reads real bytes before it
+// gives up.
 func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step int, ok bool, err error) {
 	coord := checkpoint.Coordinator{Dir: j.dir}
-	ck, committed := coord.LastCommitted()
-	if !committed {
+	candidates := coord.Committed()
+	if len(candidates) == 0 {
 		return 0, false, nil
 	}
-	step = ck
 	befores := make([]diskio.Snapshot, len(j.workers))
 	for i, w := range j.workers {
 		befores[i] = w.ct.Snapshot()
 	}
 	mct := &diskio.Counter{}
-	failReason := ""
 	defer func() {
 		delta := mct.Snapshot()
 		for i, w := range j.workers {
@@ -145,42 +206,63 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 		if ok {
 			j.jm.restores.Inc()
 			if j.trace != nil {
-				j.trace.Emit(obs.CheckpointEvent{Type: obs.EventRestore, Step: ck,
+				j.trace.Emit(obs.CheckpointEvent{Type: obs.EventRestore, Step: step,
 					Workers: len(j.workers), Bytes: delta.Total(),
 					SimSecs: j.cfg.Profile.DiskSeconds(delta)})
 			}
-		} else if failReason != "" {
-			j.jm.restoreFail.Inc()
-			if j.trace != nil {
-				j.trace.Emit(obs.RestoreFailedEvent{Type: obs.EventRestoreFailed,
-					Step: ck, Reason: failReason})
-			}
 		}
 	}()
+	for _, ck := range candidates {
+		reason, aerr := j.tryRestore(coord, engine, ck, mct)
+		if aerr != nil {
+			return 0, false, aerr
+		}
+		if reason == "" {
+			j.ckptStep, j.ckptPrev = ck, 0
+			for _, c := range candidates {
+				if c < ck {
+					j.ckptPrev = c
+					break
+				}
+			}
+			step, ok = ck, true
+			return step, true, nil
+		}
+		j.jm.restoreFail.Inc()
+		if j.trace != nil {
+			j.trace.Emit(obs.RestoreFailedEvent{Type: obs.EventRestoreFailed,
+				Step: ck, Reason: reason})
+		}
+		// The marker promised state the files cannot deliver; drop the
+		// whole candidate (marker first) before trying an older one.
+		coord.Remove(ck, len(j.workers))
+	}
+	return 0, false, nil
+}
+
+// tryRestore attempts one committed checkpoint. A non-empty reason means
+// the candidate failed verification (torn or corrupt files — trust the
+// CRC over the marker) and the caller may fall back; a non-nil error is
+// a hard failure of the live stores the job cannot recover from.
+func (j *job) tryRestore(coord checkpoint.Coordinator, engine Engine, step int, mct *diskio.Counter) (string, error) {
 	master, merr := checkpoint.ReadMaster(coord.MasterPath(step), mct)
 	if merr != nil {
-		failReason = "master record: " + merr.Error()
-		return 0, false, nil
+		return "master record: " + merr.Error(), nil
 	}
 	if master.Step != step {
-		failReason = fmt.Sprintf("master record claims step %d, marker says %d", master.Step, step)
-		return 0, false, nil
+		return fmt.Sprintf("master record claims step %d, marker says %d", master.Step, step), nil
 	}
 	for _, w := range j.workers {
 		snap, serr := checkpoint.ReadSnapshot(coord.SnapshotPath(step, w.id), w.ct)
 		if serr != nil {
-			// A torn or corrupt snapshot: the commit marker promised it, but
-			// trust the CRC over the marker and recompute from scratch.
-			failReason = fmt.Sprintf("worker %d snapshot: %v", w.id, serr)
-			return 0, false, nil
+			return fmt.Sprintf("worker %d snapshot: %v", w.id, serr), nil
 		}
 		if snap.Step != step || snap.Worker != w.id || len(snap.Records) != w.part.Len() {
-			failReason = fmt.Sprintf("worker %d snapshot claims step %d worker %d with %d records",
-				w.id, snap.Step, snap.Worker, len(snap.Records))
-			return 0, false, nil
+			return fmt.Sprintf("worker %d snapshot claims step %d worker %d with %d records",
+				w.id, snap.Step, snap.Worker, len(snap.Records)), nil
 		}
 		if aerr := w.applySnapshot(snap); aerr != nil {
-			return 0, false, aerr
+			return "", aerr
 		}
 		if engine == Pull {
 			w.vcache = newPullCache(w.vstore, j.cfg.VertexCache, j.cfg.Metrics)
@@ -196,7 +278,7 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 		j.rco = master.Rco
 	}
 	j.prevAgg = master.PrevAgg
-	return step, true, nil
+	return "", nil
 }
 
 // buildSnapshot captures this worker's state after superstep t. The pull

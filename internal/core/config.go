@@ -216,6 +216,14 @@ type Config struct {
 	// overhead shows up in SimSeconds. Defaults to 5 when Recovery is
 	// "checkpoint" and left unset.
 	CheckpointEvery int
+	// ResumeFromCheckpoint makes the job, before its first superstep, look
+	// for a committed checkpoint in WorkDir and resume from it instead of
+	// starting at superstep 1. This is how a restarted service daemon
+	// continues a job a process kill interrupted: same WorkDir, same
+	// configuration, and the run picks up at the last committed checkpoint
+	// (or superstep 1 when none committed). No-op when WorkDir holds no
+	// committed checkpoint.
+	ResumeFromCheckpoint bool
 }
 
 // withDefaults fills unset fields.

@@ -115,19 +115,34 @@ func TestRestoreSurvivesCorruption(t *testing.T) {
 	})
 	t.Run("stale-commit-marker", func(t *testing.T) {
 		// A commit marker promising a checkpoint whose files never made it:
-		// the marker is trusted for discovery but nothing verifies, so the
-		// job must fall back to scratch, not crash or restore garbage.
+		// the phantom candidate must be rejected (journaled restore_failed)
+		// and the restore must fall back to the older, intact committed
+		// checkpoint — not crash, not restore garbage, and not throw the
+		// good checkpoint away with the bad one.
 		dir := t.TempDir()
 		seed(t, dir)
 		if err := os.WriteFile(filepath.Join(dir, "ckpt-000009.commit"), []byte("9"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		p, secs, vals := crash(t, dir)
-		// The phantom checkpoint has no master record to read, so no extra
-		// bytes are charged — only the failure is journaled.
-		check(t, p, secs, vals, false)
-		if p.restoreFailed[0].Step != 9 {
-			t.Fatalf("restore_failed at step %d, want the phantom step 9", p.restoreFailed[0].Step)
+		p, _, vals := crash(t, dir)
+		if len(p.restoreFailed) != 1 || p.restoreFailed[0].Step != 9 {
+			t.Fatalf("restore_failed = %+v, want exactly one at the phantom step 9", p.restoreFailed)
+		}
+		if len(p.restores) != 1 || p.restores[0].Step != 3 {
+			t.Fatalf("restores = %+v, want the fallback restore of the intact checkpoint at 3", p.restores)
+		}
+		if len(p.recoveries) != 1 || p.recoveries[0].RestartStep != 4 || !p.recoveries[0].Restored {
+			t.Fatalf("recovery = %+v, want a restored restart at superstep 4", p.recoveries)
+		}
+		// The phantom marker must be gone so it can never shadow again.
+		if _, err := os.Stat(filepath.Join(dir, "ckpt-000009.commit")); !os.IsNotExist(err) {
+			t.Fatalf("phantom commit marker still present after rejection (err=%v)", err)
+		}
+		for v := range clean.Values {
+			if vals[v] != clean.Values[v] {
+				t.Fatalf("vertex %d = %g after fallback restore, fault-free run has %g",
+					v, vals[v], clean.Values[v])
+			}
 		}
 	})
 }

@@ -56,6 +56,11 @@ type job struct {
 	stallFired []bool // per fault-plan stall: already injected
 	resuming   bool   // lightweight recovery: superstep 1 re-announces values
 	ckptStep   int    // last committed checkpoint superstep (0 = none)
+	ckptPrev   int    // previous retained checkpoint (fallback for torn restores)
+
+	// faultFS is the storage-fault injector installed over the work
+	// directory when the fault plan carries a Disk config; nil otherwise.
+	faultFS *diskio.FaultFS
 
 	// lastStepAggSet records whether any worker contributed to the last
 	// superstep's aggregate — confined stall recovery needs it to fold the
@@ -138,9 +143,15 @@ func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Conf
 		return nil, err
 	}
 	if err := j.run(engine, res); err != nil {
+		if j.faultFS != nil {
+			res.DiskFaults = j.faultFS.Stats().Total()
+		}
 		return nil, err
 	}
 	res.Finish()
+	if j.faultFS != nil {
+		res.DiskFaults = j.faultFS.Stats().Total()
+	}
 	vals, err := j.collectValues()
 	if err != nil {
 		return nil, err
@@ -176,14 +187,28 @@ func (j *job) collectValues() ([]float64, error) {
 func (j *job) setupDir() error {
 	if j.cfg.WorkDir != "" {
 		j.dir = j.cfg.WorkDir
-		return os.MkdirAll(j.dir, 0o755)
+		if err := os.MkdirAll(j.dir, 0o755); err != nil {
+			return err
+		}
+	} else {
+		dir, err := os.MkdirTemp("", "hybridgraph-")
+		if err != nil {
+			return err
+		}
+		j.dir = dir
+		j.ownDir = true
 	}
-	dir, err := os.MkdirTemp("", "hybridgraph-")
-	if err != nil {
-		return err
+	if plan := j.cfg.FaultPlan; plan != nil && plan.Disk != nil && plan.Disk.Enabled() {
+		j.faultFS = diskio.NewFaultFS(*plan.Disk)
+		j.faultFS.OnFault = func(e *diskio.Error) {
+			j.jm.diskFaults.Inc()
+			if j.trace != nil {
+				j.trace.Emit(obs.DiskFaultEvent{Type: obs.EventDiskFault,
+					Op: e.Op, Path: e.Path, Class: e.Class, Kind: string(e.Kind)})
+			}
+		}
+		diskio.Install(j.dir, j.faultFS)
 	}
-	j.dir = dir
-	j.ownDir = true
 	return nil
 }
 
@@ -192,6 +217,9 @@ func (j *job) setupDir() error {
 // under a caller-provided WorkDir, so an aborted job never leaves
 // per-worker data directories or checkpoint files behind.
 func (j *job) close(failed bool) {
+	if j.faultFS != nil {
+		diskio.Uninstall(j.dir)
+	}
 	for _, w := range j.workers {
 		if w != nil {
 			w.close()
@@ -429,6 +457,20 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 // charges the discarded work to RecoverySimSeconds.
 func (j *job) run(engine Engine, res *metrics.JobResult) error {
 	start := 1
+	if j.cfg.ResumeFromCheckpoint {
+		// A restarted daemon re-runs an interrupted job in its original
+		// WorkDir: pick up at the last committed checkpoint rather than
+		// recomputing everything a process kill threw away. Verification
+		// failures fall through to a fresh start, never an error.
+		step, ok, err := j.restoreFromCheckpoint(engine, res)
+		if err != nil {
+			return err
+		}
+		if ok {
+			res.Restores++
+			start = step + 1
+		}
+	}
 	for {
 		err := j.runOnce(engine, res, start)
 		if err == nil {

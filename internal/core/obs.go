@@ -33,6 +33,8 @@ type jobMetrics struct {
 	logPrunes   *obs.Counter // "msglog.segments_pruned"
 	replayBytes *obs.Counter // "replay.bytes"
 	replaySteps *obs.Counter // "replay.supersteps"
+	diskFaults  *obs.Counter // "core.disk_faults" (injected storage faults observed)
+	ckptFails   *obs.Counter // "checkpoint.write_failures" (abandoned, not committed)
 	step        *obs.Gauge   // "core.superstep" (the superstep in flight)
 	memPeak     *obs.Gauge   // "core.mem_bytes_peak"
 }
@@ -59,6 +61,8 @@ func newJobMetrics(reg *obs.Registry) jobMetrics {
 		logPrunes:   reg.Counter("msglog.segments_pruned"),
 		replayBytes: reg.Counter("replay.bytes"),
 		replaySteps: reg.Counter("replay.supersteps"),
+		diskFaults:  reg.Counter("core.disk_faults"),
+		ckptFails:   reg.Counter("checkpoint.write_failures"),
 		step:        reg.Gauge("core.superstep"),
 		memPeak:     reg.Gauge("core.mem_bytes_peak"),
 	}

@@ -11,6 +11,7 @@ package diskio
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -168,6 +169,8 @@ func (s Snapshot) String() string {
 // sees every byte.
 type File struct {
 	f        *os.File
+	path     string
+	fs       *FaultFS // fault injector covering path, or nil
 	ct       *Counter
 	mu       sync.Mutex
 	seqPos   int64 // next offset that still counts as sequential
@@ -177,31 +180,98 @@ type File struct {
 
 // Create creates (truncating) an accounted file.
 func Create(path string, ct *Counter) (*File, error) {
+	path = filepath.Clean(path)
+	fs := injectorFor(path)
+	if fs != nil {
+		if err := fs.create(path); err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &File{f: f, ct: ct, created: true, lastPage: -1}, nil
+	return &File{f: f, path: path, fs: fs, ct: ct, created: true, lastPage: -1}, nil
 }
 
 // Open opens an existing file for accounted reading and writing.
 func Open(path string, ct *Counter) (*File, error) {
+	path = filepath.Clean(path)
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &File{f: f, ct: ct, lastPage: -1}, nil
+	fs := injectorFor(path)
+	if fs != nil {
+		var size int64
+		if st, serr := f.Stat(); serr == nil {
+			size = st.Size()
+		}
+		if err := fs.open(path, size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &File{f: f, path: path, fs: fs, ct: ct, lastPage: -1}, nil
 }
 
 // OpenRead opens an existing file for accounted read-only access. Catalog
 // stores are shared by concurrent jobs and must never be written, so the
 // OS-level permission backs up the convention.
 func OpenRead(path string, ct *Counter) (*File, error) {
+	path = filepath.Clean(path)
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return &File{f: f, ct: ct, lastPage: -1}, nil
+	fs := injectorFor(path)
+	if fs != nil {
+		var size int64
+		if st, serr := f.Stat(); serr == nil {
+			size = st.Size()
+		}
+		if err := fs.open(path, size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &File{f: f, path: path, fs: fs, ct: ct, lastPage: -1}, nil
+}
+
+// pread performs the device read, routed through the fault injector when
+// one covers this file. Real read errors pass through unwrapped (io.EOF
+// semantics matter to callers); injected faults surface as *Error.
+func (af *File) pread(p []byte, off int64, c Class) (int, error) {
+	if af.fs != nil {
+		return af.fs.readAt(af.path, af.f, p, off, c.String())
+	}
+	return af.f.ReadAt(p, off)
+}
+
+// pwrite performs the device write. Injected faults and real write
+// errors both surface as a typed, path-and-class-annotated *Error —
+// a spilled message or log append that fails must name what failed.
+func (af *File) pwrite(p []byte, off int64, c Class) (int, error) {
+	if af.fs != nil {
+		return af.fs.writeAt(af.path, af.f, p, off, c.String())
+	}
+	n, err := af.f.WriteAt(p, off)
+	if err != nil {
+		return n, &Error{Op: "write", Path: af.path, Class: c.String(), Kind: KindIO, Err: err}
+	}
+	return n, nil
+}
+
+// guessClass predicts the sequential/random classification account()
+// will assign, for fault-error annotation before the write happens.
+func (af *File) guessClass(off int64, randC, seqC Class) Class {
+	af.mu.Lock()
+	seq := off == af.seqPos || (off == 0 && af.seqPos == 0)
+	af.mu.Unlock()
+	if seq {
+		return seqC
+	}
+	return randC
 }
 
 // devCharge computes the device bytes an access moves and records the page
@@ -242,8 +312,35 @@ func (af *File) SetCounter(ct *Counter) {
 	af.mu.Unlock()
 }
 
-// Close closes the underlying file.
-func (af *File) Close() error { return af.f.Close() }
+// Close closes the underlying file. Closing does not sync: bytes
+// written but never Synced are still lost to a simulated power cut.
+func (af *File) Close() error {
+	if af.fs != nil {
+		return af.fs.close(af.path, af.f)
+	}
+	return af.f.Close()
+}
+
+// Sync flushes the file to stable storage — the durability point of the
+// fault model: only synced bytes survive a simulated power cut. The
+// flush is charged to the counter as one zero-byte sequential-write
+// operation, so checkpoint/log deltas see the op without perturbing the
+// byte tallies Eqs. (7)/(8) reason about.
+func (af *File) Sync() error {
+	var err error
+	if af.fs != nil {
+		err = af.fs.sync(af.path, af.f)
+	} else if serr := af.f.Sync(); serr != nil {
+		err = &Error{Op: "sync", Path: af.path, Kind: KindIO, Err: serr}
+	}
+	if err == nil {
+		af.mu.Lock()
+		ct := af.ct
+		af.mu.Unlock()
+		ct.AddDev(SeqWrite, 0, 0)
+	}
+	return err
+}
 
 // Size reports the current file size.
 func (af *File) Size() (int64, error) {
@@ -260,14 +357,14 @@ func (af *File) Size() (int64, error) {
 // matches how the paper reasons about Eblock scans (sequential) versus
 // svertex lookups (random).
 func (af *File) ReadAt(p []byte, off int64) (int, error) {
-	n, err := af.f.ReadAt(p, off)
+	n, err := af.pread(p, off, af.guessClass(off, RandRead, SeqRead))
 	af.account(off, int64(n), RandRead, SeqRead)
 	return n, err
 }
 
 // WriteAt writes p at off with automatic sequential/random classification.
 func (af *File) WriteAt(p []byte, off int64) (int, error) {
-	n, err := af.f.WriteAt(p, off)
+	n, err := af.pwrite(p, off, af.guessClass(off, RandWrite, SeqWrite))
 	af.account(off, int64(n), RandWrite, SeqWrite)
 	return n, err
 }
@@ -278,7 +375,7 @@ func (af *File) WriteAt(p []byte, off int64) (int, error) {
 // random writes regardless of file offsets, because the *logical* locality
 // over destination vertices is poor).
 func (af *File) ReadAtClass(p []byte, off int64, c Class) (int, error) {
-	n, err := af.f.ReadAt(p, off)
+	n, err := af.pread(p, off, c)
 	af.mu.Lock()
 	af.seqPos = off + int64(n)
 	dev := af.devCharge(off, int64(n), c)
@@ -292,7 +389,7 @@ func (af *File) ReadAtClass(p []byte, off int64, c Class) (int, error) {
 // charge. Callers that manage their own page locality (b-pull's Eblock
 // scans keep one Vblock's pages hot) use it to coalesce page transfers.
 func (af *File) ReadAtClassDev(p []byte, off int64, c Class, dev int64) (int, error) {
-	n, err := af.f.ReadAt(p, off)
+	n, err := af.pread(p, off, c)
 	af.mu.Lock()
 	af.seqPos = off + int64(n)
 	if n > 0 {
@@ -306,7 +403,7 @@ func (af *File) ReadAtClassDev(p []byte, off int64, c Class, dev int64) (int, er
 
 // WriteAtClass writes with an explicit class.
 func (af *File) WriteAtClass(p []byte, off int64, c Class) (int, error) {
-	n, err := af.f.WriteAt(p, off)
+	n, err := af.pwrite(p, off, c)
 	af.mu.Lock()
 	af.seqPos = off + int64(n)
 	dev := af.devCharge(off, int64(n), c)

@@ -1,0 +1,347 @@
+package diskio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFaultENOSPCTyped(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, WriteENOSPC: 1})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	if _, err := Create(filepath.Join(dir, "a"), ct); err == nil {
+		t.Fatal("want ENOSPC on create")
+	} else {
+		var de *Error
+		if !errors.As(err, &de) || de.Kind != KindENOSPC {
+			t.Fatalf("want KindENOSPC, got %v", err)
+		}
+		if !errors.Is(err, ErrDiskFault) {
+			t.Fatal("injected fault must match ErrDiskFault")
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatal("ENOSPC must unwrap to syscall.ENOSPC")
+		}
+		if de.Path == "" || de.Op != "create" {
+			t.Fatalf("error not annotated: %+v", de)
+		}
+	}
+	if fs.Stats().ENOSPC == 0 {
+		t.Fatal("stats did not record the fault")
+	}
+}
+
+func TestFaultTornWriteIsShortAndTyped(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 7, TornWrite: 1})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	f, err := Create(filepath.Join(dir, "a"), ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	n, err := f.WriteAtClass(payload, 0, SeqWrite)
+	var de *Error
+	if !errors.As(err, &de) || de.Kind != KindTornWrite {
+		t.Fatalf("want KindTornWrite, got %v", err)
+	}
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatal("torn write must unwrap to io.ErrShortWrite")
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write wrote all %d bytes", n)
+	}
+	if de.Class != SeqWrite.String() {
+		t.Fatalf("want class annotation %q, got %q", SeqWrite, de.Class)
+	}
+	sz, _ := f.Size()
+	if sz != int64(n) {
+		t.Fatalf("on-disk size %d != reported short count %d", sz, n)
+	}
+}
+
+func TestPowerCutDiscardsUnsyncedKeepsSynced(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, PowerCutAfter: 1 << 30})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	path := filepath.Join(dir, "a")
+	f, err := Create(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := []byte("durable-data")
+	if _, err := f.WriteAtClass(durable, 0, SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite part of the synced data and append a tail — neither synced.
+	if _, err := f.WriteAtClass([]byte("XXX"), 0, RandWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAtClass([]byte("volatile-tail"), int64(len(durable)), SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.mu.Lock()
+	fs.powerCutLocked()
+	fs.mu.Unlock()
+
+	if _, err := f.WriteAtClass([]byte("x"), 0, SeqWrite); !IsPowerCut(err) {
+		t.Fatalf("post-cut write must fail with power cut, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, durable) {
+		t.Fatalf("after power cut want %q, got %q", durable, got)
+	}
+	if !fs.Stats().PowerCut {
+		t.Fatal("stats did not record the cut")
+	}
+}
+
+func TestPowerCutAfterNthMutation(t *testing.T) {
+	dir := t.TempDir()
+	// Op 1 = create, op 2 = first write, op 3 = second write (cut fires here).
+	fs := NewFaultFS(FaultConfig{Seed: 1, PowerCutAfter: 3})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	f, err := Create(filepath.Join(dir, "a"), ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAtClass([]byte("one"), 0, SeqWrite); err != nil {
+		t.Fatalf("write before the cut failed: %v", err)
+	}
+	if _, err := f.WriteAtClass([]byte("two"), 3, SeqWrite); !IsPowerCut(err) {
+		t.Fatalf("write at the cut point must fail, got %v", err)
+	}
+}
+
+func TestBitFlipIsSilentButObserved(t *testing.T) {
+	dir := t.TempDir()
+	ct := &Counter{}
+	path := filepath.Join(dir, "a")
+	clean, err := Create(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x55}, 128)
+	if _, err := clean.WriteAtClass(payload, 0, SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+	clean.Close()
+
+	fs := NewFaultFS(FaultConfig{Seed: 3, ReadBitFlip: 1})
+	var observed []*Error
+	fs.OnFault = func(e *Error) { observed = append(observed, e) }
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	f, err := OpenRead(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAtClass(got, 0, SeqRead); err != nil {
+		t.Fatalf("bit flip must be silent, got %v", err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("read returned uncorrupted bytes under ReadBitFlip=1")
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", diff)
+	}
+	if len(observed) != 1 || observed[0].Kind != KindBitFlip {
+		t.Fatalf("OnFault not notified of the flip: %v", observed)
+	}
+}
+
+func TestSyncFailKeepsDataVolatile(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, SyncFail: 1, PowerCutAfter: 1 << 30})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	path := filepath.Join(dir, "a")
+	f, err := Create(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAtClass([]byte("data"), 0, SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+	err = f.Sync()
+	var de *Error
+	if !errors.As(err, &de) || de.Kind != KindSyncFail {
+		t.Fatalf("want KindSyncFail, got %v", err)
+	}
+	fs.mu.Lock()
+	fs.powerCutLocked()
+	fs.mu.Unlock()
+	got, _ := os.ReadFile(path)
+	if len(got) != 0 {
+		t.Fatalf("data behind a failed fsync survived the cut: %q", got)
+	}
+}
+
+func TestRenameCarriesVolatility(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, PowerCutAfter: 1 << 30})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	tmp, final := filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a")
+	f, err := Create(tmp, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAtClass([]byte("not-synced"), 0, SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	fs.powerCutLocked()
+	fs.mu.Unlock()
+	// The rename (metadata) is durable; the never-synced data is not:
+	// the classic torn tmp+rename commit without an fsync.
+	got, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatalf("renamed file lost entirely: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unsynced bytes survived rename + power cut: %q", got)
+	}
+}
+
+func TestWriteFileSyncSurvivesPowerCut(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, PowerCutAfter: 1 << 30})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	path := filepath.Join(dir, "marker")
+	if err := WriteFileSync(path, []byte("commit-42"), ct, SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	fs.powerCutLocked()
+	fs.mu.Unlock()
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "commit-42" {
+		t.Fatalf("synced atomic write did not survive: %q, %v", got, err)
+	}
+}
+
+func TestMaxFaultsCapsInjection(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, WriteENOSPC: 1, MaxFaults: 2})
+	Install(dir, fs)
+	defer Uninstall(dir)
+
+	ct := &Counter{}
+	fails := 0
+	for i := 0; i < 5; i++ {
+		f, err := Create(filepath.Join(dir, "a"), ct)
+		if err != nil {
+			fails++
+			continue
+		}
+		if _, err := f.WriteAtClass([]byte("x"), 0, SeqWrite); err != nil {
+			fails++
+		}
+		f.Close()
+	}
+	if fails != 2 {
+		t.Fatalf("MaxFaults=2 but %d ops failed", fails)
+	}
+}
+
+func TestUninstalledPathsUntouched(t *testing.T) {
+	faulty, clean := t.TempDir(), t.TempDir()
+	fs := NewFaultFS(FaultConfig{Seed: 1, WriteENOSPC: 1})
+	Install(faulty, fs)
+	defer Uninstall(faulty)
+
+	ct := &Counter{}
+	f, err := Create(filepath.Join(clean, "a"), ct)
+	if err != nil {
+		t.Fatalf("path outside the injector root failed: %v", err)
+	}
+	if _, err := f.WriteAtClass([]byte("x"), 0, SeqWrite); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		fs := NewFaultFS(FaultConfig{Seed: 99, WriteENOSPC: 0.3, TornWrite: 0.3})
+		Install(dir, fs)
+		defer Uninstall(dir)
+		ct := &Counter{}
+		var outcomes []string
+		f, err := Create(filepath.Join(dir, "a"), ct)
+		if err != nil {
+			return []string{"create-failed"}
+		}
+		for i := 0; i < 40; i++ {
+			_, err := f.WriteAtClass([]byte("0123456789"), int64(i*10), SeqWrite)
+			switch {
+			case err == nil:
+				outcomes = append(outcomes, "ok")
+			default:
+				var de *Error
+				errors.As(err, &de)
+				outcomes = append(outcomes, string(de.Kind))
+			}
+		}
+		f.Close()
+		return outcomes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hybridgraph/internal/diskio"
 )
 
 // Crash schedules one worker failure, detected by the master's fault
@@ -82,6 +84,19 @@ type Plan struct {
 	// Net holds transport faults applied when the job runs over TCP;
 	// nil injects none.
 	Net *TransportFaults
+	// Disk holds seeded storage faults (ENOSPC, torn writes, failed
+	// fsync, bit-flip reads, simulated power cuts) injected by a
+	// diskio.FaultFS installed over the job's working directory; nil
+	// injects none. Like Net, the description is pure data: each run
+	// builds a fresh injector from it.
+	Disk *diskio.FaultConfig
+}
+
+// WithDisk returns the plan with the storage-fault description attached.
+// The receiver is returned for chaining.
+func (p *Plan) WithDisk(cfg diskio.FaultConfig) *Plan {
+	p.Disk = &cfg
+	return p
 }
 
 // NewPlan returns a plan with the given crashes, sorted by step (ties by

@@ -155,6 +155,7 @@ var Experiments = []Experiment{
 	{"table5", "Modified-pull scenarios (original/ext-mem/ext-edge/v3/v2.5)", Table5},
 	{"recovery", "Recovery cost by policy: scratch/resume/checkpoint/confined", RecoveryCost},
 	{"chaos", "Chaos campaign: seeded crash+stall+transport faults, values must match fault-free", Chaos},
+	{"diskchaos", "Disk-fault chaos: seeded storage faults under crash+stall plans, identical or typed failure", DiskChaos},
 	{"bench", "Machine-readable benchmark matrix, written to BENCH_pr4.json (runtime, Eq. 7/8 bytes, Qt)", Bench},
 }
 

@@ -163,6 +163,14 @@ type JobResult struct {
 	CheckpointSimSeconds float64
 	Restores             int
 
+	// DiskFaults counts the storage faults the diskio fault layer injected
+	// during the run (ENOSPC, torn writes, failed fsyncs, bit flips; a
+	// power cut counts once). CheckpointWriteFailures counts checkpoint
+	// attempts a storage fault aborted — abandoned without a commit
+	// marker, never failing the job.
+	DiskFaults              int
+	CheckpointWriteFailures int
+
 	// Values holds the final vertex values indexed by vertex id (rank,
 	// distance, label or ad, depending on the algorithm).
 	Values []float64

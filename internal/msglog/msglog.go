@@ -258,6 +258,43 @@ func (l *Log) Prune(through int) (int, error) {
 	return removed, errors.Join(errs...)
 }
 
+// Sync fsyncs every segment file still in the log — the open one and
+// the closed per-superstep segments pruning has not yet removed. The
+// checkpoint coordinator calls this on every worker's log before
+// writing its commit marker: after the commit, confined replay trusts
+// segments newer than the restored checkpoint, and a segment the
+// platter never saw would silently replay as "nothing sent". Each flush
+// is charged to the log's counter as one zero-byte sequential-write op
+// (LogIO accounting).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("msglog: %s: %w", l.SegmentPath(l.step), err)
+		}
+	}
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		if l.f != nil {
+			if s, perr := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log")); perr == nil && s == l.step {
+				continue // already synced through the open handle
+			}
+		}
+		if err := diskio.SyncFile(filepath.Join(l.dir, name), l.ct); err != nil {
+			return fmt.Errorf("msglog: %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
 // BytesLogged reports the total record bytes appended so far.
 func (l *Log) BytesLogged() int64 {
 	l.mu.Lock()

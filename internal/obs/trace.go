@@ -126,6 +126,11 @@ const (
 	EventCatalog      = "catalog"       // setup resolved its edge layouts (hit = reused)
 	EventJobQueued    = "job_queued"    // the scheduler admitted a job into its queue
 	EventJobCancelled = "job_cancelled" // a queued or running job was cancelled
+
+	// Storage-fault and durability events.
+	EventDiskFault        = "disk_fault"        // the FaultFS injected one storage fault
+	EventCheckpointFailed = "checkpoint_failed" // a checkpoint write failed; the attempt was abandoned
+	EventWALReplay        = "wal_replay"        // a restarted scheduler replayed its job WAL
 )
 
 // JobEvent opens (job_start) and closes (job_end) a journal.
@@ -284,6 +289,42 @@ type SchedulerEvent struct {
 	JobID  string `json:"job_id"`
 	Queued int    `json:"queued,omitempty"` // queue depth after the transition
 	From   string `json:"from,omitempty"`   // job_cancelled: state left behind
+}
+
+// DiskFaultEvent records one injected storage fault the diskio fault
+// layer fired: which operation on which file, in which access class,
+// failed and how ("enospc", "torn-write", "sync-fail", "bit-flip",
+// "power-cut"). Bit flips return no error to the reader — this journal
+// line is the only direct evidence they happened.
+type DiskFaultEvent struct {
+	Type  string `json:"type"`
+	Op    string `json:"op"`
+	Path  string `json:"path"`
+	Class string `json:"class,omitempty"`
+	Kind  string `json:"kind"`
+}
+
+// CheckpointFailedEvent records a checkpoint attempt a storage fault
+// aborted. The attempt is abandoned — no commit marker was written, so
+// recovery falls back to the previous committed checkpoint — and the
+// job continues; only a power cut fails the job outright.
+type CheckpointFailedEvent struct {
+	Type   string `json:"type"`
+	Step   int    `json:"step"`
+	Reason string `json:"reason"`
+}
+
+// WALReplayEvent records a restarted scheduler's job-WAL replay: how
+// many records were read, how many jobs were re-enqueued (queued at the
+// kill) or resumed from their last committed checkpoint (running at the
+// kill), and whether the log ended in a torn record (discarded — the
+// power cut caught an append mid-write).
+type WALReplayEvent struct {
+	Type     string `json:"type"`
+	Records  int    `json:"records"`
+	Requeued int    `json:"requeued"`
+	Resumed  int    `json:"resumed"`
+	Torn     bool   `json:"torn,omitempty"`
 }
 
 // PruneFailedEvent records a checkpoint or message-log pruning failure.

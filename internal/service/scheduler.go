@@ -20,6 +20,7 @@ import (
 	"hybridgraph/internal/algo"
 	"hybridgraph/internal/catalog"
 	"hybridgraph/internal/core"
+	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/metrics"
 	"hybridgraph/internal/obs"
@@ -59,6 +60,10 @@ type JobSpec struct {
 	// re-enqueues the job after a non-cancellation failure.
 	Recovery string `json:"recovery,omitempty"`
 	Retries  int    `json:"retries,omitempty"`
+	// CheckpointEvery commits a checkpoint every N supersteps. Beyond the
+	// in-run recovery policies, a checkpointing job killed with the daemon
+	// resumes from its last committed checkpoint on restart (job WAL).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // JobStatus is the externally visible job record (JSON-served as-is).
@@ -95,6 +100,10 @@ type job struct {
 	cancel context.CancelCauseFunc
 	done   chan struct{} // closed when the job reaches a terminal state
 	result *metrics.JobResult
+	// resume marks a job the WAL replay found in the running state: its
+	// next attempt restores the last committed checkpoint from the job's
+	// (surviving) work directory instead of starting over.
+	resume bool
 }
 
 // SchedulerConfig bounds the scheduler (admission control).
@@ -119,6 +128,13 @@ type SchedulerConfig struct {
 	// <TraceDir>/<jobid>.jsonl (the journal the catalog-reuse acceptance
 	// check reads).
 	TraceDir string
+	// WALDir, when set, enables the crash-safe job WAL at
+	// <WALDir>/jobs.wal: every submit and state transition is fsynced
+	// before it is acknowledged, and NewScheduler replays the log — a
+	// killed daemon re-enqueues the jobs it lost and resumes ones that
+	// were running from their last committed checkpoint. Empty disables
+	// the WAL (jobs die with the process).
+	WALDir string
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -147,7 +163,11 @@ type Scheduler struct {
 	running  int
 	nextSeq  int64
 	draining bool
+	killed   bool // Kill() was called: simulate kill -9, no terminal WAL writes
 	wg       sync.WaitGroup
+
+	wal   *wal // nil when the WAL is disabled
+	walCt diskio.Counter
 
 	mSubmitted *obs.Counter
 	mDone      *obs.Counter
@@ -156,8 +176,11 @@ type Scheduler struct {
 	mRejected  *obs.Counter
 }
 
-// NewScheduler builds a scheduler over cat. Call Drain to shut it down.
-func NewScheduler(cat *catalog.Catalog, cfg SchedulerConfig) *Scheduler {
+// NewScheduler builds a scheduler over cat. When cfg.WALDir is set the
+// job WAL is opened and replayed before the first dispatch: jobs a
+// previous process left queued are re-enqueued, jobs it left running are
+// re-enqueued with resume-from-checkpoint. Call Drain to shut it down.
+func NewScheduler(cat *catalog.Catalog, cfg SchedulerConfig) (*Scheduler, error) {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{cfg: cfg, cat: cat, baseCtx: ctx, stop: stop,
@@ -178,7 +201,75 @@ func NewScheduler(cat *catalog.Catalog, cfg SchedulerConfig) *Scheduler {
 		defer s.mu.Unlock()
 		return int64(len(s.queue))
 	})
-	return s
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, err
+		}
+		w, recs, torn, err := openWAL(filepath.Join(cfg.WALDir, "jobs.wal"), &s.walCt)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.wal = w
+		s.replayWAL(recs, torn)
+	}
+	return s, nil
+}
+
+// replayWAL rebuilds the job table from the log and re-admits the jobs a
+// previous process never finished. Terminal jobs are kept queryable;
+// queued jobs go back into the queue as-is; running jobs go back with
+// the resume flag so their next attempt restores the last committed
+// checkpoint from the surviving work directory.
+func (s *Scheduler) replayWAL(recs []walRecord, torn bool) {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "submit":
+			if rec.Spec == nil {
+				continue
+			}
+			j := &job{seq: rec.Seq, done: make(chan struct{})}
+			j.status = JobStatus{ID: rec.ID, Spec: *rec.Spec, State: JobQueued,
+				EnqueuedAt: time.Now()}
+			s.jobs[rec.ID] = j
+			s.order = append(s.order, rec.ID)
+			if rec.Seq > s.nextSeq {
+				s.nextSeq = rec.Seq
+			}
+		case "state":
+			j, ok := s.jobs[rec.ID]
+			if !ok {
+				continue
+			}
+			j.status.State = rec.State
+			j.status.Error = rec.Error
+			j.status.Attempts = rec.Attempts
+		}
+	}
+	requeued, resumed := 0, 0
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.status.State {
+		case JobQueued:
+			requeued++
+			s.enqueueLocked(j)
+		case JobRunning:
+			// The process died mid-attempt: the attempt is lost but its
+			// work directory (and any committed checkpoint) survives.
+			resumed++
+			j.status.State = JobQueued
+			j.status.Error = ""
+			j.resume = true
+			s.enqueueLocked(j)
+		default:
+			close(j.done) // terminal before the crash; keep it queryable
+		}
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.WALReplayEvent{Type: obs.EventWALReplay,
+			Records: len(recs), Requeued: requeued, Resumed: resumed, Torn: torn})
+	}
+	s.maybeStartLocked() // no lock needed yet: no goroutines exist before this
 }
 
 // progFor maps a spec to its vertex program.
@@ -240,6 +331,18 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 		State:      JobQueued,
 		EnqueuedAt: time.Now(),
 	}
+	// The submit record is fsynced before the job is acknowledged: once
+	// Submit returns, a killed-and-restarted daemon still runs the job. A
+	// WAL that cannot take the record rejects the submit — an acknowledged
+	// job that evaporates on restart is the one broken promise.
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{Kind: "submit", ID: j.status.ID,
+			Seq: j.seq, Spec: &spec}); err != nil {
+			s.nextSeq--
+			s.mRejected.Inc()
+			return JobStatus{}, err
+		}
+	}
 	s.jobs[j.status.ID] = j
 	s.order = append(s.order, j.status.ID)
 	s.enqueueLocked(j)
@@ -280,11 +383,24 @@ func (s *Scheduler) startLocked(j *job) {
 	j.status.State = JobRunning
 	j.status.StartedAt = time.Now()
 	j.status.Attempts++
+	s.walState(j)
 	s.running++
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
 	j.cancel = cancel
 	s.wg.Add(1)
 	go s.runJob(j, ctx)
+}
+
+// walState appends j's current state to the WAL (best-effort: a failed
+// transition append degrades a restart to re-running the job from its
+// previous durable state, never to losing it). Callers hold s.mu.
+func (s *Scheduler) walState(j *job) {
+	if s.wal == nil || s.killed {
+		return
+	}
+	_ = s.wal.append(walRecord{Kind: "state", ID: j.status.ID,
+		State: j.status.State, Error: j.status.Error,
+		Attempts: j.status.Attempts})
 }
 
 // runJob executes one attempt and applies the terminal (or retry)
@@ -296,6 +412,12 @@ func (s *Scheduler) runJob(j *job, ctx context.Context) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
+	if s.killed {
+		// Simulated kill -9: the process is "gone" — no terminal
+		// transition is recorded anywhere, which is exactly what the WAL
+		// replay must cope with (the job is still "running" on disk).
+		return
+	}
 	switch {
 	case err == nil:
 		j.result = res
@@ -323,6 +445,7 @@ func (s *Scheduler) runJob(j *job, ctx context.Context) {
 		// retry layer covers whole-attempt failures.
 		j.status.Error = err.Error()
 		j.status.State = JobQueued
+		s.walState(j)
 		s.enqueueLocked(j)
 		if s.cfg.Tracer != nil {
 			s.cfg.Tracer.Emit(obs.SchedulerEvent{Type: obs.EventJobQueued,
@@ -335,6 +458,7 @@ func (s *Scheduler) runJob(j *job, ctx context.Context) {
 		j.status.Error = err.Error()
 		s.mFailed.Inc()
 	}
+	s.walState(j)
 	j.status.FinishedAt = time.Now()
 	close(j.done)
 	s.maybeStartLocked()
@@ -356,13 +480,14 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 		return nil, err
 	}
 	cfg := core.Config{
-		Stores:   entry,
-		JobLabel: j.status.ID,
-		MaxSteps: spec.MaxSteps,
-		MsgBuf:   spec.MsgBuf,
-		TCP:      spec.TCP,
-		Recovery: spec.Recovery,
-		Metrics:  s.cfg.Metrics,
+		Stores:          entry,
+		JobLabel:        j.status.ID,
+		MaxSteps:        spec.MaxSteps,
+		MsgBuf:          spec.MsgBuf,
+		TCP:             spec.TCP,
+		Recovery:        spec.Recovery,
+		CheckpointEvery: spec.CheckpointEvery,
+		Metrics:         s.cfg.Metrics,
 	}
 	if s.cfg.TraceDir != "" {
 		cfg.TracePath = filepath.Join(s.cfg.TraceDir,
@@ -370,12 +495,55 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 	}
 	if s.cfg.DataDir != "" {
 		cfg.WorkDir = filepath.Join(s.cfg.DataDir, "jobs", j.status.ID)
+		if s.wal != nil {
+			// Under the WAL a killed attempt's checkpoint files are the
+			// restart's source of truth: keep them even when the run fails
+			// (core would otherwise clear a failed job's artifacts), and
+			// skip the removal below when the failure was a simulated kill.
+			cfg.KeepFiles = true
+		}
 		// A successful run keeps a caller-provided WorkDir; the daemon has
 		// no use for finished per-worker stores, so remove the whole job
-		// directory once the attempt ends, whatever the outcome.
-		defer os.RemoveAll(cfg.WorkDir)
+		// directory once the attempt ends, whatever the outcome — unless
+		// the daemon was "killed", in which case nothing runs at all.
+		defer func() {
+			s.mu.Lock()
+			killed := s.killed
+			s.mu.Unlock()
+			if !killed {
+				os.RemoveAll(cfg.WorkDir)
+			}
+		}()
+	}
+	if j.resume {
+		// WAL replay found this job mid-run: restore its last committed
+		// checkpoint (if any verifies) instead of starting from scratch.
+		// One shot — a retry after a genuine failure starts clean.
+		j.resume = false
+		cfg.ResumeFromCheckpoint = true
 	}
 	return core.RunContext(ctx, entry.Graph(), prog, cfg, engine)
+}
+
+// Kill simulates kill -9 for tests and chaos harnesses: running jobs are
+// aborted, no terminal state reaches the WAL or the job table, and the
+// job work directories are left exactly as the "crash" found them. A new
+// scheduler over the same WALDir/DataDir replays the log and picks the
+// lost jobs back up. The scheduler is unusable afterwards.
+func (s *Scheduler) Kill() {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.killed = true
+	s.draining = true
+	s.queue = nil
+	s.mu.Unlock()
+	s.stop() // abort running jobs at their next cancellation point
+	s.wg.Wait()
+	s.closeWAL()
 }
 
 // Cancel cancels a queued or running job. Cancelling a queued job
@@ -399,6 +567,7 @@ func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 		j.status.State = JobCancelled
 		j.status.Error = context.Canceled.Error()
 		j.status.FinishedAt = time.Now()
+		s.walState(j)
 		close(j.done)
 		s.mCancelled.Inc()
 		if s.cfg.Tracer != nil {
@@ -496,6 +665,7 @@ func (s *Scheduler) Drain(grace time.Duration) {
 		j.status.State = JobCancelled
 		j.status.Error = "cancelled: service shutting down"
 		j.status.FinishedAt = time.Now()
+		s.walState(j)
 		close(j.done)
 		s.mCancelled.Inc()
 		if s.cfg.Tracer != nil {
@@ -512,10 +682,23 @@ func (s *Scheduler) Drain(grace time.Duration) {
 		select {
 		case <-finished:
 			tm.Stop()
+			s.closeWAL()
 			return
 		case <-tm.C:
 		}
 	}
 	s.stop() // cancels every running job's context
 	<-finished
+	s.closeWAL()
+}
+
+// closeWAL releases the WAL handle after every job goroutine has exited
+// (every acknowledged record is already fsynced; close never loses one).
+func (s *Scheduler) closeWAL() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.close()
+		s.wal = nil
+	}
 }

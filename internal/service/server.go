@@ -26,8 +26,13 @@ type ServerConfig struct {
 	Addr string
 	// DataDir is the daemon's root: the catalog lives in <DataDir>/catalog,
 	// job work directories in <DataDir>/jobs, per-job trace journals in
-	// <DataDir>/traces, and the service journal at <DataDir>/service.jsonl.
+	// <DataDir>/traces, the job WAL in <DataDir>/wal, and the service
+	// journal at <DataDir>/service.jsonl.
 	DataDir string
+	// WALDir overrides where the crash-safe job WAL lives (default
+	// <DataDir>/wal). Set to "off" to disable durability entirely —
+	// submitted jobs then die with the process.
+	WALDir string
 	// Scheduler bounds; DataDir/Tracer/Metrics/TraceDir fields are managed
 	// by the server and ignored here.
 	MaxQueued     int
@@ -78,7 +83,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	reg := obs.NewRegistry()
-	sched := NewScheduler(cat, SchedulerConfig{
+	walDir := cfg.WALDir
+	switch walDir {
+	case "":
+		walDir = filepath.Join(cfg.DataDir, "wal")
+	case "off":
+		walDir = ""
+	}
+	sched, err := NewScheduler(cat, SchedulerConfig{
 		MaxQueued:     cfg.MaxQueued,
 		MaxConcurrent: cfg.MaxConcurrent,
 		MaxMsgBuf:     cfg.MaxMsgBuf,
@@ -86,7 +98,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Tracer:        tracer,
 		Metrics:       reg,
 		TraceDir:      filepath.Join(cfg.DataDir, "traces"),
+		WALDir:        walDir,
 	})
+	if err != nil {
+		tracer.Close()
+		return nil, err
+	}
 	s := &Server{cfg: cfg, cat: cat, sched: sched, reg: reg, trace: tracer}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

@@ -45,7 +45,10 @@ func TestSchedulerConcurrencyAndQueueing(t *testing.T) {
 	dir := t.TempDir()
 	cat := newTestCatalog(t, dir)
 	reg := obs.NewRegistry()
-	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 2, DataDir: dir, Metrics: reg})
+	s, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 2, DataDir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Drain(time.Minute)
 
 	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "hybrid", MaxSteps: 10, MsgBuf: 300}
@@ -112,7 +115,10 @@ func TestSchedulerConcurrencyAndQueueing(t *testing.T) {
 func TestQueueFullAndBufferClamp(t *testing.T) {
 	dir := t.TempDir()
 	cat := newTestCatalog(t, dir)
-	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, MaxQueued: 1, MaxMsgBuf: 500, DataDir: dir})
+	s, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, MaxQueued: 1, MaxMsgBuf: 500, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Drain(time.Minute)
 
 	long := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 30}
@@ -145,7 +151,10 @@ func TestQueueFullAndBufferClamp(t *testing.T) {
 func TestPriorityOrdersQueue(t *testing.T) {
 	dir := t.TempDir()
 	cat := newTestCatalog(t, dir)
-	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	s, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Drain(time.Minute)
 
 	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "b-pull", MaxSteps: 5, MsgBuf: 300}
@@ -175,7 +184,10 @@ func TestPriorityOrdersQueue(t *testing.T) {
 func TestCancelRunningJob(t *testing.T) {
 	dir := t.TempDir()
 	cat := newTestCatalog(t, dir)
-	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	s, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Drain(time.Minute)
 
 	st, err := s.Submit(JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 500, MsgBuf: 200})
@@ -220,7 +232,10 @@ func TestCancelRunningJob(t *testing.T) {
 func TestFailedJobRetriesThenCleansUp(t *testing.T) {
 	dir := t.TempDir()
 	cat := newTestCatalog(t, dir)
-	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	s, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Drain(time.Minute)
 
 	// pushM requires a combinable program; lpa is not, so every attempt
@@ -249,7 +264,10 @@ func TestFailedJobRetriesThenCleansUp(t *testing.T) {
 func TestDrainCancelsQueuedAndRejectsSubmits(t *testing.T) {
 	dir := t.TempDir()
 	cat := newTestCatalog(t, dir)
-	s := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	s, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push", MaxSteps: 10, MsgBuf: 300}
 	var ids []string

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"hybridgraph/internal/diskio"
+)
+
+// The job WAL makes the scheduler's queue crash-safe: every submit and
+// every state transition is appended as a CRC-framed JSON record and
+// fsynced before the scheduler acknowledges it. A daemon killed mid-run
+// replays the log on startup — jobs that were queued are re-enqueued,
+// jobs that were running are re-enqueued with resume-from-checkpoint so
+// a committed checkpoint in the job's work directory is picked up
+// instead of recomputing from superstep 1 (see DESIGN.md, "Durability
+// contract").
+//
+// Record framing:
+//
+//	len(4, little-endian) crc(4, IEEE over payload) payload(JSON)
+//
+// A torn tail — a record the process appended but the platter never
+// wholly saw — fails either the length bound or the CRC; replay stops at
+// the last intact record and the next append overwrites the tail. All
+// WAL I/O flows through diskio, so the storage-fault layer can torture
+// it like any other file.
+
+// walRecord is one WAL entry. Kind "submit" carries the spec; kind
+// "state" carries a transition.
+type walRecord struct {
+	Kind     string   `json:"kind"` // "submit" | "state"
+	ID       string   `json:"id"`
+	Seq      int64    `json:"seq,omitempty"`
+	Spec     *JobSpec `json:"spec,omitempty"`
+	State    JobState `json:"state,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
+}
+
+const walFrameHeader = 8 // len(4) + crc(4)
+
+// wal is the append handle. Appends are serialised by the scheduler's
+// own locking plus the internal offset bookkeeping here.
+type wal struct {
+	path string
+	ct   *diskio.Counter
+	f    *diskio.File
+	off  int64
+}
+
+// openWAL opens (or creates) the log at path, replays every intact
+// record, and positions the append offset after the last one. torn
+// reports whether a damaged tail was found (and will be overwritten).
+func openWAL(path string, ct *diskio.Counter) (w *wal, recs []walRecord, torn bool, err error) {
+	if _, serr := os.Stat(path); os.IsNotExist(serr) {
+		f, cerr := diskio.Create(path, ct)
+		if cerr != nil {
+			return nil, nil, false, fmt.Errorf("service: wal: %w", cerr)
+		}
+		return &wal{path: path, ct: ct, f: f}, nil, false, nil
+	}
+	f, oerr := diskio.Open(path, ct)
+	if oerr != nil {
+		return nil, nil, false, fmt.Errorf("service: wal: %w", oerr)
+	}
+	size, serr := f.Size()
+	if serr != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("service: wal: %w", serr)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, rerr := f.ReadAtClass(buf, 0, diskio.SeqRead); rerr != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("service: wal: %w", rerr)
+		}
+	}
+	var off int64
+	for off < size {
+		rec, n, ok := decodeWALRecord(buf[off:])
+		if !ok {
+			// Torn tail: everything before off is intact and trusted;
+			// the tail is the record a crash interrupted. Replay stops
+			// here and the next append overwrites it.
+			torn = true
+			break
+		}
+		recs = append(recs, rec)
+		off += int64(n)
+	}
+	return &wal{path: path, ct: ct, f: f, off: off}, recs, torn, nil
+}
+
+// decodeWALRecord parses one frame from the front of b. ok is false for
+// any damage: short header, length past the buffer, CRC mismatch, or
+// un-unmarshalable payload.
+func decodeWALRecord(b []byte) (rec walRecord, n int, ok bool) {
+	if len(b) < walFrameHeader {
+		return rec, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	want := binary.LittleEndian.Uint32(b[4:])
+	n = walFrameHeader + plen
+	if plen <= 0 || n > len(b) {
+		return rec, 0, false
+	}
+	payload := b[walFrameHeader:n]
+	if crc32.ChecksumIEEE(payload) != want {
+		return rec, 0, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, 0, false
+	}
+	return rec, n, true
+}
+
+// append frames rec, writes it at the tail and fsyncs before returning:
+// an acknowledged record survives a power cut, torn only if the crash
+// interrupted this very call.
+func (w *wal) append(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: wal: %w", err)
+	}
+	frame := make([]byte, 0, walFrameHeader+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.WriteAtClass(frame, w.off, diskio.SeqWrite); err != nil {
+		return fmt.Errorf("service: wal %s: %w", filepath.Base(w.path), err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("service: wal %s: %w", filepath.Base(w.path), err)
+	}
+	w.off += int64(len(frame))
+	return nil
+}
+
+// close releases the file handle without syncing (append already synced
+// every acknowledged record).
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

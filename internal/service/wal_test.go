@@ -1,0 +1,256 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/obs"
+)
+
+// TestWALTornTailStopsCleanly exercises the WAL file format directly:
+// intact records replay, a torn tail (a crash mid-append) is detected and
+// skipped rather than erroring, and the next append overwrites it.
+func TestWALTornTailStopsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	ct := &diskio.Counter{}
+
+	w, recs, torn, err := openWAL(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || torn {
+		t.Fatalf("fresh WAL: %d records, torn=%v", len(recs), torn)
+	}
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push"}
+	for i := 1; i <= 3; i++ {
+		if err := w.append(walRecord{Kind: "submit", ID: "job-1", Seq: int64(i), Spec: &spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a frame the platter saw only part of.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, recs, torn, err = openWAL(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || !torn {
+		t.Fatalf("after torn tail: %d records, torn=%v, want 3 intact and torn", len(recs), torn)
+	}
+	if recs[2].Seq != 3 || recs[2].Spec == nil || recs[2].Spec.Algorithm != "pagerank" {
+		t.Fatalf("record 3 did not round-trip: %+v", recs[2])
+	}
+	// The next append lands where the torn tail began.
+	if err := w.append(walRecord{Kind: "state", ID: "job-1", State: JobDone, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	_, recs, torn, err = openWAL(path, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || torn {
+		t.Fatalf("after overwrite append: %d records, torn=%v, want 4 clean", len(recs), torn)
+	}
+	if recs[3].State != JobDone {
+		t.Fatalf("record 4 state = %s, want done", recs[3].State)
+	}
+}
+
+// TestWALKillRestartRequeuesAndResumes is the crash-safety acceptance
+// test: a daemon killed with one checkpointing job running and another
+// queued must, on restart over the same WAL and data directory, resume
+// the running job from its last committed checkpoint and re-run the
+// queued one — both to completion, byte-identical to an undisturbed run.
+func TestWALKillRestartRequeuesAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	walDir := filepath.Join(dir, "wal")
+
+	// Baseline values from an undisturbed scheduler (no WAL, own jobs dir).
+	base, err := NewScheduler(cat, SchedulerConfig{MaxConcurrent: 1,
+		DataDir: filepath.Join(dir, "base")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptSpec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push",
+		MaxSteps: 40, MsgBuf: 300, Recovery: "checkpoint", CheckpointEvery: 2}
+	plainSpec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "b-pull",
+		MaxSteps: 8, MsgBuf: 300}
+	bst, err := base.Submit(ckptSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst2, err := base.Submit(plainSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, base, []string{bst.ID, bst2.ID})
+	cleanCkpt, err := base.Result(bst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanPlain, err := base.Result(bst2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Drain(time.Minute)
+
+	// First incarnation: one slot, so the checkpointing job runs and the
+	// plain job queues behind it. Kill once a checkpoint has committed.
+	tracer, err := obs.OpenTracer(filepath.Join(dir, "service.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SchedulerConfig{MaxConcurrent: 1, DataDir: dir, WALDir: walDir, Tracer: tracer}
+	s1, err := NewScheduler(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := s1.Submit(ckptSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s1.Submit(plainSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workDir := filepath.Join(dir, "jobs", st1.ID)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if m, _ := filepath.Glob(filepath.Join(workDir, "ckpt-*.commit")); len(m) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint committed before the deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s1.Kill()
+
+	// The simulated kill -9 leaves the running job's directory (and its
+	// committed checkpoint) exactly as the crash found it.
+	if m, _ := filepath.Glob(filepath.Join(workDir, "ckpt-*.commit")); len(m) == 0 {
+		t.Fatal("kill removed the running job's checkpoint files")
+	}
+
+	// Second incarnation over the same WAL: both jobs come back and finish.
+	s2, err := NewScheduler(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(time.Minute)
+	sts := waitAll(t, s2, []string{st1.ID, st2.ID})
+	for id, st := range sts {
+		if st.State != JobDone {
+			t.Fatalf("%s after restart: state %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	res1, err := s2.Result(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Restores == 0 {
+		t.Fatal("resumed job restored no checkpoint: it recomputed from scratch")
+	}
+	res2, err := s2.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range cleanCkpt.Values {
+		if res1.Values[v] != cleanCkpt.Values[v] {
+			t.Fatalf("resumed job: vertex %d = %g, undisturbed run has %g",
+				v, res1.Values[v], cleanCkpt.Values[v])
+		}
+	}
+	for v := range cleanPlain.Values {
+		if res2.Values[v] != cleanPlain.Values[v] {
+			t.Fatalf("requeued job: vertex %d = %g, undisturbed run has %g",
+				v, res2.Values[v], cleanPlain.Values[v])
+		}
+	}
+	// New submissions must not collide with replayed job ids.
+	st3, err := s2.Submit(plainSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ID == st1.ID || st3.ID == st2.ID {
+		t.Fatalf("post-restart submit reused id %s", st3.ID)
+	}
+	waitAll(t, s2, []string{st3.ID})
+
+	tracer.Close()
+	journal, err := os.ReadFile(filepath.Join(dir, "service.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(journal), `"wal_replay"`) {
+		t.Fatal("service journal has no wal_replay event")
+	}
+}
+
+// TestWALTerminalStatesDoNotReplay checks the other half of the replay
+// contract: jobs that finished (done, failed or cancelled) before the
+// restart stay terminal and queryable — they are never re-run.
+func TestWALTerminalStatesDoNotReplay(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	cfg := SchedulerConfig{MaxConcurrent: 1, DataDir: dir,
+		WALDir: filepath.Join(dir, "wal")}
+	s1, err := NewScheduler(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push",
+		MaxSteps: 4, MsgBuf: 300}
+	done, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pushM over a non-combinable program fails every attempt.
+	failed, err := s1.Submit(JobSpec{Graph: "g", Algorithm: "lpa", Engine: "pushM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, s1, []string{done.ID, failed.ID})
+	s1.Drain(time.Minute)
+
+	s2, err := NewScheduler(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(time.Minute)
+	stDone, err := s2.Job(done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stDone.State != JobDone {
+		t.Fatalf("finished job replayed as %s, want done", stDone.State)
+	}
+	stFailed, err := s2.Job(failed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFailed.State != JobFailed || stFailed.Error == "" {
+		t.Fatalf("failed job replayed as %s (%q), want failed with its error",
+			stFailed.State, stFailed.Error)
+	}
+	if got := len(s2.Jobs()); got != 2 {
+		t.Fatalf("replayed job table has %d entries, want 2", got)
+	}
+}
