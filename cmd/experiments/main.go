@@ -31,6 +31,7 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 		trace   = flag.String("trace", "", "export one JSONL superstep trace journal per job into this directory")
 		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
+		par     = flag.Int("parallelism", 0, "per-worker compute goroutines (0 = NumCPU/workers)")
 		chaos   = flag.Int64("chaos-seed", 0, "base seed of the chaos campaign's fault schedules (0 = default 1)")
 		policy  = flag.String("recovery", "", "restrict the chaos/recovery experiments to one policy: scratch, resume, checkpoint, confined")
 	)
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 	opts := harness.Options{Scale: *scale, Workers: *workers, LargeWorkers: *largeW, Quick: *quick,
-		TraceDir: *trace, ChaosSeed: *chaos, Recovery: *policy}
+		Parallelism: *par, TraceDir: *trace, ChaosSeed: *chaos, Recovery: *policy}
 	if *ssd {
 		opts.Profile = diskio.SSDAmazon
 	}

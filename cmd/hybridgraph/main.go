@@ -54,6 +54,7 @@ func runLegacy() {
 		blocks    = flag.Int("blocks", 0, "Vblocks per worker (0 = Eq. 5/6 automatic)")
 		cache     = flag.Int("cache", 0, "pull baseline vertex cache per worker (0 = unbounded)")
 		threshold = flag.Int64("threshold", 0, "sending threshold in bytes (0 = 4MB default)")
+		par       = flag.Int("parallelism", 0, "per-worker compute goroutines (0 = NumCPU/workers); results are identical at any value")
 		verbose   = flag.Bool("v", false, "print per-superstep statistics")
 		trace     = flag.String("trace", "", "write a JSONL superstep trace journal to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -115,6 +116,7 @@ func runLegacy() {
 		BlocksPerWorker: *blocks,
 		VertexCache:     *cache,
 		SendThreshold:   *threshold,
+		Parallelism:     *par,
 		TracePath:       *trace,
 		Recovery:        *recovery,
 		CheckpointEvery: *ckptEvery,

@@ -57,8 +57,10 @@ const (
 var Engines = core.Engines
 
 // Config parameterises one job; zero values select the paper's defaults
-// (5 workers, unlimited buffer, HDD cost model). See core.Config for every
-// knob.
+// (5 workers, unlimited buffer, HDD cost model, per-worker compute
+// parallelism of NumCPU/Workers). Parallelism never changes results:
+// vertex values, I/O totals, wire bytes and trace events are byte-
+// identical at any setting. See core.Config for every knob.
 type Config = core.Config
 
 // Result carries per-superstep statistics, aggregate simulated/wall time,

@@ -4,6 +4,8 @@
 // (Section 4.1).
 package bitset
 
+import "sync/atomic"
+
 // Set is a fixed-capacity bit vector. The zero value is unusable; call New.
 type Set struct {
 	words []uint64
@@ -20,6 +22,23 @@ func (s *Set) Len() int { return s.n }
 
 // Set sets bit i.
 func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// SetAtomic sets bit i with a compare-and-swap loop, safe for concurrent
+// SetAtomic calls on the same set — the parallel update scan's shards may
+// share a word at their boundaries. Readers of bits written this way must
+// be separated from the writers by a happens-before edge (the superstep
+// barrier); mixing SetAtomic with the plain mutators concurrently is not
+// safe.
+func (s *Set) SetAtomic(i int) {
+	w := &s.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
 
 // Clear clears bit i.
 func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }

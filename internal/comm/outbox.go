@@ -96,3 +96,76 @@ func (o *Outbox) Sent() int64 { return o.sent }
 
 // Flushes reports the number of packets sent.
 func (o *Outbox) Flushes() int64 { return o.flushes }
+
+// ShardThreshold partitions the sending threshold across the shards of a
+// parallel update scan: each shard stages at most its share of the 4 MB
+// budget before the shard buffers are merged, floored at one message so a
+// degenerate split can still form a packet. Partitioning (rather than
+// giving every shard the full threshold) keeps the aggregate staged bytes
+// within the sequential sender's budget, so packet counts and Eq. (7) net
+// bytes cannot drift from the Parallelism=1 run.
+func ShardThreshold(thresholdBytes int64, shards int) int64 {
+	if thresholdBytes <= 0 {
+		thresholdBytes = 4 << 20
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	t := thresholdBytes / int64(shards)
+	if t < MsgWireSize {
+		t = MsgWireSize
+	}
+	return t
+}
+
+// stageEntry is one deferred Outbox.Add.
+type stageEntry struct {
+	to int
+	m  Msg
+}
+
+// Stage is a per-shard sender buffer for parallel update scans. Shards
+// cannot share an Outbox directly — threshold-triggered flushes depend on
+// the exact Add order, and interleaving shards would change packet
+// boundaries (and, under sender combining, which messages meet in a
+// packet). Instead each shard stages its sends locally and the caller
+// replays the stages into one Outbox in shard order after the scan joins.
+// Because shards cover disjoint ascending vertex ranges, that replay
+// reproduces the sequential run's Add sequence exactly: identical packet
+// boundaries, combine batches, wire bytes and message-log appends for any
+// Parallelism.
+type Stage struct {
+	entries []stageEntry
+}
+
+// NewStage returns a stage pre-sized for budgetBytes of staged messages
+// (see ShardThreshold); the stage grows past the budget rather than flush,
+// since flushing out of order is exactly what staging exists to prevent.
+func NewStage(budgetBytes int64) *Stage {
+	c := int(budgetBytes / MsgWireSize)
+	if c < 1 {
+		c = 1
+	}
+	return &Stage{entries: make([]stageEntry, 0, c)}
+}
+
+// Add stages one message for worker to.
+func (s *Stage) Add(to int, m Msg) {
+	s.entries = append(s.entries, stageEntry{to: to, m: m})
+}
+
+// Len reports the number of staged messages.
+func (s *Stage) Len() int { return len(s.entries) }
+
+// MergeInto replays the staged sends into o in staging order, releasing
+// the stage's memory. Threshold flushes fire during the replay exactly as
+// they would have during a sequential scan.
+func (s *Stage) MergeInto(o *Outbox) error {
+	for _, e := range s.entries {
+		if err := o.Add(e.to, e.m); err != nil {
+			return err
+		}
+	}
+	s.entries = nil
+	return nil
+}

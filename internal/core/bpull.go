@@ -27,74 +27,93 @@ func (w *worker) stepBPullThenPush(t int) error {
 
 func (w *worker) stepBPullProduce(t int, pushProduce bool) error {
 	var outbox *comm.Outbox
-	scratch := make([]graph.Half, 0, 256)
 	if pushProduce {
 		outbox = comm.NewOutbox(w.fab(), len(w.job.workers), w.id, t, w.job.cfg.SendThreshold)
 	}
-	onUpdate := func(v graph.VertexID, rec *vertexfile.Record, responded bool) error {
-		// Estimate push's IO(E^t) from the in-memory adjacency index when
-		// hybrid carries one (edges of every updated vertex).
-		if w.adj != nil && !pushProduce && !w.job.cfg.EdgesInMemory {
-			if eb, err := w.adj.EdgeBytes(v); err == nil {
-				w.addStat(func(s *workerStat) { s.estEt += eb })
+	// Per-shard send staging, replayed into the outbox in shard order after
+	// each block's scan joins (see stepPush).
+	var stages []*comm.Stage
+	hookFor := func(shard, shards int) updateHook {
+		var stage *comm.Stage
+		if outbox != nil {
+			stage = comm.NewStage(comm.ShardThreshold(w.job.cfg.SendThreshold, shards))
+			stages = append(stages, stage)
+		}
+		scratch := make([]graph.Half, 0, 256)
+		return func(v graph.VertexID, rec *vertexfile.Record, responded bool) error {
+			// Estimate push's IO(E^t) from the in-memory adjacency index when
+			// hybrid carries one (edges of every updated vertex).
+			if w.adj != nil && !pushProduce && !w.job.cfg.EdgesInMemory {
+				if eb, err := w.adj.EdgeBytes(v); err == nil {
+					w.addStat(func(s *workerStat) { s.estEt += eb })
+				}
 			}
-		}
-		if !pushProduce || rec.OutDeg == 0 {
-			return nil
-		}
-		// The switch superstep really reads the adjacency list and pushes.
-		eb, err := w.adj.EdgeBytes(v)
-		if err != nil {
-			return err
-		}
-		if w.job.cfg.EdgesInMemory {
-			eb = 0
-		}
-		scratch = scratch[:0]
-		scratch, err = w.adj.Edges(v, scratch)
-		if err != nil {
-			return err
-		}
-		w.addStat(func(s *workerStat) {
-			s.parts.Et += eb
-			s.cpu.Edges += int64(len(scratch))
-		})
-		if !responded {
-			return nil
-		}
-		wp := writeParity(t)
-		var sent int64
-		for _, e := range scratch {
-			val, keep := w.msgValueFor(rec.Bcast[wp], e.Dst, e.Weight)
-			if !keep {
-				continue
+			if !pushProduce || rec.OutDeg == 0 {
+				return nil
 			}
-			if err := outbox.Add(w.owner(e.Dst), comm.Msg{Dst: e.Dst, Val: val}); err != nil {
+			// The switch superstep really reads the adjacency list and pushes.
+			eb, err := w.adj.EdgeBytes(v)
+			if err != nil {
 				return err
 			}
-			sent++
+			if w.job.cfg.EdgesInMemory {
+				eb = 0
+			}
+			scratch = scratch[:0]
+			scratch, err = w.adj.Edges(v, scratch)
+			if err != nil {
+				return err
+			}
+			w.addStat(func(s *workerStat) {
+				s.parts.Et += eb
+				s.cpu.Edges += int64(len(scratch))
+			})
+			if !responded {
+				return nil
+			}
+			wp := writeParity(t)
+			var sent int64
+			for _, e := range scratch {
+				val, keep := w.msgValueFor(rec.Bcast[wp], e.Dst, e.Weight)
+				if !keep {
+					continue
+				}
+				stage.Add(w.owner(e.Dst), comm.Msg{Dst: e.Dst, Val: val})
+				sent++
+			}
+			w.addStat(func(s *workerStat) {
+				s.produced += sent
+				s.cpu.Messages += sent
+			})
+			return nil
 		}
-		w.addStat(func(s *workerStat) {
-			s.produced += sent
-			s.cpu.Messages += sent
-		})
+	}
+	runBlock := func(blo, bhi graph.VertexID, msgs map[graph.VertexID][]float64) error {
+		stages = stages[:0]
+		if err := w.updateBlock(t, blo, bhi, msgs, hookFor); err != nil {
+			return err
+		}
+		for _, stage := range stages {
+			if err := stage.MergeInto(outbox); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
 	if t == 1 {
 		// Initialisation superstep: nothing to pull yet.
-		if err := w.updateBlock(t, w.part.Lo, w.part.Hi, nil, onUpdate); err != nil {
+		if err := runBlock(w.part.Lo, w.part.Hi, nil); err != nil {
 			return err
 		}
 	} else {
 		lo, hi := w.job.layout.WorkerBlocks(w.id)
-		prepull := !w.job.cfg.DisablePrepull
+		depth := w.job.cfg.PrefetchDepth
 		type fetched struct {
 			msgs map[graph.VertexID][]float64
 			mem  int64
 			err  error
 		}
-		var next chan fetched
 		launch := func(b int) chan fetched {
 			ch := make(chan fetched, 1)
 			go func() {
@@ -103,16 +122,30 @@ func (w *worker) stepBPullProduce(t int, pushProduce bool) error {
 			}()
 			return ch
 		}
+		// inflight holds the pipeline's pending fetches, oldest first (the
+		// next block to update is always inflight[0]). Every exit path —
+		// including a failed pull or a failed update — must receive from
+		// each remaining channel: an abandoned fetch would keep charging
+		// pull I/O to this superstep's counters after stepBPull returned,
+		// corrupting the Q^t inputs of whatever ran next.
+		var inflight []chan fetched
+		defer func() {
+			for _, ch := range inflight {
+				<-ch
+			}
+		}()
+		nextLaunch := lo + 1
 		for b := lo; b < hi; b++ {
 			var msgs map[graph.VertexID][]float64
 			var brMem int64
-			if next != nil {
-				f := <-next
+			if len(inflight) > 0 {
+				ch := inflight[0]
+				inflight = inflight[1:]
+				f := <-ch
 				if f.err != nil {
 					return f.err
 				}
 				msgs, brMem = f.msgs, f.mem
-				next = nil
 			} else {
 				var err error
 				msgs, brMem, err = w.pullBlock(t, b)
@@ -120,25 +153,34 @@ func (w *worker) stepBPullProduce(t int, pushProduce bool) error {
 					return err
 				}
 			}
-			if prepull && b+1 < hi {
-				// BR_i = 2·n_i/V_i: messages for b+1 arrive while b updates.
-				next = launch(b + 1)
-				brMem *= 2
+			// Top the pipeline up to PrefetchDepth blocks ahead. Depth 1 is
+			// the paper's pre-pulling; depth 0 (DisablePrepull) never
+			// launches and always pulls inline. An inline pull consumes a
+			// block no launch covered, so nextLaunch may have to skip past
+			// it — it must always point strictly ahead of b.
+			if nextLaunch <= b {
+				nextLaunch = b + 1
 			}
+			for ; nextLaunch < hi && nextLaunch <= b+depth; nextLaunch++ {
+				inflight = append(inflight, launch(nextLaunch))
+			}
+			// Receiving-buffer memory: BR_i·(1+inflight) — the block being
+			// updated plus one buffer per fetch actually in flight (the
+			// paper's BR_i = 2·n_i/V_i doubling at depth 1). Charged only
+			// when a prefetch really launched: the last block, and every
+			// block under DisablePrepull, pays the single buffer.
+			charged := brMem * int64(1+len(inflight))
 			w.addStat(func(s *workerStat) {
-				if brMem > s.memBytes {
-					s.memBytes = brMem
+				if charged > s.memBytes {
+					s.memBytes = charged
 				}
 			})
 			blk := w.job.layout.Blocks[b]
-			if err := w.updateBlock(t, blk.Lo, blk.Hi, msgs, onUpdate); err != nil {
+			if err := runBlock(blk.Lo, blk.Hi, msgs); err != nil {
 				return err
 			}
 		}
-		if next != nil {
-			if f := <-next; f.err != nil {
-				return f.err
-			}
+		if len(inflight) > 0 {
 			return fmt.Errorf("core: b-pull prefetched past the last block")
 		}
 	}
@@ -193,7 +235,7 @@ func (w *worker) RespondPull(reqBlock, step int) ([]comm.Msg, int64, error) {
 	var out []comm.Msg
 	var produced, vrr, ebar, ft int64
 	for j := 0; j < w.ve.LocalBlocks(); j++ {
-		if !w.blockRes[rp][j] || !w.ve.Meta(j).Bitmap.Get(reqBlock) {
+		if !w.blockRes[rp][j].Load() || !w.ve.Meta(j).Bitmap.Get(reqBlock) {
 			continue
 		}
 		st, err := w.ve.ScanEblock(j, reqBlock, func(src graph.VertexID, edges []graph.Half) error {

@@ -299,7 +299,10 @@ func (w *worker) buildSnapshot(t int) (*checkpoint.Snapshot, error) {
 		s.Respond[p] = append([]uint64(nil), w.respond[p].Words()...)
 		s.Active[p] = append([]uint64(nil), w.active[p].Words()...)
 		if w.blockRes[p] != nil {
-			s.BlockRes[p] = append([]bool(nil), w.blockRes[p]...)
+			s.BlockRes[p] = make([]bool, len(w.blockRes[p]))
+			for i := range w.blockRes[p] {
+				s.BlockRes[p][i] = w.blockRes[p][i].Load()
+			}
 		}
 		if ib := w.inboxes[p]; ib != nil {
 			msgs, err := ib.Pending()
@@ -325,7 +328,9 @@ func (w *worker) applySnapshot(s *checkpoint.Snapshot) error {
 	for p := 0; p < 2; p++ {
 		copy(w.respond[p].Words(), s.Respond[p])
 		copy(w.active[p].Words(), s.Active[p])
-		copy(w.blockRes[p], s.BlockRes[p])
+		for i := 0; i < len(w.blockRes[p]) && i < len(s.BlockRes[p]); i++ {
+			w.blockRes[p][i].Store(s.BlockRes[p][i])
+		}
 	}
 	if w.inboxes[0] != nil || w.inboxes[1] != nil {
 		w.initInboxes()

@@ -10,9 +10,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"hybridgraph/internal/adjstore"
+	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
@@ -88,6 +90,21 @@ type Config struct {
 	VertexCache int
 	// SendThreshold is the push sender threshold in bytes (default 4 MB).
 	SendThreshold int64
+	// Parallelism is the per-worker compute parallelism: every engine's
+	// update scan shards its vertex range into this many goroutines, and
+	// the inbox drain sorts message lists on as many. Defaults to
+	// runtime.NumCPU()/Workers (min 1), so a job saturates the machine
+	// without oversubscribing it. Whatever the value, runs are bit-exact:
+	// vertex values, Eq. (7)/(8) I/O totals, wire bytes, Q^t inputs and
+	// trace events are byte-identical to Parallelism=1 (see DESIGN.md,
+	// "Determinism under parallel compute").
+	Parallelism int
+	// PrefetchDepth is b-pull's block-fetch pipeline depth: how many
+	// Vblocks ahead of the one updating are being pulled concurrently
+	// (default 1, the paper's pre-pulling; DisablePrepull forces 0). The
+	// receiving-buffer memory charge scales with the fetches actually in
+	// flight: BR_i·(1+inflight).
+	PrefetchDepth int
 	// DisableCombine turns off message combining in b-pull even for
 	// combinable algorithms (Fig. 18's fairness setting); concatenation
 	// stays on.
@@ -243,6 +260,18 @@ func (c Config) withDefaults() Config {
 	if c.SendThreshold <= 0 {
 		c.SendThreshold = 4 << 20
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU() / c.Workers
+		if c.Parallelism < 1 {
+			c.Parallelism = 1
+		}
+	}
+	if c.PrefetchDepth <= 0 {
+		c.PrefetchDepth = 1
+	}
+	if c.DisablePrepull {
+		c.PrefetchDepth = 0
+	}
 	if c.SwitchInterval <= 0 {
 		c.SwitchInterval = 2
 	}
@@ -273,6 +302,22 @@ func (c Config) validate(n int) error {
 	}
 	if c.BlocksPerWorker < 0 {
 		return fmt.Errorf("core: negative BlocksPerWorker")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative Parallelism")
+	}
+	if c.PrefetchDepth < 0 {
+		return fmt.Errorf("core: negative PrefetchDepth")
+	}
+	// Parallelism/SendThreshold interaction: the parallel scan partitions
+	// the sender threshold across shards (comm.ShardThreshold, floored at
+	// one message per shard), so any threshold that can carry a message at
+	// all partitions cleanly. A threshold below one wire message cannot —
+	// even the sequential outbox would flush every Add — so reject it here
+	// rather than let packet accounting silently degenerate.
+	if c.SendThreshold > 0 && c.SendThreshold < comm.MsgWireSize {
+		return fmt.Errorf("core: SendThreshold %d is smaller than one wire message (%d bytes)",
+			c.SendThreshold, comm.MsgWireSize)
 	}
 	if c.Stores != nil && c.Workers != c.Stores.Workers() {
 		return fmt.Errorf("core: %d workers but the store source was built for %d",

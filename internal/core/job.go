@@ -132,12 +132,14 @@ func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Conf
 	if tr != nil {
 		tr.Emit(obs.JobEvent{Type: obs.EventJobStart, JobID: cfg.JobLabel,
 			Engine: string(engine), Algorithm: prog.Name(), Workers: cfg.Workers,
-			Vertices: g.NumVertices, Edges: int64(g.NumEdges())})
+			Parallelism: cfg.Parallelism,
+			Vertices:    g.NumVertices, Edges: int64(g.NumEdges())})
 	}
 	res := &metrics.JobResult{
-		Engine:    string(engine),
-		Algorithm: prog.Name(),
-		Workers:   cfg.Workers,
+		Engine:      string(engine),
+		Algorithm:   prog.Name(),
+		Workers:     cfg.Workers,
+		Parallelism: cfg.Parallelism,
 	}
 	if err := j.setup(engine, res); err != nil {
 		return nil, err
@@ -160,7 +162,8 @@ func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Conf
 	if tr != nil {
 		tr.Emit(obs.JobEvent{Type: obs.EventJobEnd, JobID: cfg.JobLabel,
 			Engine: string(engine), Algorithm: prog.Name(), Workers: cfg.Workers,
-			Steps: len(res.Steps), SimSecs: res.SimSeconds,
+			Parallelism: cfg.Parallelism,
+			Steps:       len(res.Steps), SimSecs: res.SimSeconds,
 			NetBytes: res.NetBytes, IOBytes: res.IO.Total(), Restarts: res.Restarts})
 	}
 	if err := tr.Close(); err != nil {

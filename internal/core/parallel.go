@@ -1,0 +1,34 @@
+package core
+
+import "sync"
+
+// parallelDo runs fn(0), …, fn(n-1) concurrently, one goroutine per index,
+// and waits for all of them. Every index runs to completion even when an
+// earlier one fails — a half-joined scan would keep charging I/O after its
+// superstep returned, which is exactly the accounting leak the prefetch
+// pipeline had to fix — and the error returned is the first by index, so
+// the choice of error is deterministic under any interleaving.
+func parallelDo(n int, fn func(int) error) error {
+	if n <= 1 {
+		if n == 1 {
+			return fn(0)
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

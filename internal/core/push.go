@@ -1,10 +1,9 @@
 package core
 
 import (
-	"sort"
-
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/msgstore"
 	"hybridgraph/internal/vertexfile"
 )
 
@@ -28,56 +27,71 @@ func (w *worker) stepPush(t int, produce bool) error {
 			}
 		}
 	}
-	scratch := make([]graph.Half, 0, 256)
-	onUpdate := func(v graph.VertexID, rec *vertexfile.Record, responded bool) error {
-		// Giraph loads a vertex together with its edges, so push reads the
-		// edge run of every *updated* vertex (the active set V_act), not
-		// just the responders — the IO(E^t) asymmetry against b-pull.
-		if rec.OutDeg == 0 {
-			return nil
+	// Each shard of the parallel update scan stages its sends locally and
+	// the stages replay into the single outbox in shard order after the
+	// scan joins — reproducing the sequential Add sequence, so packet
+	// boundaries, combine batches and wire bytes are Parallelism-invariant.
+	var stages []*comm.Stage
+	hookFor := func(shard, shards int) updateHook {
+		var stage *comm.Stage
+		if outbox != nil {
+			stage = comm.NewStage(comm.ShardThreshold(w.job.cfg.SendThreshold, shards))
+			stages = append(stages, stage)
 		}
-		eb, err := w.adj.EdgeBytes(v)
-		if err != nil {
-			return err
-		}
-		if w.job.cfg.EdgesInMemory {
-			eb = 0
-		}
-		scratch = scratch[:0]
-		scratch, err = w.adj.Edges(v, scratch)
-		if err != nil {
-			return err
-		}
-		w.addStat(func(s *workerStat) {
-			s.parts.Et += eb
-			s.cpu.Edges += int64(len(scratch))
-		})
-		if !responded || outbox == nil {
-			return nil
-		}
-		wp := writeParity(t)
-		var sent int64
-		for _, e := range scratch {
-			val, keep := w.msgValueFor(rec.Bcast[wp], e.Dst, e.Weight)
-			if !keep {
-				continue
+		scratch := make([]graph.Half, 0, 256)
+		return func(v graph.VertexID, rec *vertexfile.Record, responded bool) error {
+			// Giraph loads a vertex together with its edges, so push reads the
+			// edge run of every *updated* vertex (the active set V_act), not
+			// just the responders — the IO(E^t) asymmetry against b-pull.
+			if rec.OutDeg == 0 {
+				return nil
 			}
-			if err := outbox.Add(w.owner(e.Dst), comm.Msg{Dst: e.Dst, Val: val}); err != nil {
+			eb, err := w.adj.EdgeBytes(v)
+			if err != nil {
 				return err
 			}
-			sent++
+			if w.job.cfg.EdgesInMemory {
+				eb = 0
+			}
+			scratch = scratch[:0]
+			scratch, err = w.adj.Edges(v, scratch)
+			if err != nil {
+				return err
+			}
+			w.addStat(func(s *workerStat) {
+				s.parts.Et += eb
+				s.cpu.Edges += int64(len(scratch))
+			})
+			if !responded || stage == nil {
+				return nil
+			}
+			wp := writeParity(t)
+			var sent int64
+			for _, e := range scratch {
+				val, keep := w.msgValueFor(rec.Bcast[wp], e.Dst, e.Weight)
+				if !keep {
+					continue
+				}
+				stage.Add(w.owner(e.Dst), comm.Msg{Dst: e.Dst, Val: val})
+				sent++
+			}
+			w.addStat(func(s *workerStat) {
+				s.produced += sent
+				s.estM += sent
+				s.cpu.Messages += sent
+			})
+			return nil
 		}
-		w.addStat(func(s *workerStat) {
-			s.produced += sent
-			s.estM += sent
-			s.cpu.Messages += sent
-		})
-		return nil
 	}
-	if err := w.updateBlock(t, w.part.Lo, w.part.Hi, msgs, onUpdate); err != nil {
+	if err := w.updateBlock(t, w.part.Lo, w.part.Hi, msgs, hookFor); err != nil {
 		return err
 	}
 	if outbox != nil {
+		for _, stage := range stages {
+			if err := stage.MergeInto(outbox); err != nil {
+				return err
+			}
+		}
 		if err := outbox.Flush(); err != nil {
 			return err
 		}
@@ -180,14 +194,15 @@ func (w *worker) drainInbox(t int) (map[graph.VertexID][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Canonicalise each vertex's message list: delivery order depends on
+	// goroutine interleaving across senders, and floating-point update
+	// functions (PageRank's sum) are order-sensitive. Sorting makes every
+	// run — and every recovery replay, whose injected messages arrive in
+	// log order — produce bit-identical values. Independent per-list sorts
+	// parallelise freely; the result is the same regardless.
+	msgstore.SortLists(msgs, w.job.cfg.Parallelism)
 	var inMem int64
 	for _, vals := range msgs {
-		// Canonicalise each vertex's message list: delivery order depends on
-		// goroutine interleaving across senders, and floating-point update
-		// functions (PageRank's sum) are order-sensitive. Sorting makes every
-		// run — and every recovery replay, whose injected messages arrive in
-		// log order — produce bit-identical values.
-		sort.Float64s(vals)
 		inMem += int64(len(vals))
 	}
 	inMem -= spilled
@@ -214,7 +229,7 @@ func (w *worker) estimateBpullCosts(t int) {
 	rp := readParity(t)
 	var ebar, ft, vrr int64
 	for j := 0; j < w.ve.LocalBlocks(); j++ {
-		if !w.blockRes[rp][j] {
+		if !w.blockRes[rp][j].Load() {
 			continue
 		}
 		m := w.ve.Meta(j)

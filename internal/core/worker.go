@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hybridgraph/internal/adjstore"
 	"hybridgraph/internal/algo"
@@ -45,8 +46,13 @@ type worker struct {
 	mirror *adjstore.Store // pull: in-edges of every vertex whose source is local
 	ve     *veblock.Store  // b-pull/hybrid Eblocks
 
-	respond  [2]*bitset.Set // responding-flag vectors by superstep parity
-	blockRes [2][]bool      // per local Vblock: X_j.res by parity
+	respond [2]*bitset.Set // responding-flag vectors by superstep parity
+	// blockRes is the per-local-Vblock X_j.res flag by parity. Elements are
+	// atomic because the parallel update scan's shards may set flags for
+	// the same Vblock concurrently; readers on the other parity (pull
+	// serving, cost estimation) see distinct allocations, and same-parity
+	// reads happen after the superstep barrier.
+	blockRes [2][]atomic.Bool
 	active   [2]*bitset.Set // pull baseline activation flags by parity
 
 	inboxes [2]inbox                // push receive buffers by parity
@@ -256,7 +262,7 @@ func (w *worker) initFlags() {
 	}
 	if w.ve != nil {
 		for p := 0; p < 2; p++ {
-			w.blockRes[p] = make([]bool, w.ve.LocalBlocks())
+			w.blockRes[p] = make([]atomic.Bool, w.ve.LocalBlocks())
 		}
 	}
 }
@@ -355,16 +361,34 @@ func (w *worker) bcastFor(ctx *algo.Context, v graph.VertexID, val float64, outd
 	return w.job.prog.Bcast(val, outdeg)
 }
 
+// updateHook runs for each vertex whose update executed, after its record
+// is staged — push hangs its pushRes() (edge read + message staging) here,
+// hybrid its cost estimators.
+type updateHook func(v graph.VertexID, rec *vertexfile.Record, responded bool) error
+
 // updateBlock runs update()/Init over vertices [lo,hi) with the delivered
 // messages, maintaining values, broadcast columns and responding flags.
-// onUpdate, when non-nil, runs for each vertex whose update executed,
-// after its record is staged — push hangs its pushRes() (edge read +
-// message send) here, hybrid its cost estimators. Message slices are the
-// concatenated per-vertex lists; combinable programs may see them
-// pre-combined — update() is agnostic.
+// Message slices are the concatenated per-vertex lists; combinable
+// programs may see them pre-combined — update() is agnostic.
+//
+// The scan is sharded across cfg.Parallelism goroutines. Shards are
+// contiguous runs of whole 4 KB chunks on a grid anchored at lo, so the
+// ReadRange/WriteRange call sequence — and with it every Eq. (7)/(8)
+// Vt charge and disk op count — is the sequential scan's sequence merely
+// reordered, never re-split. hookFor, when non-nil, is called once per
+// shard in ascending shard order before the scan starts and returns that
+// shard's per-vertex hook (which may be nil); because shards cover
+// disjoint ascending vertex ranges, replaying per-shard staged state in
+// shard order afterwards reproduces the sequential visit order exactly.
+// Aggregator contributions reduce within each chunk as before and the
+// per-chunk partials fold in ascending chunk order after the shards join,
+// so float non-associativity cannot perturb the aggregate either.
 func (w *worker) updateBlock(t int, lo, hi graph.VertexID, msgs map[graph.VertexID][]float64,
-	onUpdate func(v graph.VertexID, rec *vertexfile.Record, responded bool) error) error {
+	hookFor func(shard, shards int) updateHook) error {
 
+	if hi <= lo {
+		return nil
+	}
 	prog := w.job.prog
 	ctx := w.job.ctx(t)
 	wp := writeParity(t)
@@ -372,86 +396,132 @@ func (w *worker) updateBlock(t int, lo, hi graph.VertexID, msgs map[graph.Vertex
 	aggProg, aggregating := prog.(algo.Aggregating)
 
 	const chunk = 4096
-	recs := make([]vertexfile.Record, 0, chunk)
-	for clo := lo; clo < hi; clo += chunk {
-		chi := clo + chunk
-		if chi > hi {
-			chi = hi
-		}
-		recs = recs[:int(chi-clo)]
-		if err := w.vstore.ReadRange(clo, chi, recs); err != nil {
-			return err
-		}
-		var vt int64
-		if !w.job.cfg.VerticesInMemory {
-			vt = int64(len(recs)) * vertexfile.RecordSize * 2 // read + write back
-		}
-		var updated, responding int64
-		var msgCount int64
-		var agg float64
-		aggAny := false
-		for i := range recs {
-			rec := &recs[i]
-			v := rec.ID
-			mv := msgs[v]
-			msgCount += int64(len(mv))
-			var respond bool
-			switch {
-			case t == 1 && w.job.resuming:
-				// Lightweight recovery: values survived the failure; every
-				// vertex re-announces its current value so neighbours can
-				// rebuild their state (sound for self-correcting programs).
-				respond = true
-				updated++
-			case t == 1:
-				rec.Val, respond = prog.Init(ctx, v, int(rec.OutDeg))
-				updated++
-			case len(mv) > 0 || style != algo.Traversal:
-				before := rec.Val
-				rec.Val, respond = prog.Update(ctx, v, int(rec.OutDeg), rec.Val, mv)
-				updated++
-				if aggregating {
-					c := aggProg.Contribute(before, rec.Val)
-					if !aggAny {
-						agg, aggAny = c, true
-					} else {
-						agg = aggProg.Reduce(agg, c)
-					}
-				}
-			default:
-				continue
-			}
-			if respond {
-				rec.Bcast[wp] = w.bcastFor(ctx, v, rec.Val, int(rec.OutDeg), mv)
-				w.respond[wp].Set(w.localIdx(v))
-				if w.blockRes[wp] != nil {
-					if b := w.job.layout.BlockOf(v); b >= 0 {
-						w.blockRes[wp][b-w.ve.FirstBlock()] = true
-					}
-				}
-				responding++
-			}
-			if onUpdate != nil {
-				if err := onUpdate(v, rec, respond); err != nil {
-					return err
-				}
-			}
-		}
-		if err := w.vstore.WriteRange(clo, chi, recs); err != nil {
-			return err
-		}
-		w.addStat(func(s *workerStat) {
-			s.updated += updated
-			s.responding += responding
-			s.parts.Vt += vt
-			s.cpu.Updates += updated
-			s.cpu.Messages += msgCount
-			if aggAny {
-				s.reduceAgg(prog, agg)
-			}
-		})
+	nChunks := (int(hi-lo) + chunk - 1) / chunk
+	shards := w.job.cfg.Parallelism
+	if shards < 1 {
+		shards = 1
 	}
-	return nil
+	if shards > nChunks {
+		shards = nChunks
+	}
+
+	hooks := make([]updateHook, shards)
+	if hookFor != nil {
+		for s := 0; s < shards; s++ {
+			hooks[s] = hookFor(s, shards)
+		}
+	}
+
+	// Per-chunk aggregator partials, folded in chunk order after the join.
+	var aggVals []float64
+	var aggSets []bool
+	if aggregating {
+		aggVals = make([]float64, nChunks)
+		aggSets = make([]bool, nChunks)
+	}
+
+	scan := func(shard int) error {
+		cLo := shard * nChunks / shards
+		cHi := (shard + 1) * nChunks / shards
+		hook := hooks[shard]
+		recs := make([]vertexfile.Record, 0, chunk)
+		for c := cLo; c < cHi; c++ {
+			clo := lo + graph.VertexID(c*chunk)
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			recs = recs[:int(chi-clo)]
+			if err := w.vstore.ReadRange(clo, chi, recs); err != nil {
+				return err
+			}
+			var vt int64
+			if !w.job.cfg.VerticesInMemory {
+				vt = int64(len(recs)) * vertexfile.RecordSize * 2 // read + write back
+			}
+			var updated, responding int64
+			var msgCount int64
+			var agg float64
+			aggAny := false
+			for i := range recs {
+				rec := &recs[i]
+				v := rec.ID
+				mv := msgs[v]
+				msgCount += int64(len(mv))
+				var respond bool
+				switch {
+				case t == 1 && w.job.resuming:
+					// Lightweight recovery: values survived the failure; every
+					// vertex re-announces its current value so neighbours can
+					// rebuild their state (sound for self-correcting programs).
+					respond = true
+					updated++
+				case t == 1:
+					rec.Val, respond = prog.Init(ctx, v, int(rec.OutDeg))
+					updated++
+				case len(mv) > 0 || style != algo.Traversal:
+					before := rec.Val
+					rec.Val, respond = prog.Update(ctx, v, int(rec.OutDeg), rec.Val, mv)
+					updated++
+					if aggregating {
+						c := aggProg.Contribute(before, rec.Val)
+						if !aggAny {
+							agg, aggAny = c, true
+						} else {
+							agg = aggProg.Reduce(agg, c)
+						}
+					}
+				default:
+					continue
+				}
+				if respond {
+					rec.Bcast[wp] = w.bcastFor(ctx, v, rec.Val, int(rec.OutDeg), mv)
+					w.respond[wp].SetAtomic(w.localIdx(v))
+					if w.blockRes[wp] != nil {
+						if b := w.job.layout.BlockOf(v); b >= 0 {
+							w.blockRes[wp][b-w.ve.FirstBlock()].Store(true)
+						}
+					}
+					responding++
+				}
+				if hook != nil {
+					if err := hook(v, rec, respond); err != nil {
+						return err
+					}
+				}
+			}
+			if err := w.vstore.WriteRange(clo, chi, recs); err != nil {
+				return err
+			}
+			if aggAny {
+				aggVals[c], aggSets[c] = agg, true
+			}
+			w.addStat(func(s *workerStat) {
+				s.updated += updated
+				s.responding += responding
+				s.parts.Vt += vt
+				s.cpu.Updates += updated
+				s.cpu.Messages += msgCount
+			})
+		}
+		return nil
+	}
+
+	var err error
+	if shards == 1 {
+		err = scan(0)
+	} else {
+		err = parallelDo(shards, scan)
+	}
+	if aggregating {
+		for c := 0; c < nChunks; c++ {
+			if aggSets[c] {
+				partial := aggVals[c]
+				w.addStat(func(s *workerStat) { s.reduceAgg(prog, partial) })
+			}
+		}
+	}
+	return err
 }
 
 // clearStepFlags resets the write-parity flag structures before a
@@ -463,7 +533,7 @@ func (w *worker) clearStepFlags(t int) {
 	w.active[wp].Reset()
 	if w.blockRes[wp] != nil {
 		for i := range w.blockRes[wp] {
-			w.blockRes[wp][i] = false
+			w.blockRes[wp][i].Store(false)
 		}
 	}
 	w.scanMu.Lock()

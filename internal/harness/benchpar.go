@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/graph"
+)
+
+// BenchParLeg is one (graph, algorithm, engine) cell of the
+// parallel-compute benchmark: the same job run at Parallelism=1 and at
+// Parallelism=NumCPU, with the wall-clock ratio and a proof that nothing
+// but wall clock changed.
+type BenchParLeg struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	Engine    string `json:"engine"`
+
+	BaseWallSeconds float64 `json:"base_wall_seconds"` // Parallelism=1
+	ParWallSeconds  float64 `json:"par_wall_seconds"`  // Parallelism=NumCPU
+	Speedup         float64 `json:"speedup"`           // base/par
+
+	// Identity checks: the parallel run must reproduce the sequential
+	// run byte for byte. ValuesFNV is an FNV-1a hash over every vertex
+	// value's IEEE-754 bits in vertex order; the remaining fields are the
+	// job totals the Q^t switcher and the cost models consume.
+	Identical   bool   `json:"identical"`
+	ValuesFNV   uint64 `json:"values_fnv"`
+	NetBytes    int64  `json:"net_bytes"`
+	IOBytes     int64  `json:"io_bytes"`
+	Eq7CioPush  int64  `json:"eq7_cio_push_bytes"`
+	Eq8CioBpull int64  `json:"eq8_cio_bpull_bytes"`
+}
+
+// BenchParArtifact is the BENCH_pr7.json document.
+type BenchParArtifact struct {
+	Workers     int           `json:"workers"`
+	Parallelism int           `json:"parallelism"` // the parallel leg's setting (NumCPU)
+	MsgBuf      int           `json:"msg_buf"`
+	Profile     string        `json:"profile"`
+	Graphs      []BenchGraph  `json:"graphs"`
+	Legs        []BenchParLeg `json:"legs"`
+	// MeanSpeedup is the geometric mean of the per-leg wall-clock
+	// speedups; AllIdentical aggregates the per-leg identity checks.
+	MeanSpeedup  float64 `json:"mean_speedup"`
+	AllIdentical bool    `json:"all_identical"`
+}
+
+// BenchParPath is where the benchpar experiment writes its JSON artifact.
+var BenchParPath = "BENCH_pr7.json"
+
+// valuesFNV hashes the converged vertex values bit-exactly, in vertex
+// order, so two runs agree iff every value's float bits agree.
+func valuesFNV(vals []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// BenchPar measures what intra-worker parallel compute buys: the fixed
+// benchmark graphs x {PageRank, SSSP} x {push, b-pull, hybrid}, each run
+// at Parallelism=1 and Parallelism=NumCPU, writing BENCH_pr7.json. The
+// artifact carries both the wall-clock speedup and a per-leg proof of the
+// determinism contract — identical value hashes, net bytes, device bytes
+// and Eq. (7)/(8) totals. Non-gating in CI, like bench: the numbers are
+// regression-tracking material.
+func BenchPar(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	// Bigger per-worker partitions than bench and fewer workers, so the
+	// sharded update scan is the dominant cost being measured.
+	n, m := 30000, 240000
+	workers := 2
+	if o.Quick {
+		n, m = 6000, 48000
+	}
+	par := runtime.NumCPU()
+	if par < 2 {
+		par = 2 // still exercises the sharded path on a 1-core runner
+	}
+	art := BenchParArtifact{
+		Workers:      workers,
+		Parallelism:  par,
+		MsgBuf:       n / 10,
+		Profile:      o.Profile.Name,
+		AllIdentical: true,
+		Graphs: []BenchGraph{
+			{Name: "rmat", Kind: "rmat", Vertices: n, Edges: m, Seed: 7},
+			{Name: "web", Kind: "web", Vertices: n, Edges: m, Seed: 7},
+		},
+	}
+	graphs := map[string]*graph.Graph{
+		"rmat": graph.GenRMAT(n, m, 0.57, 0.19, 0.19, 7),
+		"web":  graph.GenWeb(n, m, 64, 0.8, 7),
+	}
+	algos := []struct {
+		name string
+		prog func() algo.Program
+	}{
+		{"pagerank", func() algo.Program { return algo.NewPageRank(0.85) }},
+		{"sssp", func() algo.Program { return algo.NewSSSP(0) }},
+	}
+	engines := []core.Engine{core.Push, core.BPull, core.Hybrid}
+
+	tb := &Table{ID: "benchpar", Title: "Parallel compute speedup (also written to " + BenchParPath + ")",
+		Header: []string{"graph", "algo", "engine", "wall-1", fmt.Sprintf("wall-%d", par), "speedup", "identical"}}
+	logSpeedups := 0.0
+	for _, bg := range art.Graphs {
+		g := graphs[bg.Name]
+		for _, a := range algos {
+			for _, e := range engines {
+				cfgFor := func(p int) core.Config {
+					return core.Config{
+						Workers:     workers,
+						MsgBuf:      art.MsgBuf,
+						MaxSteps:    maxStepsFor(a.name),
+						Profile:     o.Profile,
+						Parallelism: p,
+						Metrics:     o.Metrics,
+					}
+				}
+				base, err := core.Run(g, a.prog(), cfgFor(1), e)
+				if err != nil {
+					return nil, fmt.Errorf("benchpar %s/%s/%s p=1: %w", bg.Name, a.name, e, err)
+				}
+				pres, err := core.Run(g, a.prog(), cfgFor(par), e)
+				if err != nil {
+					return nil, fmt.Errorf("benchpar %s/%s/%s p=%d: %w", bg.Name, a.name, e, par, err)
+				}
+				var b7, b8, p7, p8 int64
+				for _, s := range base.Steps {
+					b7 += s.Parts.CioPush()
+					b8 += s.Parts.CioBpull()
+				}
+				for _, s := range pres.Steps {
+					p7 += s.Parts.CioPush()
+					p8 += s.Parts.CioBpull()
+				}
+				leg := BenchParLeg{
+					Graph:           bg.Name,
+					Algorithm:       a.name,
+					Engine:          string(e),
+					BaseWallSeconds: base.WallSeconds,
+					ParWallSeconds:  pres.WallSeconds,
+					ValuesFNV:       valuesFNV(base.Values),
+					NetBytes:        base.NetBytes,
+					IOBytes:         base.IO.DevTotal(),
+					Eq7CioPush:      b7,
+					Eq8CioBpull:     b8,
+				}
+				leg.Identical = valuesFNV(pres.Values) == leg.ValuesFNV &&
+					pres.NetBytes == leg.NetBytes &&
+					pres.IO.DevTotal() == leg.IOBytes &&
+					p7 == leg.Eq7CioPush && p8 == leg.Eq8CioBpull &&
+					pres.Supersteps() == base.Supersteps()
+				if !leg.Identical {
+					art.AllIdentical = false
+				}
+				if leg.ParWallSeconds > 0 {
+					leg.Speedup = leg.BaseWallSeconds / leg.ParWallSeconds
+				}
+				if leg.Speedup > 0 {
+					logSpeedups += math.Log(leg.Speedup)
+				}
+				art.Legs = append(art.Legs, leg)
+				tb.Rows = append(tb.Rows, []string{
+					bg.Name, a.name, string(e),
+					fmt.Sprintf("%.4f", leg.BaseWallSeconds),
+					fmt.Sprintf("%.4f", leg.ParWallSeconds),
+					fmt.Sprintf("%.2fx", leg.Speedup),
+					fmt.Sprintf("%v", leg.Identical),
+				})
+			}
+		}
+	}
+	if len(art.Legs) > 0 {
+		art.MeanSpeedup = math.Exp(logSpeedups / float64(len(art.Legs)))
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(BenchParPath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	if !art.AllIdentical {
+		return nil, fmt.Errorf("benchpar: parallel run diverged from sequential run (see %s)", BenchParPath)
+	}
+	return []*Table{tb}, nil
+}

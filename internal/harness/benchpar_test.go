@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchParWritesArtifactAndHoldsIdentity(t *testing.T) {
+	old := BenchParPath
+	BenchParPath = filepath.Join(t.TempDir(), "BENCH_pr7.json")
+	defer func() { BenchParPath = old }()
+
+	tables, err := BenchPar(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 12 {
+		t.Fatalf("benchpar table shape: %d tables, %d rows (want 1 x 12)", len(tables), len(tables[0].Rows))
+	}
+	data, err := os.ReadFile(BenchParPath)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art BenchParArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Graphs) != 2 || len(art.Legs) != 12 {
+		t.Fatalf("artifact has %d graphs, %d legs (want 2, 12)", len(art.Graphs), len(art.Legs))
+	}
+	if !art.AllIdentical {
+		t.Fatal("artifact reports a parallel run diverging from its sequential run")
+	}
+	for _, l := range art.Legs {
+		if !l.Identical {
+			t.Fatalf("%s/%s/%s: not identical", l.Graph, l.Algorithm, l.Engine)
+		}
+		if l.BaseWallSeconds <= 0 || l.ParWallSeconds <= 0 {
+			t.Fatalf("%s/%s/%s: empty run (%g s, %g s)",
+				l.Graph, l.Algorithm, l.Engine, l.BaseWallSeconds, l.ParWallSeconds)
+		}
+		if l.ValuesFNV == 0 || l.Eq7CioPush <= 0 || l.Eq8CioBpull <= 0 {
+			t.Fatalf("%s/%s/%s: identity fields not populated", l.Graph, l.Algorithm, l.Engine)
+		}
+	}
+	if art.Parallelism < 2 {
+		t.Fatalf("parallel leg ran at Parallelism %d; want >= 2", art.Parallelism)
+	}
+	if art.MeanSpeedup <= 0 {
+		t.Fatalf("mean speedup %g not populated", art.MeanSpeedup)
+	}
+}

@@ -32,6 +32,10 @@ type Options struct {
 	LargeWorkers int
 	// Profile is the hardware model (default HDD local cluster).
 	Profile diskio.Profile
+	// Parallelism is the per-worker compute parallelism every job runs
+	// with (0 = core's NumCPU/Workers default). Results are identical at
+	// any setting; only wall-clock changes.
+	Parallelism int
 	// Quick trims dataset lists and sweeps so the full suite runs in
 	// seconds (used by `go test -bench` and CI).
 	Quick bool
@@ -157,6 +161,7 @@ var Experiments = []Experiment{
 	{"chaos", "Chaos campaign: seeded crash+stall+transport faults, values must match fault-free", Chaos},
 	{"diskchaos", "Disk-fault chaos: seeded storage faults under crash+stall plans, identical or typed failure", DiskChaos},
 	{"bench", "Machine-readable benchmark matrix, written to BENCH_pr4.json (runtime, Eq. 7/8 bytes, Qt)", Bench},
+	{"benchpar", "Parallel-compute benchmark: Parallelism=1 vs NumCPU, written to BENCH_pr7.json (speedup, identity checks)", BenchPar},
 }
 
 // ByName finds an experiment.
@@ -219,6 +224,7 @@ func (o Options) limitedCfg(ds graph.Dataset, g *graph.Graph, alg string) core.C
 		MsgBuf:      buf,
 		MaxSteps:    maxStepsFor(alg),
 		Profile:     o.Profile,
+		Parallelism: o.Parallelism,
 		VertexCache: int(0.7 * float64(partition)), // ">70% of vertices reside in memory"
 		TraceDir:    o.TraceDir,
 		Metrics:     o.Metrics,
@@ -228,12 +234,13 @@ func (o Options) limitedCfg(ds graph.Dataset, g *graph.Graph, alg string) core.C
 // sufficientCfg is the all-in-memory configuration of Fig. 7.
 func (o Options) sufficientCfg(ds graph.Dataset, alg string) core.Config {
 	return core.Config{
-		Workers:  o.workersFor(ds.Name),
-		InMemory: true,
-		MaxSteps: maxStepsFor(alg),
-		Profile:  o.Profile,
-		TraceDir: o.TraceDir,
-		Metrics:  o.Metrics,
+		Workers:     o.workersFor(ds.Name),
+		InMemory:    true,
+		MaxSteps:    maxStepsFor(alg),
+		Profile:     o.Profile,
+		Parallelism: o.Parallelism,
+		TraceDir:    o.TraceDir,
+		Metrics:     o.Metrics,
 	}
 }
 

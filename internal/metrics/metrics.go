@@ -96,11 +96,12 @@ type StepStats struct {
 
 // JobResult is the outcome of one engine run.
 type JobResult struct {
-	Engine    string
-	Algorithm string
-	Dataset   string
-	Workers   int
-	Steps     []StepStats
+	Engine      string
+	Algorithm   string
+	Dataset     string
+	Workers     int
+	Parallelism int // per-worker compute parallelism the run used
+	Steps       []StepStats
 
 	SimSeconds  float64 // Σ per-superstep simulated seconds
 	WallSeconds float64

@@ -32,6 +32,47 @@ const (
 	_ = uint(comm.MsgWireSize - recSize)
 )
 
+// SortLists canonicalises a drained message map by sorting each vertex's
+// list ascending, fanning the independent lists across up to p goroutines.
+// Delivery order depends on goroutine interleaving across senders and
+// floating-point update functions are order-sensitive, so every engine
+// sorts before consuming; each list is sorted in isolation, which makes
+// the result bit-identical for every p (including 1).
+func SortLists(m map[graph.VertexID][]float64, p int) {
+	if p <= 1 || len(m) <= 1 {
+		for _, vals := range m {
+			sort.Float64s(vals)
+		}
+		return
+	}
+	lists := make([][]float64, 0, len(m))
+	for _, vals := range m {
+		if len(vals) > 1 {
+			lists = append(lists, vals)
+		}
+	}
+	if p > len(lists) {
+		p = len(lists)
+	}
+	if p <= 1 {
+		for _, vals := range lists {
+			sort.Float64s(vals)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for s := 0; s < p; s++ {
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(lists); i += p {
+				sort.Float64s(lists[i])
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
 // Inbox is one worker's receive buffer for one superstep's incoming
 // messages. Safe for concurrent Add from multiple senders.
 type Inbox struct {

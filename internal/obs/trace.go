@@ -135,18 +135,19 @@ const (
 
 // JobEvent opens (job_start) and closes (job_end) a journal.
 type JobEvent struct {
-	Type      string  `json:"type"`
-	JobID     string  `json:"job_id,omitempty"` // service-assigned id (Config.JobLabel)
-	Engine    string  `json:"engine"`
-	Algorithm string  `json:"algorithm"`
-	Workers   int     `json:"workers"`
-	Vertices  int     `json:"vertices,omitempty"`
-	Edges     int64   `json:"edges,omitempty"`
-	Steps     int     `json:"steps,omitempty"`       // job_end: supersteps kept
-	SimSecs   float64 `json:"sim_seconds,omitempty"` // job_end
-	NetBytes  int64   `json:"net_bytes,omitempty"`   // job_end
-	IOBytes   int64   `json:"io_bytes,omitempty"`    // job_end: logical superstep bytes
-	Restarts  int     `json:"restarts,omitempty"`    // job_end
+	Type        string  `json:"type"`
+	JobID       string  `json:"job_id,omitempty"` // service-assigned id (Config.JobLabel)
+	Engine      string  `json:"engine"`
+	Algorithm   string  `json:"algorithm"`
+	Workers     int     `json:"workers"`
+	Parallelism int     `json:"parallelism,omitempty"` // per-worker compute goroutines
+	Vertices    int     `json:"vertices,omitempty"`
+	Edges       int64   `json:"edges,omitempty"`
+	Steps       int     `json:"steps,omitempty"`       // job_end: supersteps kept
+	SimSecs     float64 `json:"sim_seconds,omitempty"` // job_end
+	NetBytes    int64   `json:"net_bytes,omitempty"`   // job_end
+	IOBytes     int64   `json:"io_bytes,omitempty"`    // job_end: logical superstep bytes
+	Restarts    int     `json:"restarts,omitempty"`    // job_end
 }
 
 // WorkerStepEvent is one worker's share of one superstep: the full I/O

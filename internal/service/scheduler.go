@@ -49,6 +49,9 @@ type JobSpec struct {
 	// scheduler's MaxMsgBuf admission rule.
 	MaxSteps int `json:"max_steps,omitempty"`
 	MsgBuf   int `json:"msg_buf,omitempty"`
+	// Parallelism is the per-worker compute parallelism (0 = the core
+	// default, NumCPU/Workers). Any value yields identical results.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Source seeds SSSP (default 0).
 	Source int `json:"source,omitempty"`
 	// Priority orders the queue: higher first, FIFO within a priority.
@@ -484,6 +487,7 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 		JobLabel:        j.status.ID,
 		MaxSteps:        spec.MaxSteps,
 		MsgBuf:          spec.MsgBuf,
+		Parallelism:     spec.Parallelism,
 		TCP:             spec.TCP,
 		Recovery:        spec.Recovery,
 		CheckpointEvery: spec.CheckpointEvery,
