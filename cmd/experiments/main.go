@@ -33,7 +33,7 @@ func main() {
 		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
 		par     = flag.Int("parallelism", 0, "per-worker compute goroutines (0 = NumCPU/workers)")
 		chaos   = flag.Int64("chaos-seed", 0, "base seed of the chaos campaign's fault schedules (0 = default 1)")
-		policy  = flag.String("recovery", "", "restrict the chaos/recovery experiments to one policy: scratch, resume, checkpoint, confined")
+		policy  = flag.String("recovery", "", "restrict the chaos/recovery experiments to one policy: scratch, resume, checkpoint, confined, reassign")
 	)
 	flag.Parse()
 

@@ -12,7 +12,7 @@
 //	hybridgraph serve -addr :8080 -data /var/lib/hybridgraph
 //	hybridgraph ingest -server http://localhost:8080 -name web1 -gen web -vertices 10000 -edges 80000
 //	hybridgraph submit -server http://localhost:8080 -graph web1 -algo pagerank -engine hybrid -wait
-//	hybridgraph status job-000001 | result job-000001 | cancel job-000001 | ls
+//	hybridgraph status job-000001 | result job-000001 | cancel job-000001 | ls | workers
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
-		case "serve", "ingest", "submit", "status", "result", "cancel", "ls":
+		case "serve", "ingest", "submit", "status", "result", "cancel", "ls", "workers":
 			if err := runService(os.Args[1], os.Args[2:]); err != nil {
 				fatal(err)
 			}
@@ -60,7 +60,8 @@ func runLegacy() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry after the run (implied by -debug-addr)")
 
-		recovery  = flag.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined")
+		recovery  = flag.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined, reassign")
+		maxRest   = flag.Int("max-restarts", 0, "with -recovery reassign: per-worker failure budget before its partition is adopted by a survivor (0 = default)")
 		crashes   = flag.String("crashes", "", "inject worker crashes, comma-separated step:worker pairs (e.g. 4:1,7:0)")
 		diskSpec  = flag.String("disk-faults", "", "inject seeded storage faults, comma-separated k=v spec: seed=1,enospc=0.01,torn=0.01,syncfail=0.05,bitflip=0.001,cut=500,max=3")
 		stalls    = flag.String("stalls", "", "inject worker stalls, comma-separated step:worker pairs")
@@ -119,6 +120,7 @@ func runLegacy() {
 		Parallelism:     *par,
 		TracePath:       *trace,
 		Recovery:        *recovery,
+		MaxRestarts:     *maxRest,
 		CheckpointEvery: *ckptEvery,
 		BarrierDeadline: *deadline,
 		TCP:             *tcp,
@@ -177,6 +179,11 @@ func runLegacy() {
 		fmt.Printf("recovery : %d restarts (%d stalls, %d confined), %d supersteps replayed, %.4f s simulated, %d B replayed, %d B logged\n",
 			res.Restarts, res.Stalls, res.ConfinedRecoveries, res.ReplayedSupersteps,
 			res.RecoverySimSeconds, res.ReplayIO.Total(), res.LogIO.Total())
+	}
+
+	if res.Reassignments > 0 {
+		fmt.Printf("reassign : %d partitions adopted by survivors (degraded run), %d B migrated, %d B over the network\n",
+			res.Reassignments, res.MigrationIO.Total(), res.MigrationNetBytes)
 	}
 
 	if res.DiskFaults > 0 || res.CheckpointWriteFailures > 0 {

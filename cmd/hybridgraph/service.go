@@ -31,6 +31,8 @@ func runService(cmd string, args []string) error {
 		return cmdCancel(args)
 	case "ls":
 		return cmdLs(args)
+	case "workers":
+		return cmdWorkers(args)
 	}
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
@@ -135,9 +137,11 @@ func cmdSubmit(args []string) error {
 	source := fs.Int("source", 0, "source vertex for sssp")
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
 	tcp := fs.Bool("tcp", false, "run worker communication over loopback TCP")
-	recovery := fs.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined")
+	recovery := fs.String("recovery", "", "recovery policy: scratch, resume, checkpoint, confined, reassign")
+	maxRest := fs.Int("max-restarts", 0, "with -recovery reassign: per-worker failure budget before its partition is adopted (0 = default)")
 	ckptEvery := fs.Int("ckpt-every", 0, "checkpoint every N supersteps (0 = policy default)")
 	retries := fs.Int("retries", 0, "scheduler re-enqueues after a failure this many times")
+	reqID := fs.String("request-id", "", "idempotency key: retried submits carrying the same id land on one job")
 	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
 	fs.Parse(args)
 	if *graphName == "" {
@@ -154,8 +158,10 @@ func cmdSubmit(args []string) error {
 		Priority:        *priority,
 		TCP:             *tcp,
 		Recovery:        *recovery,
+		MaxRestarts:     *maxRest,
 		CheckpointEvery: *ckptEvery,
 		Retries:         *retries,
+		RequestID:       *reqID,
 	})
 	if err != nil {
 		return err
@@ -266,6 +272,34 @@ func cmdLs(args []string) error {
 		}
 		fmt.Printf("  %-12s %-10s %s/%s/%s%s\n",
 			j.ID, j.State, j.Spec.Graph, j.Spec.Algorithm, j.Spec.Engine, extra)
+	}
+	return nil
+}
+
+func cmdWorkers(args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ExitOnError)
+	server := serverFlag(fs)
+	fs.Parse(args)
+	view, err := service.NewClient(*server).Workers(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, row := range view {
+		tag := ""
+		if row.Degraded {
+			tag = fmt.Sprintf("  DEGRADED (%d reassignments)", row.Reassignments)
+		}
+		fmt.Printf("%s (%s)%s\n", row.JobID, row.State, tag)
+		for _, w := range row.Workers {
+			state := "alive"
+			if !w.Alive {
+				state = fmt.Sprintf("dead, partition hosted by worker %d", w.Host)
+			}
+			fmt.Printf("  worker %d: %s  crashes=%d stalls=%d\n", w.Worker, state, w.Crashes, w.Stalls)
+		}
+	}
+	if len(view) == 0 {
+		fmt.Println("no jobs with worker-health records")
 	}
 	return nil
 }

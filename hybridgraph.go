@@ -141,6 +141,25 @@ func RandomStalls(seed int64, n, maxStep, workers int) []Stall {
 	return faultplan.RandomStalls(seed, n, maxStep, workers)
 }
 
+// PermanentCrash schedules a crash the machine never returns from:
+// under Config.Recovery "reassign" a survivor adopts the dead worker's
+// partition instead of restoring it.
+func PermanentCrash(step, worker int) Crash {
+	return faultplan.PermanentCrash(step, worker)
+}
+
+// RandomPermanentCrashes derives a deterministic schedule of n
+// distinct-superstep permanent machine losses from a seed.
+func RandomPermanentCrashes(seed int64, n, maxStep, workers int) []Crash {
+	return faultplan.RandomPermanentCrashes(seed, n, maxStep, workers)
+}
+
+// RecoveryNotice is the event Config.OnRecovery receives after each
+// recovery action: Kind "crash", "stall" or "reassign" (for a reassign,
+// Host is the surviving worker that adopted the dead partition and
+// Epoch the new ownership epoch).
+type RecoveryNotice = core.RecoveryNotice
+
 // ErrInjectedFailure matches (via errors.Is) the typed error a scheduled
 // crash raises inside the engines; recovery normally absorbs it.
 var ErrInjectedFailure = core.ErrInjectedFailure
@@ -149,6 +168,11 @@ var ErrInjectedFailure = core.ErrInjectedFailure
 // barrier-deadline supervision raises for a hung worker; recovery
 // normally absorbs it.
 var ErrStalledWorker = core.ErrStalledWorker
+
+// ErrNoSurvivors matches (via errors.Is) the typed failure a
+// reassignment raises when every worker is permanently dead, so no
+// survivor can adopt the failed partition.
+var ErrNoSurvivors = core.ErrNoSurvivors
 
 // Run executes prog over g with the given engine and returns the result.
 func Run(g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {

@@ -73,6 +73,17 @@ type Master struct {
 	LastSwitch int
 	Rco        float64
 	PrevAgg    float64
+
+	// Block-ownership state under the reassign recovery policy, written as
+	// optional trailing fields (a record from before this version simply
+	// lacks them; Epoch 0 means "no ownership information"). Dead marks
+	// permanently-lost workers; Hosts[w] names the survivor serving worker
+	// w's partition (w itself when alive). A resume applies them before the
+	// first superstep so a restarted daemon continues with the shrunken
+	// worker set instead of waiting on a machine that no longer exists.
+	Epoch int64
+	Dead  []bool
+	Hosts []int
 }
 
 // WriteSnapshot atomically writes s to path, charging the bytes to ct as
@@ -185,6 +196,17 @@ func WriteMaster(path string, ct *diskio.Counter, m *Master) (int64, error) {
 	p = appendU64(p, uint64(int64(m.LastSwitch)))
 	p = appendF64(p, m.Rco)
 	p = appendF64(p, m.PrevAgg)
+	if m.Epoch != 0 {
+		p = appendU64(p, uint64(m.Epoch))
+		p = appendU32(p, uint32(len(m.Dead)))
+		for _, d := range m.Dead {
+			p = append(p, boolByte(d))
+		}
+		p = appendU32(p, uint32(len(m.Hosts)))
+		for _, h := range m.Hosts {
+			p = appendU64(p, uint64(int64(h)))
+		}
+	}
 	return writeFile(path, ct, p)
 }
 
@@ -217,6 +239,24 @@ func ReadMaster(path string, ct *diskio.Counter) (*Master, error) {
 	m.LastSwitch = int(int64(r.u64()))
 	m.Rco = r.f64()
 	m.PrevAgg = r.f64()
+	if r.err == nil && r.remaining() > 0 {
+		// Optional ownership trailer (reassign policy).
+		m.Epoch = int64(r.u64())
+		n = int(r.u32())
+		if r.err == nil && n > 0 && n <= r.remaining() {
+			m.Dead = make([]bool, n)
+			for i := range m.Dead {
+				m.Dead[i] = r.u8() != 0
+			}
+		}
+		n = int(r.u32())
+		if r.err == nil && n > 0 && n <= r.remaining()/8 {
+			m.Hosts = make([]int, n)
+			for i := range m.Hosts {
+				m.Hosts[i] = int(int64(r.u64()))
+			}
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("checkpoint: %s: %w", path, r.err)
 	}

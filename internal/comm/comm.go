@@ -10,6 +10,7 @@ package comm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,6 +51,13 @@ type Packet struct {
 	// WireBytes is the encoded size given the concatenation the sender
 	// applied; 0 means "compute as unconcatenated".
 	WireBytes int64
+	// Epoch is the block-ownership epoch the sender believed current when
+	// it addressed the packet (0 = stamp at send). A receiver behind a
+	// reassignment rejects packets from an older epoch with
+	// StaleEpochError so the sender re-stamps and re-routes them against
+	// the new ownership table instead of the fabric silently accepting
+	// traffic addressed to a dead worker.
+	Epoch int64
 }
 
 // Bytes reports the packet's wire size.
@@ -156,6 +164,44 @@ type Fabric interface {
 	TotalBytes() int64
 }
 
+// ErrStaleEpoch is the sentinel wrapped by every StaleEpochError;
+// errors.Is(err, ErrStaleEpoch) identifies an epoch rejection whichever
+// fabric produced it.
+var ErrStaleEpoch = errors.New("comm: stale ownership epoch")
+
+// StaleEpochError is the typed rejection a receiver returns for traffic
+// stamped with a block-ownership epoch older than its own: the sender is
+// operating on a routing table from before a partition reassignment and
+// must re-stamp and re-route.
+type StaleEpochError struct {
+	Sent, Current int64
+}
+
+// Error implements error.
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("comm: stale ownership epoch %d (current %d)", e.Sent, e.Current)
+}
+
+// Unwrap ties the error to the ErrStaleEpoch sentinel.
+func (e *StaleEpochError) Unwrap() error { return ErrStaleEpoch }
+
+// Rehomer is implemented by fabrics that support partition reassignment:
+// an epoch-versioned ownership view plus the ability to re-point a dead
+// worker's address at the survivor hosting its blocks. AdvanceEpoch
+// invalidates every in-flight packet stamped with the old epoch; Rehome
+// redirects traffic addressed to origin at host. Both built-in fabrics
+// implement it.
+type Rehomer interface {
+	// Epoch reports the current ownership epoch (starts at 1).
+	Epoch() int64
+	// AdvanceEpoch bumps the ownership epoch and returns the new value.
+	AdvanceEpoch() int64
+	// Rehome redirects traffic addressed to worker origin at worker host.
+	// The origin keeps its logical identity — packets still name it in
+	// From/To — only the physical endpoint moves.
+	Rehome(origin, host int)
+}
+
 // ContextSetter is implemented by fabrics that honour job cancellation:
 // once a context is installed, fabric operations fail fast with the
 // context's error after it is cancelled, so a cancelled job's workers
@@ -199,6 +245,8 @@ func (c *ctxHolder) done() <-chan struct{} {
 type Local struct {
 	mu       sync.RWMutex
 	handlers map[int]Handler
+	homes    map[int]int // origin -> adopting host after a Rehome
+	epoch    atomic.Int64
 	ctx      ctxHolder
 	in       []atomic.Int64
 	out      []atomic.Int64
@@ -208,11 +256,14 @@ type Local struct {
 	mPullReqs *obs.Counter // "comm.pull_requests"
 	mGathers  *obs.Counter // "comm.gathers"
 	mSignals  *obs.Counter // "comm.signals"
+	mStale    *obs.Counter // "comm.stale_epoch"
 }
 
 // NewLocal returns a Local fabric for n workers.
 func NewLocal(n int) *Local {
-	return &Local{handlers: make(map[int]Handler, n), in: make([]atomic.Int64, n), out: make([]atomic.Int64, n)}
+	l := &Local{handlers: make(map[int]Handler, n), in: make([]atomic.Int64, n), out: make([]atomic.Int64, n)}
+	l.epoch.Store(1)
+	return l
 }
 
 // SetMetrics wires the fabric's counters into reg (obs.MetricsSetter).
@@ -224,6 +275,7 @@ func (l *Local) SetMetrics(reg *obs.Registry) {
 	l.mPullReqs = reg.Counter("comm.pull_requests")
 	l.mGathers = reg.Counter("comm.gathers")
 	l.mSignals = reg.Counter("comm.signals")
+	l.mStale = reg.Counter("comm.stale_epoch")
 	reg.RegisterFunc("comm.net_bytes", l.total.Load)
 }
 
@@ -259,10 +311,62 @@ func (l *Local) account(from, to int, bytes int64) {
 	l.total.Add(bytes)
 }
 
-// Send implements Fabric.
+// Epoch implements Rehomer.
+func (l *Local) Epoch() int64 { return l.epoch.Load() }
+
+// AdvanceEpoch implements Rehomer.
+func (l *Local) AdvanceEpoch() int64 { return l.epoch.Add(1) }
+
+// Rehome implements Rehomer. In-process the adopted worker unit keeps
+// serving its origin slot (the host drives it on its own goroutine), so
+// the handler table is untouched; the mapping is recorded so callers can
+// introspect where an origin now lives.
+func (l *Local) Rehome(origin, host int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.homes == nil {
+		l.homes = make(map[int]int)
+	}
+	l.homes[origin] = host
+}
+
+// HostOf reports where worker w's blocks are served: w itself, or the
+// survivor a Rehome pointed it at.
+func (l *Local) HostOf(w int) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if h, ok := l.homes[w]; ok {
+		return h
+	}
+	return w
+}
+
+// Send implements Fabric. Packets stamped with a pre-reassignment epoch
+// are rejected by the delivery path and re-routed here once against the
+// current ownership table; a packet that is stale again after the re-stamp
+// (a reassignment raced the retry) surfaces the rejection to the caller.
 func (l *Local) Send(p *Packet) error {
 	if err := l.ctx.err(); err != nil {
 		return err
+	}
+	if p.Epoch == 0 {
+		p.Epoch = l.epoch.Load()
+	}
+	err := l.deliver(p)
+	var stale *StaleEpochError
+	if errors.As(err, &stale) {
+		l.mStale.Inc()
+		p.Epoch = l.epoch.Load()
+		return l.deliver(p)
+	}
+	return err
+}
+
+// deliver is the receive side of Send: the epoch gate plus the handler
+// dispatch and accounting.
+func (l *Local) deliver(p *Packet) error {
+	if cur := l.epoch.Load(); p.Epoch < cur {
+		return &StaleEpochError{Sent: p.Epoch, Current: cur}
 	}
 	h, err := l.handler(p.To)
 	if err != nil {

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -283,5 +284,65 @@ func TestOutboxSenderCombine(t *testing.T) {
 	}
 	if fab.TotalBytes() != MsgWireSize {
 		t.Fatalf("wire bytes = %d, want %d", fab.TotalBytes(), MsgWireSize)
+	}
+}
+
+// TestLocalStaleEpochReroute: a packet stamped with a pre-reassignment
+// epoch is rejected by delivery and re-routed by Send against the current
+// ownership table instead of being silently accepted.
+func TestLocalStaleEpochReroute(t *testing.T) {
+	fab := NewLocal(2)
+	r := &recorder{}
+	fab.Register(1, r)
+	if fab.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", fab.Epoch())
+	}
+	if e := fab.AdvanceEpoch(); e != 2 {
+		t.Fatalf("AdvanceEpoch = %d, want 2", e)
+	}
+	p := &Packet{From: 0, To: 1, Epoch: 1, Msgs: []Msg{{Dst: 3, Val: 7}}}
+	if err := fab.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch != 2 {
+		t.Fatalf("packet not re-stamped: epoch %d, want 2", p.Epoch)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", len(r.packets))
+	}
+}
+
+// TestLocalRehomeHostOf: after an adoption the origin slot keeps its
+// handler (the adopted unit runs in the survivor's process) but HostOf
+// reports the new machine for accounting.
+func TestLocalRehomeHostOf(t *testing.T) {
+	fab := NewLocal(3)
+	r := &recorder{}
+	fab.Register(1, r)
+	fab.AdvanceEpoch()
+	fab.Rehome(1, 2)
+	if h := fab.HostOf(1); h != 2 {
+		t.Fatalf("HostOf(1) = %d, want 2", h)
+	}
+	if h := fab.HostOf(0); h != 0 {
+		t.Fatalf("HostOf(0) = %d, want 0", h)
+	}
+	if err := fab.Send(&Packet{From: 0, To: 1, Msgs: []Msg{{Dst: 4, Val: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != 1 {
+		t.Fatal("packet to the rehomed origin not delivered")
+	}
+}
+
+// TestStaleEpochErrorTyping: the typed rejection matches the sentinel.
+func TestStaleEpochErrorTyping(t *testing.T) {
+	err := error(&StaleEpochError{Sent: 1, Current: 3})
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatal("StaleEpochError does not unwrap to ErrStaleEpoch")
 	}
 }

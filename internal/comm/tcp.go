@@ -31,7 +31,7 @@ import (
 // Injected transport faults from a faultplan exercise exactly these paths
 // deterministically.
 type TCP struct {
-	mu        sync.RWMutex // guards handlers
+	mu        sync.RWMutex // guards handlers, addrs elements, counters below
 	handlers  map[int]Handler
 	listeners []net.Listener
 	addrs     []string
@@ -41,6 +41,7 @@ type TCP struct {
 	ctx       ctxHolder
 	roller    *faultplan.Roller
 	seq       atomic.Uint64
+	epoch     atomic.Int64
 	in        []atomic.Int64
 	out       []atomic.Int64
 	total     atomic.Int64
@@ -52,6 +53,7 @@ type TCP struct {
 	mRequests *obs.Counter // "comm.tcp.requests"
 	mRetries  *obs.Counter // "comm.tcp.retries"
 	mRedials  *obs.Counter // "comm.tcp.redials"
+	mStale    *obs.Counter // "comm.stale_epoch"
 }
 
 // TCPConfig tunes the fabric's resilience machinery. Zero values select
@@ -134,6 +136,7 @@ const (
 type tcpRequest struct {
 	Kind  int
 	Seq   uint64 // fabric-wide id: constant across retries, the dedup key
+	Epoch int64  // sender's block-ownership epoch (0 = epoch-unaware)
 	From  int
 	To    int
 	Step  int
@@ -148,6 +151,11 @@ type tcpResponse struct {
 	Wire    int64
 	Results []GatherResult
 	Err     string
+	// Stale rejects a request stamped with a pre-reassignment epoch: the
+	// client must re-stamp against the current ownership table and re-route
+	// (redial — the endpoint may have been rehomed). Never cached by the
+	// dedup layer, so the re-routed retry under the same Seq is processed.
+	Stale bool
 }
 
 // dedup is one serving worker's exactly-once filter: the first delivery of
@@ -229,6 +237,7 @@ func NewTCPConfig(n int, cfg TCPConfig) (*TCP, error) {
 		out:      make([]atomic.Int64, n),
 		jrng:     rand.New(rand.NewSource(1)),
 	}
+	f.epoch.Store(1)
 	if cfg.Faults != nil {
 		f.roller = cfg.Faults.NewRoller()
 	}
@@ -274,6 +283,7 @@ func (f *TCP) SetMetrics(reg *obs.Registry) {
 	f.mRequests = reg.Counter("comm.tcp.requests")
 	f.mRetries = reg.Counter("comm.tcp.retries")
 	f.mRedials = reg.Counter("comm.tcp.redials")
+	f.mStale = reg.Counter("comm.stale_epoch")
 	f.mu.Unlock()
 	for _, d := range f.dedups {
 		d.mu.Lock()
@@ -314,6 +324,22 @@ func (f *TCP) serveConn(worker int, c net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		// Epoch gate, BEFORE the dedup layer: a stale rejection must never
+		// be recorded under the request's Seq, or the client's re-stamped
+		// retry (same Seq) would be answered with the cached rejection
+		// forever instead of being processed.
+		if req.Epoch != 0 {
+			if cur := f.epoch.Load(); req.Epoch < cur {
+				f.mu.RLock()
+				stale := f.mStale
+				f.mu.RUnlock()
+				stale.Inc()
+				if err := enc.Encode(&tcpResponse{Stale: true}); err != nil {
+					return
+				}
+				continue
+			}
+		}
 		var d faultplan.Decision
 		if f.roller != nil {
 			d = f.roller.Roll()
@@ -347,14 +373,19 @@ func (f *TCP) serveConn(worker int, c net.Conn) {
 	}
 }
 
-// process dispatches one deduplicated request to the worker's handler.
+// process dispatches one deduplicated request to its destination worker's
+// handler. Dispatch is by req.To, not by which listener the request
+// arrived on: after a Rehome, a dead worker's traffic lands on the
+// adopting host's listener but must still reach the adopted unit's
+// handler.
 func (f *TCP) process(worker int, req *tcpRequest) tcpResponse {
+	_ = worker
 	var resp tcpResponse
 	f.mu.RLock()
-	h := f.handlers[worker]
+	h := f.handlers[req.To]
 	f.mu.RUnlock()
 	if h == nil {
-		resp.Err = fmt.Sprintf("comm: no handler registered for worker %d", worker)
+		resp.Err = fmt.Sprintf("comm: no handler registered for worker %d", req.To)
 		return resp
 	}
 	switch req.Kind {
@@ -385,6 +416,48 @@ func (f *TCP) process(worker int, req *tcpRequest) tcpResponse {
 	return resp
 }
 
+// Epoch implements Rehomer.
+func (f *TCP) Epoch() int64 { return f.epoch.Load() }
+
+// AdvanceEpoch implements Rehomer.
+func (f *TCP) AdvanceEpoch() int64 { return f.epoch.Add(1) }
+
+// Rehome implements Rehomer: traffic addressed to origin now dials the
+// adopting host's endpoint. The dead endpoint's listener is closed, its
+// cached client connection dropped so the next round trip redials, and
+// its dedup history merged into the host's so a retry of a request the
+// dead endpoint already applied — only its response lost — is still
+// absorbed after the redial.
+func (f *TCP) Rehome(origin, host int) {
+	f.mu.Lock()
+	f.addrs[origin] = f.addrs[host]
+	f.mu.Unlock()
+	if a, b := f.dedups[origin], f.dedups[host]; a != b {
+		first, second := a, b
+		if host < origin {
+			first, second = b, a
+		}
+		first.mu.Lock()
+		second.mu.Lock()
+		for k, e := range a.entries {
+			if _, ok := b.entries[k]; !ok {
+				b.entries[k] = e
+				b.order = append(b.order, k)
+			}
+		}
+		second.mu.Unlock()
+		first.mu.Unlock()
+	}
+	f.listeners[origin].Close()
+	p := f.peers[origin]
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.c.Close()
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}
+
 // dial returns a cached connection to worker w, dialing on demand. Only
 // the destination's per-peer lock is held across the dial, so a slow or
 // dead peer stalls nobody else.
@@ -398,7 +471,10 @@ func (f *TCP) dial(w int) (*tcpConn, error) {
 	if f.closed.Load() {
 		return nil, errFabricClosed
 	}
-	nc, err := net.DialTimeout("tcp", f.addrs[w], f.cfg.Timeout)
+	f.mu.RLock()
+	addr := f.addrs[w]
+	f.mu.RUnlock()
+	nc, err := net.DialTimeout("tcp", addr, f.cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -454,6 +530,16 @@ func (f *TCP) roundTrip(w int, req *tcpRequest) (*tcpResponse, error) {
 			f.invalidate(w, c)
 			continue
 		}
+		if resp.Stale {
+			// The receiver is ahead of us on block ownership: re-stamp with
+			// the current epoch and re-route over a fresh dial (the endpoint
+			// may have been rehomed under us).
+			cur := f.epoch.Load()
+			lastErr = &StaleEpochError{Sent: req.Epoch, Current: cur}
+			req.Epoch = cur
+			f.invalidate(w, c)
+			continue
+		}
 		if resp.Err != "" {
 			return nil, errors.New(resp.Err)
 		}
@@ -495,8 +581,11 @@ func (f *TCP) account(from, to int, bytes int64) {
 
 // Send implements Fabric.
 func (f *TCP) Send(p *Packet) error {
+	if p.Epoch == 0 {
+		p.Epoch = f.epoch.Load()
+	}
 	f.account(p.From, p.To, p.Bytes())
-	_, err := f.roundTrip(p.To, &tcpRequest{Kind: tcpSend, From: p.From, To: p.To,
+	_, err := f.roundTrip(p.To, &tcpRequest{Kind: tcpSend, Epoch: p.Epoch, From: p.From, To: p.To,
 		Step: p.Step, Msgs: p.Msgs, Wire: p.WireBytes})
 	return err
 }
@@ -504,7 +593,8 @@ func (f *TCP) Send(p *Packet) error {
 // PullRequest implements Fabric.
 func (f *TCP) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
 	f.account(from, to, PullReqSize)
-	resp, err := f.roundTrip(to, &tcpRequest{Kind: tcpPull, From: from, To: to, Block: block, Step: step})
+	resp, err := f.roundTrip(to, &tcpRequest{Kind: tcpPull, Epoch: f.epoch.Load(),
+		From: from, To: to, Block: block, Step: step})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -515,7 +605,8 @@ func (f *TCP) PullRequest(from, to, block, step int) ([]Msg, int64, error) {
 // Gather implements Fabric.
 func (f *TCP) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherResult, error) {
 	f.account(from, to, int64(len(ids))*GatherIDSize)
-	resp, err := f.roundTrip(to, &tcpRequest{Kind: tcpGather, From: from, To: to, IDs: ids, Step: step})
+	resp, err := f.roundTrip(to, &tcpRequest{Kind: tcpGather, Epoch: f.epoch.Load(),
+		From: from, To: to, IDs: ids, Step: step})
 	if err != nil {
 		return nil, err
 	}
@@ -526,7 +617,8 @@ func (f *TCP) Gather(from, to int, ids []graph.VertexID, step int) ([]GatherResu
 // Signal implements Fabric.
 func (f *TCP) Signal(from, to int, ids []graph.VertexID, step int) error {
 	f.account(from, to, int64(len(ids))*GatherIDSize)
-	_, err := f.roundTrip(to, &tcpRequest{Kind: tcpSignal, From: from, To: to, IDs: ids, Step: step})
+	_, err := f.roundTrip(to, &tcpRequest{Kind: tcpSignal, Epoch: f.epoch.Load(),
+		From: from, To: to, IDs: ids, Step: step})
 	return err
 }
 

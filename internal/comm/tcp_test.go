@@ -280,3 +280,57 @@ func TestTCPGivesUpOnDeadPeer(t *testing.T) {
 		t.Fatalf("giving up took %v; retries are not bounded", elapsed)
 	}
 }
+
+// TestTCPStaleEpochRetry: the receiver rejects a request stamped with a
+// pre-reassignment epoch (before the dedup layer can cache the rejection)
+// and the sender transparently re-stamps and retries.
+func TestTCPStaleEpochRetry(t *testing.T) {
+	fab, r := newTCPPair(t)
+	if e := fab.AdvanceEpoch(); e != 2 {
+		t.Fatalf("AdvanceEpoch = %d, want 2", e)
+	}
+	p := &Packet{From: 0, To: 1, Epoch: 1, Msgs: []Msg{{Dst: 2, Val: 5}}}
+	if err := fab.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.packets) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1 after the stale retry", len(r.packets))
+	}
+}
+
+// TestTCPRehomeRedirectsTraffic: after Rehome the dead worker's address
+// points at the survivor, whose server dispatches by the addressed
+// worker id, so traffic to the adopted origin still reaches its handler.
+func TestTCPRehomeRedirectsTraffic(t *testing.T) {
+	fab, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fab.Close() })
+	r0, r1 := &recorder{}, &recorder{}
+	fab.Register(0, r0)
+	fab.Register(1, r1)
+	fab.AdvanceEpoch()
+	fab.Rehome(1, 0)
+	if err := fab.Send(&Packet{From: 0, To: 1, Msgs: []Msg{{Dst: 9, Val: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fab.PullRequest(0, 1, 0, 2); err != nil {
+		t.Fatalf("pull to the rehomed origin failed: %v", err)
+	}
+	r1.mu.Lock()
+	defer r1.mu.Unlock()
+	if len(r1.packets) != 1 {
+		t.Fatalf("adopted origin's handler saw %d packets, want 1", len(r1.packets))
+	}
+	if len(r1.pulls) != 1 {
+		t.Fatalf("adopted origin's handler saw %d pulls, want 1", len(r1.pulls))
+	}
+	r0.mu.Lock()
+	defer r0.mu.Unlock()
+	if len(r0.packets) != 0 || len(r0.pulls) != 0 {
+		t.Fatal("host's own handler received the rehomed traffic")
+	}
+}

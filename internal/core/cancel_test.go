@@ -7,10 +7,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"hybridgraph/internal/algo"
+	"hybridgraph/internal/faultplan"
 	"hybridgraph/internal/graph"
 )
 
@@ -104,6 +106,69 @@ func TestCancelMidSuperstep(t *testing.T) {
 				waitGoroutines(t, before)
 			})
 		}
+	}
+}
+
+// recoveryCancelProbe parks the first Update call that runs after a
+// recovery began (signalled by the OnRecovery hook), holding the job
+// inside the confined replay while the test cancels the context.
+type recoveryCancelProbe struct {
+	algo.Program
+	recovering atomic.Bool
+	entered    chan struct{}
+	release    chan struct{}
+	once       sync.Once
+}
+
+func (p *recoveryCancelProbe) Update(ctx *algo.Context, v graph.VertexID, outdeg int, val float64, msgs []float64) (float64, bool) {
+	if p.recovering.Load() {
+		p.once.Do(func() {
+			close(p.entered)
+			<-p.release
+		})
+	}
+	return p.Program.Update(ctx, v, outdeg, val, msgs)
+}
+
+// TestCancelDuringRecovery cancels a job while it is replaying logged
+// supersteps after a permanent worker loss. Recovery must notice the
+// cancellation between (or inside) replay steps and surface
+// context.Canceled instead of finishing the adoption silently.
+func TestCancelDuringRecovery(t *testing.T) {
+	g := graph.GenRMAT(600, 4200, 0.57, 0.19, 0.19, 22)
+	for _, policy := range []string{"confined", "reassign"} {
+		t.Run(policy, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			prog := &recoveryCancelProbe{Program: algo.NewPageRank(0.85),
+				entered: make(chan struct{}), release: make(chan struct{})}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cfg := Config{Workers: 3, MsgBuf: 150, MaxSteps: 8, CheckpointEvery: 3,
+				Recovery:   policy,
+				FaultPlan:  faultplan.NewPlan(faultplan.PermanentCrash(6, 1)),
+				OnRecovery: func(RecoveryNotice) { prog.recovering.Store(true) }}
+			errc := make(chan error, 1)
+			go func() {
+				_, err := RunContext(ctx, g, prog, cfg, Push)
+				errc <- err
+			}()
+			select {
+			case <-prog.entered:
+			case <-time.After(10 * time.Second):
+				t.Fatal("job never reached the recovery replay")
+			}
+			cancel()
+			close(prog.release)
+			select {
+			case err := <-errc:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("RunContext error = %v, want context.Canceled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("job did not return within 10s of mid-recovery cancellation")
+			}
+			waitGoroutines(t, before)
+		})
 	}
 }
 

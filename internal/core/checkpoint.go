@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hybridgraph/internal/checkpoint"
+	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/metrics"
 	"hybridgraph/internal/obs"
@@ -170,6 +172,14 @@ func (j *job) masterRecord(t int) *checkpoint.Master {
 		m.Modes = append(m.Modes, string(mode))
 	}
 	m.QtSigns = append(m.QtSigns, j.qtSigns...)
+	if j.own != nil {
+		// Reassign policy: the checkpoint records the ownership table so a
+		// daemon restart resumes with the shrunken worker set instead of
+		// resurrecting dead workers (the WAL resume path re-applies it).
+		m.Epoch = j.own.epoch
+		m.Dead = append([]bool(nil), j.own.dead...)
+		m.Hosts = append([]int(nil), j.own.hosts...)
+	}
 	return m
 }
 
@@ -213,6 +223,12 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 		}
 	}()
 	for _, ck := range candidates {
+		// Restores read every worker's snapshot; stay responsive to
+		// cancellation between candidates rather than grinding through all
+		// of them after the caller gave up.
+		if cerr := context.Cause(j.runCtx); cerr != nil {
+			return 0, false, cerr
+		}
 		reason, aerr := j.tryRestore(coord, engine, ck, mct)
 		if aerr != nil {
 			return 0, false, aerr
@@ -224,6 +240,10 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 					j.ckptPrev = c
 					break
 				}
+			}
+			if j.own != nil && j.own.anyDead() {
+				// A resumed job that had already lost workers stays degraded.
+				res.Degraded = true
 			}
 			step, ok = ck, true
 			return step, true, nil
@@ -252,7 +272,44 @@ func (j *job) tryRestore(coord checkpoint.Coordinator, engine Engine, step int, 
 	if master.Step != step {
 		return fmt.Sprintf("master record claims step %d, marker says %d", master.Step, step), nil
 	}
+	if j.own != nil && master.Epoch != 0 {
+		if len(master.Dead) != len(j.workers) || len(master.Hosts) != len(j.workers) {
+			return fmt.Sprintf("master record ownership table sized %d/%d for %d workers",
+				len(master.Dead), len(master.Hosts), len(j.workers)), nil
+		}
+		// Re-apply the recorded ownership: a resumed job continues with the
+		// shrunken worker set — dead slots stay dead, their partitions run
+		// on the recorded hosts, and the fabric epoch catches up so any
+		// straggler traffic from before the restart is rejected as stale.
+		j.own.epoch = master.Epoch
+		copy(j.own.dead, master.Dead)
+		copy(j.own.hosts, master.Hosts)
+		if rh, ok := j.fabric.(comm.Rehomer); ok {
+			for w, d := range j.own.dead {
+				if d {
+					rh.Rehome(w, j.own.hosts[w])
+				}
+			}
+			for rh.Epoch() < j.own.epoch {
+				rh.AdvanceEpoch()
+			}
+		}
+		j.jm.degraded.Set(int64(j.own.deadCount()))
+		if j.cfg.OnRecovery != nil {
+			// Replay the recorded adoptions into the hook so a health view
+			// rebuilt after a daemon restart shows the shrunken cluster.
+			for w, d := range j.own.dead {
+				if d {
+					j.cfg.OnRecovery(RecoveryNotice{Kind: "reassign", Step: step,
+						Worker: w, Host: j.own.hosts[w], Epoch: j.own.epoch})
+				}
+			}
+		}
+	}
 	for _, w := range j.workers {
+		if cerr := context.Cause(j.runCtx); cerr != nil {
+			return "", cerr
+		}
 		snap, serr := checkpoint.ReadSnapshot(coord.SnapshotPath(step, w.id), w.ct)
 		if serr != nil {
 			return fmt.Sprintf("worker %d snapshot: %v", w.id, serr), nil

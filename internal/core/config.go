@@ -185,7 +185,29 @@ type Config struct {
 	// the whole job. Confined requires a deterministic superstep schedule
 	// (no Async) and an engine with loggable exchanges (push, pushM,
 	// b-pull, hybrid — not the pull baseline's gather/scatter).
+	// "reassign" extends confined with permanent-loss handling: when a
+	// worker is declared permanently dead (a faultplan crash marked
+	// Permanent, or its crash/stall count exceeding MaxRestarts), a
+	// least-loaded survivor adopts the dead worker's whole Vblock range —
+	// restoring its snapshot, rebuilding its edge stores from the shared
+	// catalog, and replaying the logged supersteps confined-style — and
+	// the job continues degraded on the shrunken worker set.
+	// Non-permanent failures under "reassign" recover confined-style in
+	// place. Requires Workers >= 2 and the same engine/Async constraints
+	// as confined.
 	Recovery string
+	// MaxRestarts bounds how many times one worker may crash or stall
+	// before the reassign policy declares it permanently dead and hands
+	// its partition to a survivor. <= 0 defaults to 1 under "reassign"
+	// (the second failure of the same worker triggers adoption). Ignored
+	// by the other policies, which restart without limit.
+	MaxRestarts int
+	// OnRecovery, when non-nil, is invoked synchronously after every
+	// recovery action the job takes — once per restored worker with Kind
+	// "crash" or "stall", and once per adoption with Kind "reassign" —
+	// so a scheduler can track worker health and degradation live. The
+	// callback runs on the job's control goroutine; keep it fast.
+	OnRecovery func(RecoveryNotice)
 	// BarrierDeadline bounds how long the master waits at a superstep
 	// barrier before declaring the unfinished workers failed (stall
 	// detection). Zero defaults to 250ms when the fault plan schedules
@@ -243,6 +265,20 @@ type Config struct {
 	ResumeFromCheckpoint bool
 }
 
+// RecoveryNotice describes one recovery action a job took, delivered to
+// Config.OnRecovery as it happens. Kind is "crash" or "stall" for an
+// in-place restore of a failed worker, or "reassign" when the reassign
+// policy handed a permanently-dead worker's partition to a survivor; in
+// that case Host is the adopting worker and Epoch the ownership epoch
+// the adoption installed (Host is -1 and Epoch 0 otherwise).
+type RecoveryNotice struct {
+	Kind   string
+	Step   int
+	Worker int
+	Host   int
+	Epoch  int64
+}
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.Stores != nil && c.Workers <= 0 {
@@ -280,8 +316,12 @@ func (c Config) withDefaults() Config {
 		c.EdgesInMemory = true
 		c.VerticesInMemory = true
 	}
-	if (c.Recovery == "checkpoint" || c.Recovery == "confined") && c.CheckpointEvery <= 0 {
+	if (c.Recovery == "checkpoint" || c.Recovery == "confined" || c.Recovery == "reassign") &&
+		c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 5
+	}
+	if c.Recovery == "reassign" && c.MaxRestarts <= 0 {
+		c.MaxRestarts = 1
 	}
 	if c.FaultPlan == nil && c.FailStep > 0 {
 		c.FaultPlan = faultplan.NewPlan(faultplan.Crash{Step: c.FailStep, Worker: c.FailWorker})
@@ -324,15 +364,19 @@ func (c Config) validate(n int) error {
 			c.Workers, c.Stores.Workers())
 	}
 	switch c.Recovery {
-	case "", "scratch", "resume", "checkpoint", "confined":
+	case "", "scratch", "resume", "checkpoint", "confined", "reassign":
 	default:
 		return fmt.Errorf("core: unknown recovery policy %q", c.Recovery)
 	}
-	if c.Recovery == "confined" && c.Async {
+	if (c.Recovery == "confined" || c.Recovery == "reassign") && c.Async {
 		// Async drains messages eagerly past the barrier, so a survivor's
 		// log is not a superstep-consistent record of what the failed
 		// worker must re-consume.
-		return fmt.Errorf("core: confined recovery requires synchronous iteration (Async is set)")
+		return fmt.Errorf("core: %s recovery requires synchronous iteration (Async is set)", c.Recovery)
+	}
+	if c.Recovery == "reassign" && c.Workers < 2 {
+		// A single worker has no survivor to adopt its partition.
+		return fmt.Errorf("core: reassign recovery requires at least 2 workers, have %d", c.Workers)
 	}
 	if c.FaultPlan != nil {
 		for _, cr := range c.FaultPlan.Crashes {

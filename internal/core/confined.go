@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -281,6 +282,12 @@ func (j *job) confinedRecover(engine Engine, res *metrics.JobResult, fw, lastDon
 	var rej rejoinStat
 	replayed := 0
 	for u := base + 1; u <= lastDone; u++ {
+		// Replay can span many supersteps; honour cancellation between them
+		// so an abort during recovery returns promptly with the context's
+		// cause instead of replaying to completion first.
+		if cerr := context.Cause(j.runCtx); cerr != nil {
+			return rejoinStat{}, cerr
+		}
 		rf.rejoin = stalled && u == lastDone
 		r, err := j.replayStep(w, u, base, engine, rf, res)
 		if err != nil {
@@ -314,7 +321,11 @@ func (j *job) confinedRecover(engine Engine, res *metrics.JobResult, fw, lastDon
 	j.jm.recoveries.Inc()
 	j.jm.confined.Inc()
 	if j.trace != nil {
-		j.trace.Emit(obs.RecoveryEvent{Type: obs.EventRecovery, Policy: "confined",
+		policy := "confined"
+		if j.cfg.Recovery == "reassign" {
+			policy = "reassign"
+		}
+		j.trace.Emit(obs.RecoveryEvent{Type: obs.EventRecovery, Policy: policy,
 			RestartStep: lastDone + 1, Discarded: 0, Restored: restored,
 			Worker: fw, Replayed: replayed})
 	}

@@ -54,9 +54,18 @@ type job struct {
 
 	crashFired []bool // per fault-plan crash: already injected
 	stallFired []bool // per fault-plan stall: already injected
-	resuming   bool   // lightweight recovery: superstep 1 re-announces values
-	ckptStep   int    // last committed checkpoint superstep (0 = none)
-	ckptPrev   int    // previous retained checkpoint (fallback for torn restores)
+
+	// Reassign policy state (Recovery: "reassign"): the epoch-versioned
+	// ownership table, per-worker failure counts driving the permanence
+	// decision, and the per-unit migration-cost stash that lands in the
+	// first post-adoption superstep's stats. All nil under other policies.
+	own         *ownership
+	crashCounts []int
+	stallCounts []int
+	pendingMig  []pendingMig
+	resuming    bool // lightweight recovery: superstep 1 re-announces values
+	ckptStep    int  // last committed checkpoint superstep (0 = none)
+	ckptPrev    int  // previous retained checkpoint (fallback for torn restores)
 
 	// faultFS is the storage-fault injector installed over the work
 	// directory when the fault plan carries a Disk config; nil otherwise.
@@ -82,10 +91,14 @@ type job struct {
 var ErrInjectedFailure = errors.New("core: injected worker failure")
 
 // InjectedFailure is the typed error the master's fault detector raises
-// when a scheduled worker crash fires at the superstep barrier.
+// when a scheduled worker crash fires at the superstep barrier. Permanent
+// marks a crash the fault plan declared unrecoverable — under the
+// reassign policy the worker's partition is adopted by a survivor instead
+// of restored in place.
 type InjectedFailure struct {
-	Step   int
-	Worker int
+	Step      int
+	Worker    int
+	Permanent bool
 }
 
 // Error implements error.
@@ -314,11 +327,18 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		j.crashFired = make([]bool, len(j.cfg.FaultPlan.Crashes))
 		j.stallFired = make([]bool, len(j.cfg.FaultPlan.Stalls))
 	}
-	if j.cfg.Recovery == "confined" && engine == Pull {
+	logged := j.cfg.Recovery == "confined" || j.cfg.Recovery == "reassign"
+	if logged && engine == Pull {
 		// The pull baseline's gather/scatter exchanges carry whole vertex
 		// states on demand, not superstep-framed messages; there is nothing
 		// a sender-side log could replay.
-		return fmt.Errorf("core: confined recovery does not support the pull baseline")
+		return fmt.Errorf("core: %s recovery does not support the pull baseline", j.cfg.Recovery)
+	}
+	if j.cfg.Recovery == "reassign" {
+		j.own = newOwnership(t)
+		j.crashCounts = make([]int, t)
+		j.stallCounts = make([]int, t)
+		j.pendingMig = make([]pendingMig, t)
 	}
 	if j.cfg.TCP {
 		var tcfg comm.TCPConfig
@@ -414,7 +434,7 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		if engine == Pull {
 			wk.vcache = newPullCache(wk.vstore, j.cfg.VertexCache, j.cfg.Metrics)
 		}
-		if j.cfg.Recovery == "confined" {
+		if logged {
 			wk.logCt = &diskio.Counter{}
 			ml, err := msglog.Open(filepath.Join(wk.dir, "msglog"), wk.logCt)
 			if err != nil {
@@ -482,12 +502,14 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 		var failed []int
 		var failStep, lastDone int
 		stalled := false
+		permHint := false
 		var inj *InjectedFailure
 		var stl *StalledWorker
 		switch {
 		case errors.As(err, &inj):
 			// A crash fires before superstep Step runs: Step-1 completed.
 			failed, failStep, lastDone = []int{inj.Worker}, inj.Step, inj.Step-1
+			permHint = inj.Permanent
 		case errors.As(err, &stl):
 			// A stall is detected at the barrier of Step: the survivors
 			// completed Step, the stalled workers did not.
@@ -504,9 +526,29 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 			return err
 		}
 		res.Restarts++
-		if j.cfg.Recovery == "confined" {
-			halt, rerr := j.confinedRecoverAll(engine, res, failed, failStep, lastDone, stalled)
+		if j.cfg.OnRecovery != nil {
+			kind := "crash"
+			if stalled {
+				kind = "stall"
+			}
+			for _, fw := range failed {
+				j.cfg.OnRecovery(RecoveryNotice{Kind: kind, Step: failStep, Worker: fw, Host: -1})
+			}
+		}
+		if j.cfg.Recovery == "confined" || j.cfg.Recovery == "reassign" {
+			var halt bool
+			var rerr error
+			if j.cfg.Recovery == "reassign" {
+				halt, rerr = j.reassignRecoverAll(engine, res, failed, failStep, lastDone, stalled, permHint)
+			} else {
+				halt, rerr = j.confinedRecoverAll(engine, res, failed, failStep, lastDone, stalled)
+			}
 			if rerr != nil {
+				// Recovery aborted: surface a cancelled run context as its
+				// cause, like the main-loop paths, so callers can match it.
+				if cerr := context.Cause(j.runCtx); cerr != nil {
+					return cerr
+				}
 				return rerr
 			}
 			if halt {
@@ -517,6 +559,9 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 		}
 		restart, rerr := j.recover(engine, res)
 		if rerr != nil {
+			if cerr := context.Cause(j.runCtx); cerr != nil {
+				return cerr
+			}
 			return rerr
 		}
 		// Steps the restart will redo are discarded; their simulated time
@@ -575,19 +620,24 @@ func (j *job) recover(engine Engine, res *metrics.JobResult) (int, error) {
 // injectCrash reports whether a scheduled, not-yet-fired crash hits at the
 // start of superstep t. Each crash fires at most once per job: supersteps
 // re-executed during recovery do not re-fire past faults, while later
-// crashes in the plan still hit the recovered run (compound failures).
-func (j *job) injectCrash(t int) (worker int, fired bool) {
+// crashes in the plan still hit the recovered run (compound failures). A
+// crash aimed at a worker the reassign policy already declared dead is
+// consumed without firing — there is no machine left to crash.
+func (j *job) injectCrash(t int) (worker int, permanent, fired bool) {
 	plan := j.cfg.FaultPlan
 	if plan == nil {
-		return 0, false
+		return 0, false, false
 	}
 	for i, c := range plan.Crashes {
 		if c.Step == t && !j.crashFired[i] {
 			j.crashFired[i] = true
-			return c.Worker, true
+			if j.own != nil && j.own.isDead(c.Worker) {
+				continue
+			}
+			return c.Worker, c.Permanent, true
 		}
 	}
-	return 0, false
+	return 0, false, false
 }
 
 // resetForRecovery returns every worker to its freshly-loaded state: flag
@@ -622,13 +672,17 @@ func (j *job) runOnce(engine Engine, res *metrics.JobResult, start int) error {
 		if err := context.Cause(j.runCtx); err != nil {
 			return err
 		}
-		if w, fired := j.injectCrash(t); fired {
+		if w, perm, fired := j.injectCrash(t); fired {
 			// The fault detector notices the crashed worker at the barrier.
 			j.jm.faults.Inc()
 			if j.trace != nil {
-				j.trace.Emit(obs.FaultEvent{Type: obs.EventFault, Step: t, Worker: w})
+				kind := ""
+				if perm {
+					kind = "permanent-crash"
+				}
+				j.trace.Emit(obs.FaultEvent{Type: obs.EventFault, Step: t, Worker: w, Kind: kind})
 			}
-			return &InjectedFailure{Step: t, Worker: w}
+			return &InjectedFailure{Step: t, Worker: w, Permanent: perm}
 		}
 		mode := engine
 		if engine == Hybrid {
@@ -711,6 +765,11 @@ func (j *job) injectStalls(t int) []bool {
 	for i, s := range plan.Stalls {
 		if s.Step == t && !j.stallFired[i] {
 			j.stallFired[i] = true
+			if j.own != nil && j.own.isDead(s.Worker) {
+				// The reassign policy removed this worker; its partition now
+				// runs on a survivor's machine and cannot stall on its own.
+				continue
+			}
 			if out == nil {
 				out = make([]bool, len(j.workers))
 			}
@@ -750,6 +809,11 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, len(j.workers))
 	for i, w := range j.workers {
+		if j.own != nil && j.own.isDead(w.id) {
+			// Permanently-dead slot: its adopted unit is stepped by the
+			// hosting survivor's goroutine below, never on its own.
+			continue
+		}
 		wg.Add(1)
 		go func(i int, w *worker) {
 			defer wg.Done()
@@ -757,12 +821,30 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 				// The stalled worker hangs mid-superstep: it stays reachable —
 				// deliveries land in its inbox and its Pull-Respond handler
 				// keeps serving — but it never reaches the barrier. The
-				// master's deadline supervision declares it failed.
+				// master's deadline supervision declares it failed, along with
+				// any adopted units riding on the same machine.
 				<-release
-				errs[i] = &StalledWorker{Step: t, Workers: []int{w.id}}
+				ws := []int{w.id}
+				if j.own != nil {
+					ws = append(ws, j.own.adoptedBy(w.id)...)
+				}
+				errs[i] = &StalledWorker{Step: t, Workers: ws}
 				return
 			}
-			errs[i] = j.stepWorker(w, t, engine, mode)
+			if errs[i] = j.stepWorker(w, t, engine, mode); errs[i] != nil {
+				return
+			}
+			if j.own != nil {
+				// Host machine: after its own partition, step the adopted
+				// units sequentially in ascending origin order — one machine
+				// executes its units serially, and the fixed order keeps the
+				// visit sequence deterministic.
+				for _, u := range j.own.adoptedBy(w.id) {
+					if errs[i] = j.stepWorker(j.workers[u], t, engine, mode); errs[i] != nil {
+						return
+					}
+				}
+			}
 		}(i, w)
 	}
 	if release == nil {
@@ -807,6 +889,13 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	aggProg, aggregating := j.prog.(algo.Aggregating)
 	aggSet := false
 	var simMax float64
+	var hostSim map[int]float64
+	if j.own != nil {
+		// Under reassignment a host machine runs its own unit plus its
+		// adopted ones serially, so the superstep's critical path is the
+		// per-host sum of unit times, maxed across hosts.
+		hostSim = make(map[int]float64, len(j.workers))
+	}
 	for i, w := range j.workers {
 		d := w.ct.Snapshot().Sub(befores[i].io)
 		var logD diskio.Snapshot
@@ -851,17 +940,34 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 			st.MemBytes = mem
 		}
 
+		host := w.id
+		var migIO diskio.Snapshot
+		var migNet int64
+		if j.own != nil {
+			host = j.own.hostOf(w.id)
+			// A migration that completed since the last superstep lands its
+			// cost here, on the adopted unit's row, exactly once — the
+			// JobResult totals were charged at adoption and are independent.
+			if pm := j.pendingMig[w.id]; pm.set {
+				migIO, migNet = pm.io, pm.net
+				st.MigrationIO = st.MigrationIO.Add(migIO)
+				st.MigrationNetBytes += migNet
+				j.pendingMig[w.id] = pendingMig{}
+			}
+		}
+
 		if j.trace != nil {
 			// One journal line per worker per superstep: exactly the numbers
 			// this loop folds into st, so summing a step's worker events must
 			// reproduce the StepStats (the accounting cross-check test).
 			j.trace.Emit(obs.WorkerStepEvent{Type: obs.EventWorkerStep,
-				Step: t, Worker: w.id, Mode: string(mode),
+				Step: t, Worker: w.id, Host: host, Mode: string(mode),
 				Updated: s.updated, Responding: s.responding,
 				Produced: s.produced, Requests: s.requests,
 				Spilled: s.parts.MdiskW / comm.MsgWireSize,
 				NetIn:   nIn, NetOut: nOut,
-				IO: d, LogIO: logD, Parts: s.parts, MemBytes: mem})
+				IO: d, LogIO: logD, Parts: s.parts, MemBytes: mem,
+				MigrationIO: migIO, MigrationNetBytes: migNet})
 		}
 
 		cpuSec := s.cpu.Seconds(j.cfg.Profile)
@@ -876,7 +982,10 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		if netSec > st.NetSeconds {
 			st.NetSeconds = netSec
 		}
-		if sim := cpuSec + diskSec + netSec; sim > simMax {
+		sim := cpuSec + diskSec + netSec
+		if hostSim != nil {
+			hostSim[host] += sim
+		} else if sim > simMax {
 			simMax = sim
 		}
 
@@ -893,6 +1002,11 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 			} else {
 				st.Aggregate = aggProg.Reduce(st.Aggregate, s.agg)
 			}
+		}
+	}
+	for _, s := range hostSim {
+		if s > simMax {
+			simMax = s
 		}
 	}
 	st.SimSeconds = simMax

@@ -35,8 +35,12 @@ type jobMetrics struct {
 	replaySteps *obs.Counter // "replay.supersteps"
 	diskFaults  *obs.Counter // "core.disk_faults" (injected storage faults observed)
 	ckptFails   *obs.Counter // "checkpoint.write_failures" (abandoned, not committed)
+	reassigns   *obs.Counter // "core.reassignments" (partitions adopted by survivors)
+	migIOBytes  *obs.Counter // "migration.io_bytes" (store-rebuild I/O of adoptions)
+	migNetBytes *obs.Counter // "migration.net_bytes" (state shipped to adopting hosts)
 	step        *obs.Gauge   // "core.superstep" (the superstep in flight)
 	memPeak     *obs.Gauge   // "core.mem_bytes_peak"
+	degraded    *obs.Gauge   // "core.workers_degraded" (permanently-dead workers)
 }
 
 func newJobMetrics(reg *obs.Registry) jobMetrics {
@@ -63,8 +67,12 @@ func newJobMetrics(reg *obs.Registry) jobMetrics {
 		replaySteps: reg.Counter("replay.supersteps"),
 		diskFaults:  reg.Counter("core.disk_faults"),
 		ckptFails:   reg.Counter("checkpoint.write_failures"),
+		reassigns:   reg.Counter("core.reassignments"),
+		migIOBytes:  reg.Counter("migration.io_bytes"),
+		migNetBytes: reg.Counter("migration.net_bytes"),
 		step:        reg.Gauge("core.superstep"),
 		memPeak:     reg.Gauge("core.mem_bytes_peak"),
+		degraded:    reg.Gauge("core.workers_degraded"),
 	}
 }
 

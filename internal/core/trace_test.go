@@ -28,6 +28,8 @@ type parsedTrace struct {
 	pruneFailed      []obs.PruneFailedEvent
 	catalogs         []obs.CatalogEvent
 	scheduler        []obs.SchedulerEvent
+	reassigns        []obs.ReassignEvent
+	adoptBlocks      []obs.AdoptBlockEvent
 }
 
 func parseTrace(t *testing.T, data []byte) *parsedTrace {
@@ -124,6 +126,18 @@ func parseTrace(t *testing.T, data []byte) *parsedTrace {
 				t.Fatal(err)
 			}
 			p.catalogs = append(p.catalogs, ev)
+		case obs.EventReassign:
+			var ev obs.ReassignEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.reassigns = append(p.reassigns, ev)
+		case obs.EventAdoptBlock:
+			var ev obs.AdoptBlockEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.adoptBlocks = append(p.adoptBlocks, ev)
 		case obs.EventJobQueued, obs.EventJobCancelled:
 			var ev obs.SchedulerEvent
 			if err := json.Unmarshal(line, &ev); err != nil {

@@ -25,11 +25,25 @@ import (
 type Crash struct {
 	Step   int
 	Worker int
+	// Permanent marks the worker as gone for good: under the reassign
+	// recovery policy the master does not restore it but migrates its
+	// partition to a survivor. Other policies treat a permanent crash
+	// like an ordinary one.
+	Permanent bool
 }
 
 // String implements fmt.Stringer.
 func (c Crash) String() string {
+	if c.Permanent {
+		return fmt.Sprintf("crash(step=%d, worker=%d, permanent)", c.Step, c.Worker)
+	}
 	return fmt.Sprintf("crash(step=%d, worker=%d)", c.Step, c.Worker)
+}
+
+// PermanentCrash schedules a worker failure the master must treat as
+// unrecoverable in place: the machine is gone, not restarting.
+func PermanentCrash(step, worker int) Crash {
+	return Crash{Step: step, Worker: worker, Permanent: true}
 }
 
 // Stall schedules one worker hang: at superstep Step the worker stops
@@ -143,6 +157,28 @@ func RandomCrashes(seed int64, n, maxStep, workers int) []Crash {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
 	return out
+}
+
+// RandomPermanentCrashes deterministically draws n permanent crashes at
+// distinct supersteps in [2, maxStep] across workers in [0, workers),
+// sorted by step. Distinct workers are preferred so a chaos campaign does
+// not waste draws re-killing an already-dead worker.
+func RandomPermanentCrashes(seed int64, n, maxStep, workers int) []Crash {
+	crashes := RandomCrashes(seed, n, maxStep, workers)
+	used := make(map[int]bool, len(crashes))
+	for i := range crashes {
+		crashes[i].Permanent = true
+		if used[crashes[i].Worker] {
+			for w := 0; w < workers; w++ {
+				if !used[w] {
+					crashes[i].Worker = w
+					break
+				}
+			}
+		}
+		used[crashes[i].Worker] = true
+	}
+	return crashes
 }
 
 // RandomStalls deterministically draws n stalls at distinct supersteps in

@@ -7,7 +7,7 @@ import (
 
 func TestNewPlanSortsCrashes(t *testing.T) {
 	p := NewPlan(Crash{Step: 9, Worker: 1}, Crash{Step: 3, Worker: 2}, Crash{Step: 9, Worker: 0})
-	want := []Crash{{3, 2}, {9, 0}, {9, 1}}
+	want := []Crash{{Step: 3, Worker: 2}, {Step: 9, Worker: 0}, {Step: 9, Worker: 1}}
 	if len(p.Crashes) != len(want) {
 		t.Fatalf("crashes = %v", p.Crashes)
 	}

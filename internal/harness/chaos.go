@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -89,6 +90,100 @@ func Chaos(o Options) ([]*Table, error) {
 						fmtSeconds(res.RecoverySimSeconds), fmtBytes(res.ReplayIO.Total()),
 						"identical"})
 				}
+			}
+		}
+	}
+	return []*Table{tb}, nil
+}
+
+// ReassignChaos runs the permanent-loss campaign: seeded permanent
+// crashes (plus a stall and transport faults on some legs) under the
+// reassign policy, over every loggable engine. Each run must finish with
+// values byte-identical to a fault-free run, with the dead workers'
+// partitions adopted by survivors and migration bytes charged — or fail
+// with the typed no-survivors error when a schedule kills every machine.
+func ReassignChaos(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	ds, err := graph.DatasetByName("livej")
+	if err != nil {
+		return nil, err
+	}
+	g := ds.GenerateCached(o.Scale)
+
+	seeds := []int64{o.ChaosSeed, o.ChaosSeed + 1, o.ChaosSeed + 2, o.ChaosSeed + 3}
+	if o.Quick {
+		seeds = seeds[:2]
+	}
+	progs := map[string]func() algo.Program{
+		"pagerank": func() algo.Program { return algo.NewPageRank(0.85) },
+		"sssp":     func() algo.Program { return algo.NewSSSP(0) },
+	}
+	algs := []string{"pagerank", "sssp"}
+	if o.Quick {
+		algs = algs[:1]
+	}
+
+	tb := &Table{ID: "reassignchaos", Title: "Reassign campaign: seeded permanent crashes, partitions adopted, values vs fault-free run",
+		Header: []string{"seed", "algo", "engine", "tcp", "perm-crashes", "stalls",
+			"reassigns", "migration(B)", "net-migration(B)", "values"}}
+
+	base := core.Config{Workers: o.Workers, MsgBuf: 64, MaxSteps: 8,
+		Profile: o.Profile, CheckpointEvery: 3, Recovery: "reassign",
+		MaxRestarts: 1, TraceDir: o.TraceDir, Metrics: o.Metrics}
+
+	for _, alg := range algs {
+		for _, e := range []core.Engine{core.Push, core.BPull, core.Hybrid} {
+			cleanCfg := base
+			cleanCfg.Recovery = ""
+			clean, err := core.Run(g, progs[alg](), cleanCfg, e)
+			if err != nil {
+				return nil, err
+			}
+			for _, seed := range seeds {
+				// Up to two permanent losses out of o.Workers machines: the
+				// cluster shrinks but survives. One seeded stall leg layers a
+				// repeated-stall escalation on top.
+				plan := faultplan.NewPlan(faultplan.RandomPermanentCrashes(seed, 2, 6, o.Workers)...).
+					WithStalls(faultplan.RandomStalls(seed+9973, 1, 6, o.Workers)...)
+				tcp := seed == seeds[0]
+				if tcp {
+					plan.Net = &faultplan.TransportFaults{Seed: seed,
+						DropRequest: 0.02, DropResponse: 0.02, Duplicate: 0.02}
+				}
+				cfg := base
+				cfg.FaultPlan = plan
+				cfg.BarrierDeadline = 100 * time.Millisecond
+				cfg.TCP = tcp
+				res, err := core.Run(g, progs[alg](), cfg, e)
+				if err != nil {
+					if errors.Is(err, core.ErrNoSurvivors) {
+						tb.Rows = append(tb.Rows, []string{
+							fmt.Sprintf("%d", seed), alg, string(e), fmt.Sprintf("%v", tcp),
+							fmt.Sprintf("%d", len(plan.Crashes)), "-", "-", "-", "-",
+							"no-survivors"})
+						continue
+					}
+					return nil, fmt.Errorf("reassign chaos seed %d %s/%s: %w", seed, alg, e, err)
+				}
+				if res.Reassignments < 1 {
+					return nil, fmt.Errorf("reassign chaos seed %d %s/%s: no reassignment despite permanent crashes", seed, alg, e)
+				}
+				if res.MigrationIO.Total() <= 0 || !res.Degraded {
+					return nil, fmt.Errorf("reassign chaos seed %d %s/%s: migration accounting empty (io=%d degraded=%v)",
+						seed, alg, e, res.MigrationIO.Total(), res.Degraded)
+				}
+				for v := range clean.Values {
+					if res.Values[v] != clean.Values[v] {
+						return nil, fmt.Errorf("reassign chaos seed %d %s/%s: vertex %d = %g, fault-free run has %g",
+							seed, alg, e, v, res.Values[v], clean.Values[v])
+					}
+				}
+				tb.Rows = append(tb.Rows, []string{
+					fmt.Sprintf("%d", seed), alg, string(e), fmt.Sprintf("%v", tcp),
+					fmt.Sprintf("%d", len(plan.Crashes)), fmt.Sprintf("%d", res.Stalls),
+					fmt.Sprintf("%d", res.Reassignments),
+					fmtBytes(res.MigrationIO.Total()), fmtBytes(res.MigrationNetBytes),
+					"identical"})
 			}
 		}
 	}

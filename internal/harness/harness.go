@@ -51,7 +51,8 @@ type Options struct {
 	ChaosSeed int64
 	// Recovery, when set, restricts the recovery-policy sweeps of the
 	// chaos and recovery experiments to one policy ("scratch", "resume",
-	// "checkpoint" or "confined"). Empty runs each experiment's full list.
+	// "checkpoint", "confined" or "reassign"). Empty runs each
+	// experiment's full list.
 	Recovery string
 }
 
@@ -159,6 +160,7 @@ var Experiments = []Experiment{
 	{"table5", "Modified-pull scenarios (original/ext-mem/ext-edge/v3/v2.5)", Table5},
 	{"recovery", "Recovery cost by policy: scratch/resume/checkpoint/confined", RecoveryCost},
 	{"chaos", "Chaos campaign: seeded crash+stall+transport faults, values must match fault-free", Chaos},
+	{"reassignchaos", "Reassign chaos: seeded permanent crashes, partitions adopted by survivors, values must match fault-free", ReassignChaos},
 	{"diskchaos", "Disk-fault chaos: seeded storage faults under crash+stall plans, identical or typed failure", DiskChaos},
 	{"bench", "Machine-readable benchmark matrix, written to BENCH_pr4.json (runtime, Eq. 7/8 bytes, Qt)", Bench},
 	{"benchpar", "Parallel-compute benchmark: Parallelism=1 vs NumCPU, written to BENCH_pr7.json (speedup, identity checks)", BenchPar},

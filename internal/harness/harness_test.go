@@ -346,3 +346,27 @@ func TestFig11PredictionRatiosFinite(t *testing.T) {
 		}
 	}
 }
+
+func TestReassignChaosShape(t *testing.T) {
+	tables := mustRun(t, "reassignchaos")
+	tb := tables[0]
+	reCol := colIndex(t, tb, "reassigns")
+	valCol := colIndex(t, tb, "values")
+	identical := 0
+	for r := range tb.Rows {
+		switch tb.Rows[r][valCol] {
+		case "identical":
+			identical++
+			if n := cellFloat(t, tb, r, reCol); n < 1 {
+				t.Errorf("reassignchaos row %d: completed with %g reassignments, want >= 1", r, n)
+			}
+		case "no-survivors":
+			// A schedule that kills every machine is a typed failure row.
+		default:
+			t.Errorf("reassignchaos row %d: values column %q", r, tb.Rows[r][valCol])
+		}
+	}
+	if identical == 0 {
+		t.Fatal("reassignchaos: no leg completed; the campaign never exercised adoption")
+	}
+}

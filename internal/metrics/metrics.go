@@ -71,6 +71,17 @@ type StepStats struct {
 	// (7)/(8) traffic.
 	LogIO diskio.Snapshot
 
+	// MigrationIO and MigrationNetBytes land the cost of a partition
+	// reassignment that completed just before this superstep ran: the disk
+	// traffic of rebuilding the adopted worker's stores from the shared
+	// catalog, and the bytes of state that logically moved between
+	// machines (snapshot + retained log segments + fetched layout
+	// bytes). Kept out of IO/Parts for the same reason as LogIO — policy
+	// overhead, not Eq. (7)/(8) traffic — and mirrored by the adopted
+	// unit's WorkerStepEvent so the trace-vs-stats cross-check covers them.
+	MigrationIO       diskio.Snapshot
+	MigrationNetBytes int64
+
 	// Cross-mode estimates hybrid gathers while running the other engine
 	// (Section 5.3): what push's edge reads would have cost during a
 	// b-pull superstep (EstEt), and what b-pull's Eblock scan, fragment
@@ -153,6 +164,22 @@ type JobResult struct {
 	// ConfinedRecoveries counts recoveries handled by the confined policy
 	// (single-worker restore + log replay, no global rollback).
 	ConfinedRecoveries int
+
+	// Reassignments counts partition adoptions under the reassign policy:
+	// permanently-dead workers whose Vblock range a survivor took over.
+	// MigrationIO is the disk traffic of rebuilding the adopted stores from
+	// the shared catalog (the snapshot and log-slice reads of the follow-up
+	// restore+replay stay in ReplayIO, as under confined recovery);
+	// MigrationNetBytes the state bytes that logically crossed the network
+	// to the adopting host (snapshot + retained log segments + fetched
+	// layout bytes). Both are charged directly at adoption time, not
+	// derived by Finish, so they survive even when the job halts before
+	// another superstep runs. Degraded marks a result produced by fewer
+	// live workers than the job started with.
+	Reassignments     int
+	MigrationIO       diskio.Snapshot
+	MigrationNetBytes int64
+	Degraded          bool
 
 	// Checkpoints counts committed checkpoints; CheckpointIO is the disk
 	// traffic they performed (snapshot writes plus spill re-reads) and

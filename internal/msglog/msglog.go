@@ -302,6 +302,31 @@ func (l *Log) BytesLogged() int64 {
 	return l.bytes
 }
 
+// SegmentBytes reports the on-disk bytes of every segment still in the
+// log (pruned segments excluded). This is the size of the log slice a
+// partition adoption must ship to the surviving host — BytesLogged is the
+// wrong number there, being a lifetime total that still counts pruned
+// segments.
+func (l *Log) SegmentBytes() (int64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
 // Records reports the number of records appended so far.
 func (l *Log) Records() int64 {
 	l.mu.Lock()

@@ -122,6 +122,10 @@ const (
 	EventReplayServe   = "replay_serve"      // one survivor's share of a replayed superstep
 	EventPruneFailed   = "ckpt_prune_failed" // checkpoint or msglog pruning reported errors
 
+	// Partition-reassignment events (the reassign recovery policy).
+	EventReassign   = "reassign"    // the master declared a worker permanently dead
+	EventAdoptBlock = "adopt_block" // a survivor adopted one of the dead worker's Vblocks
+
 	// Service events (the graph service daemon's catalog and scheduler).
 	EventCatalog      = "catalog"       // setup resolved its edge layouts (hit = reused)
 	EventJobQueued    = "job_queued"    // the scheduler admitted a job into its queue
@@ -175,6 +179,16 @@ type WorkerStepEvent struct {
 	// worker-events-sum-to-StepStats cross-check and the Q^t inputs stay
 	// exact: log bytes are policy overhead, not Eq. (7)/(8) traffic.
 	LogIO diskio.Snapshot `json:"log_io"`
+	// Host names the worker whose goroutine executed this unit's share of
+	// the superstep — itself normally, the adopting survivor after a
+	// reassignment. The correctness matrix reads it to prove the dead
+	// worker never executes after its partition moved.
+	Host int `json:"host"`
+	// MigrationIO/MigrationNetBytes land an adoption's migration cost on
+	// the adopted unit's first post-reassignment superstep, mirroring the
+	// StepStats fields so the events-sum-to-stats cross-check covers them.
+	MigrationIO       diskio.Snapshot `json:"migration_io,omitempty"`
+	MigrationNetBytes int64           `json:"migration_net_bytes,omitempty"`
 }
 
 // StepEvent is the cluster-aggregated superstep record: the same StepStats
@@ -267,6 +281,42 @@ type ReplayServeEvent struct {
 	Worker int             `json:"worker"`
 	Bytes  int64           `json:"bytes"` // log bytes served to the recovering worker
 	IO     diskio.Snapshot `json:"io"`    // survivor's compute disk delta (zero)
+}
+
+// ReassignEvent records the master permanently retiring a worker under
+// the reassign policy: why it was declared dead (a faultplan permanent
+// crash, a crash count past MaxRestarts, or repeated stalls), which
+// survivor adopted its partition, the ownership epoch the reassignment
+// advanced to, and the migration bytes the adoption charged.
+type ReassignEvent struct {
+	Type    string `json:"type"`
+	Step    int    `json:"step"` // detection superstep
+	Worker  int    `json:"worker"`
+	Host    int    `json:"host"`
+	Epoch   int64  `json:"epoch"`
+	Reason  string `json:"reason"` // "permanent-crash", "crash-limit", "stall-limit"
+	Crashes int    `json:"crashes,omitempty"`
+	Stalls  int    `json:"stalls,omitempty"`
+	// MigrationIOBytes is the adoption's disk traffic (store rebuilds +
+	// snapshot/log reads); MigrationNetBytes the state bytes that logically
+	// moved to the host.
+	MigrationIOBytes  int64 `json:"migration_io_bytes"`
+	MigrationNetBytes int64 `json:"migration_net_bytes"`
+}
+
+// AdoptBlockEvent records one global Vblock changing hands during a
+// reassignment. One event per adopted block keeps the journal
+// block-grain — the ownership table's unit — even though a whole-origin
+// adoption moves every block of the dead worker to the same host.
+type AdoptBlockEvent struct {
+	Type   string `json:"type"`
+	Step   int    `json:"step"`
+	Block  int    `json:"block"` // global Vblock id
+	From   int    `json:"from"`  // dead worker
+	To     int    `json:"to"`    // adopting host
+	Epoch  int64  `json:"epoch"`
+	Vfirst int    `json:"v_first"` // first vertex id of the block
+	Vcount int    `json:"v_count"` // vertices in the block
 }
 
 // CatalogEvent records how a job's setup resolved its edge layouts: a hit

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"hybridgraph/internal/catalog"
@@ -16,9 +19,28 @@ import (
 
 // Client talks to a running daemon's JSON API. The zero HTTPClient uses
 // http.DefaultClient.
+//
+// Connection-level failures (refused, reset, a round trip exceeding
+// Timeout) are retried with exponential backoff and jitter — but only for
+// requests that are safe to repeat: reads always, a submit only when its
+// spec carries a RequestID the server deduplicates on. A submit without
+// one is sent exactly once, because a retry after a lost response could
+// run the job twice. HTTP-level errors (4xx/5xx bodies) never retry: the
+// server heard us and said no.
 type Client struct {
 	Base       string // e.g. "http://127.0.0.1:8080"
 	HTTPClient *http.Client
+	// Timeout bounds each individual round trip, not the whole retried
+	// operation (default 30s; the caller's ctx still caps everything).
+	Timeout time.Duration
+	// MaxRetries is the number of re-sends after the first attempt fails
+	// at the connection level (default 3). Backoff is the base delay
+	// (default 50ms), doubling per attempt with up to 100% jitter.
+	MaxRetries int
+	Backoff    time.Duration
+
+	jmu sync.Mutex
+	jrt *rand.Rand // jitter source, lazily seeded
 }
 
 // NewClient returns a client for the daemon at base.
@@ -33,21 +55,103 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one JSON round trip; a non-nil out receives the decoded body.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 3
+}
+
+// jitter draws a random duration in [0, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if c.jrt == nil {
+		c.jrt = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.jrt.Int63n(int64(d) + 1))
+}
+
+// do issues a JSON operation with the retry policy above; a non-nil out
+// receives the decoded body. idempotent marks the request safe to re-send
+// after a connection-level failure.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		if attempt > 0 {
+			d := backoff << uint(attempt-1)
+			if max := 2 * time.Second; d > max {
+				d = max
+			}
+			tm := time.NewTimer(d + c.jitter(d))
+			select {
+			case <-tm.C:
+			case <-ctx.Done():
+				tm.Stop()
+				return ctx.Err()
+			}
+		}
+		err := c.once(ctx, method, path, data, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var he *httpError
+		if errors.As(err, &he) {
+			// The server processed the request; repeating it cannot help
+			// and (for a submit) could double-apply it.
+			return err
+		}
+		if ctx.Err() != nil {
+			// The caller's context expired, not just this attempt's
+			// per-request deadline.
+			return err
+		}
+		if !idempotent {
+			return err
+		}
+	}
+	return fmt.Errorf("service: %s %s failed after %d attempts: %w",
+		method, path, c.retries()+1, lastErr)
+}
+
+// httpError is a response the server actually produced (status >= 400),
+// as opposed to a connection-level failure. Never retried.
+type httpError struct{ msg string }
+
+func (e *httpError) Error() string { return e.msg }
+
+// once performs a single round trip under the per-request timeout.
+func (c *Client) once(ctx context.Context, method, path string, data []byte, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	req, err := http.NewRequestWithContext(rctx, method, c.Base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
@@ -58,9 +162,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if resp.StatusCode >= 400 {
 		var ae apiError
 		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", method, path, ae.Error, resp.Status)
+			return &httpError{fmt.Sprintf("%s %s: %s (%s)", method, path, ae.Error, resp.Status)}
 		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		return &httpError{fmt.Sprintf("%s %s: %s", method, path, resp.Status)}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -71,13 +175,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 
 // Health reports whether the daemon answers /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }
 
-// Ingest ingests a graph and returns its manifest.
+// Ingest ingests a graph and returns its manifest. Not retried: a lost
+// response would make the retry collide with the first attempt's
+// already-created entry.
 func (c *Client) Ingest(ctx context.Context, req IngestRequest) (*catalog.Manifest, error) {
 	m := &catalog.Manifest{}
-	if err := c.do(ctx, http.MethodPost, "/api/graphs", req, m); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/api/graphs", req, m, false); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -86,30 +192,42 @@ func (c *Client) Ingest(ctx context.Context, req IngestRequest) (*catalog.Manife
 // Graphs lists the catalog's manifests.
 func (c *Client) Graphs(ctx context.Context) ([]*catalog.Manifest, error) {
 	var out []*catalog.Manifest
-	if err := c.do(ctx, http.MethodGet, "/api/graphs", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/graphs", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Submit enqueues a job.
+// Submit enqueues a job. A spec carrying a RequestID is retried on
+// connection errors — the server deduplicates, so the retry lands on the
+// job the lost first attempt created. Without one the submit is sent
+// exactly once and a connection error surfaces to the caller.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/api/jobs", spec, &st)
+	err := c.do(ctx, http.MethodPost, "/api/jobs", spec, &st, spec.RequestID != "")
 	return st, err
 }
 
 // Job reports one job's status.
 func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodGet, "/api/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/api/jobs/"+id, nil, &st, true)
 	return st, err
 }
 
 // Jobs lists every job.
 func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 	var out []JobStatus
-	if err := c.do(ctx, http.MethodGet, "/api/jobs", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/jobs", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Workers fetches the per-job worker-health view.
+func (c *Client) Workers(ctx context.Context) ([]JobWorkers, error) {
+	var out []JobWorkers
+	if err := c.do(ctx, http.MethodGet, "/api/workers", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -118,16 +236,18 @@ func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 // Result fetches a done job's full result.
 func (c *Client) Result(ctx context.Context, id string) (*metrics.JobResult, error) {
 	var wire resultWire
-	if err := c.do(ctx, http.MethodGet, "/api/jobs/"+id+"/result", nil, &wire); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/jobs/"+id+"/result", nil, &wire, true); err != nil {
 		return nil, err
 	}
 	return wire.toResult(), nil
 }
 
-// Cancel cancels a queued or running job.
+// Cancel cancels a queued or running job. Not retried: cancelling an
+// already-terminal job is an error, so a retry of a cancel whose response
+// was lost would mask the first attempt's success.
 func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/api/jobs/"+id+"/cancel", nil, &st)
+	err := c.do(ctx, http.MethodPost, "/api/jobs/"+id+"/cancel", nil, &st, false)
 	return st, err
 }
 

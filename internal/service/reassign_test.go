@@ -1,0 +1,230 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/faultplan"
+	"hybridgraph/internal/obs"
+)
+
+// TestSchedulerReassignDegraded runs a reassign-policy job whose fault
+// plan kills a worker permanently: the job must finish done, be marked
+// degraded in its status, and show the dead worker in the /workers view
+// with its partition hosted by a survivor.
+func TestSchedulerReassignDegraded(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	reg := obs.NewRegistry()
+	s, err := NewScheduler(cat, SchedulerConfig{DataDir: dir, Metrics: reg,
+		ConfigHook: func(_ string, cfg *core.Config) {
+			cfg.FaultPlan = faultplan.NewPlan(faultplan.PermanentCrash(4, 1))
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(time.Minute)
+
+	st, err := s.Submit(JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push",
+		MaxSteps: 8, MsgBuf: 300, Recovery: "reassign", CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitAll(t, s, []string{st.ID})[st.ID]
+	if got.State != JobDone {
+		t.Fatalf("state = %s (%s), want done", got.State, got.Error)
+	}
+	if !got.Degraded || got.Reassignments != 1 {
+		t.Fatalf("degraded=%v reassignments=%d, want true/1", got.Degraded, got.Reassignments)
+	}
+	view := s.Workers()
+	if len(view) != 1 {
+		t.Fatalf("workers view rows = %d, want 1", len(view))
+	}
+	row := view[0]
+	if row.JobID != st.ID || !row.Degraded || row.Reassignments != 1 {
+		t.Fatalf("workers row = %+v", row)
+	}
+	if len(row.Workers) != 3 {
+		t.Fatalf("health entries = %d, want 3", len(row.Workers))
+	}
+	dead := row.Workers[1]
+	if dead.Alive || dead.Host == 1 || dead.Crashes != 1 {
+		t.Fatalf("dead worker health = %+v", dead)
+	}
+	for _, w := range []int{0, 2} {
+		if h := row.Workers[w]; !h.Alive || h.Host != w {
+			t.Fatalf("survivor %d health = %+v", w, h)
+		}
+	}
+	// The result the service serves is complete and exact in shape.
+	res, err := s.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Reassignments != 1 || res.MigrationIO.Total() <= 0 {
+		t.Fatalf("result degraded=%v reassignments=%d migIO=%d",
+			res.Degraded, res.Reassignments, res.MigrationIO.Total())
+	}
+}
+
+// TestWorkersDegradedGauge: the gauge counts dead workers of live jobs
+// and drops back when the jobs finish.
+func TestWorkersDegradedGauge(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	reg := obs.NewRegistry()
+	s, err := NewScheduler(cat, SchedulerConfig{DataDir: dir, Metrics: reg,
+		ConfigHook: func(_ string, cfg *core.Config) {
+			cfg.FaultPlan = faultplan.NewPlan(faultplan.PermanentCrash(3, 2))
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(time.Minute)
+	st, err := s.Submit(JobSpec{Graph: "g", Algorithm: "sssp", Engine: "b-pull",
+		MaxSteps: 8, MsgBuf: 300, Recovery: "reassign", CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitAll(t, s, []string{st.ID})[st.ID]
+	if got.State != JobDone {
+		t.Fatalf("state = %s (%s), want done", got.State, got.Error)
+	}
+	// Terminal job: its dead worker no longer counts against the gauge.
+	if g := reg.Snapshot()["service.workers_degraded"]; g != 0 {
+		t.Fatalf("workers_degraded = %d after the job finished, want 0", g)
+	}
+}
+
+// TestSubmitRequestIDDedup: the same RequestID enqueues exactly one job,
+// whichever submit carried it first, and survives a WAL replay.
+func TestSubmitRequestIDDedup(t *testing.T) {
+	dir := t.TempDir()
+	cat := newTestCatalog(t, dir)
+	s, err := NewScheduler(cat, SchedulerConfig{DataDir: dir,
+		WALDir: dir + "/wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Graph: "g", Algorithm: "pagerank", Engine: "push",
+		MaxSteps: 4, MsgBuf: 300, RequestID: "req-abc"}
+	a, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("duplicate submit created a second job: %s vs %s", a.ID, b.ID)
+	}
+	if n := len(s.Jobs()); n != 1 {
+		t.Fatalf("jobs = %d, want 1", n)
+	}
+	waitAll(t, s, []string{a.ID})
+	s.Drain(time.Minute)
+
+	// A restarted daemon rebuilds the dedup index from the WAL: the retry
+	// of an old request still lands on the old job.
+	s2, err := NewScheduler(cat, SchedulerConfig{DataDir: dir,
+		WALDir: dir + "/wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(time.Minute)
+	c, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != a.ID {
+		t.Fatalf("post-restart duplicate submit created %s, want %s", c.ID, a.ID)
+	}
+}
+
+// flakyTransport fails the first n round trips at the connection level,
+// then delegates to the default transport.
+type flakyTransport struct {
+	fails atomic.Int32
+	next  http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.fails.Add(-1) >= 0 {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("connection refused")}
+	}
+	return f.next.RoundTrip(req)
+}
+
+// TestClientRetriesIdempotent: reads and RequestID-carrying submits ride
+// out transient connection failures; a submit without a RequestID
+// surfaces the first connection error instead of risking a double run.
+func TestClientRetriesIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", DataDir: dir, WALDir: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	defer srv.Shutdown(context.Background())
+
+	newFlaky := func(fails int32) *Client {
+		ft := &flakyTransport{next: http.DefaultTransport}
+		ft.fails.Store(fails)
+		c := NewClient("http://" + srv.Addr)
+		c.HTTPClient = &http.Client{Transport: ft}
+		c.Backoff = time.Millisecond
+		return c
+	}
+
+	if _, err := newFlaky(0).Ingest(ctx, IngestRequest{Name: "g", Workers: 3,
+		Generator: &GenSpec{Kind: "uniform", Vertices: 200, Edges: 1200, Seed: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// A read retries through two dead connections.
+	if _, err := newFlaky(2).Graphs(ctx); err != nil {
+		t.Fatalf("Graphs did not ride out connection failures: %v", err)
+	}
+	// A keyed submit retries and lands exactly one job.
+	if _, err := newFlaky(2).Submit(ctx, JobSpec{Graph: "g", Algorithm: "pagerank",
+		Engine: "push", MaxSteps: 3, MsgBuf: 200, RequestID: "retry-1"}); err != nil {
+		t.Fatalf("keyed submit did not ride out connection failures: %v", err)
+	}
+	if jobs, err := newFlaky(0).Jobs(ctx); err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs after keyed retry = %d (%v), want 1", len(jobs), err)
+	}
+	// An unkeyed submit must not be retried: the first connection error
+	// surfaces and no job is created by the failed attempt.
+	if _, err := newFlaky(1).Submit(ctx, JobSpec{Graph: "g", Algorithm: "pagerank",
+		Engine: "push", MaxSteps: 3, MsgBuf: 200}); err == nil {
+		t.Fatal("unkeyed submit swallowed a connection error via retry")
+	}
+	if jobs, err := newFlaky(0).Jobs(ctx); err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs after unkeyed failure = %d (%v), want still 1", len(jobs), err)
+	}
+	// HTTP-level errors are terminal even for idempotent requests: a 404
+	// returns immediately rather than burning the retry budget.
+	c := newFlaky(0)
+	c.MaxRetries = 10
+	start := time.Now()
+	if _, err := c.Job(ctx, "job-999999"); err == nil {
+		t.Fatal("Job on a missing id should fail")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("HTTP error was retried; it must return immediately")
+	}
+
+	// The /workers endpoint answers (empty view, no reassign jobs ran).
+	if view, err := newFlaky(1).Workers(ctx); err != nil || view == nil || len(view) != 0 {
+		t.Fatalf("workers view = %v (%v), want empty list", view, err)
+	}
+}

@@ -59,10 +59,20 @@ type JobSpec struct {
 	// TCP routes worker traffic over the loopback TCP fabric.
 	TCP bool `json:"tcp,omitempty"`
 	// Recovery selects the fault-tolerance policy ("", scratch, resume,
-	// checkpoint, confined) and Retries the number of times the scheduler
-	// re-enqueues the job after a non-cancellation failure.
+	// checkpoint, confined, reassign) and Retries the number of times the
+	// scheduler re-enqueues the job after a non-cancellation failure.
 	Recovery string `json:"recovery,omitempty"`
 	Retries  int    `json:"retries,omitempty"`
+	// MaxRestarts is the reassign policy's per-worker failure budget: a
+	// worker exceeding it is declared permanently dead and its partition
+	// adopted by a survivor (0 = the core default).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// RequestID, when set, makes the submit idempotent: re-submitting a
+	// spec carrying a RequestID the scheduler has already accepted returns
+	// the existing job instead of enqueuing a duplicate. The client's
+	// retry layer only retries submits that carry one, because without it
+	// a retried submit whose first response was lost would run twice.
+	RequestID string `json:"request_id,omitempty"`
 	// CheckpointEvery commits a checkpoint every N supersteps. Beyond the
 	// in-run recovery policies, a checkpointing job killed with the daemon
 	// resumes from its last committed checkpoint on restart (job WAL).
@@ -85,6 +95,10 @@ type JobStatus struct {
 	CatalogHit  bool    `json:"catalog_hit,omitempty"`
 	LayoutBuild int64   `json:"layout_build_bytes,omitempty"`
 	LayoutReuse int64   `json:"layout_reused_bytes,omitempty"`
+	// Degraded marks a job that survived a permanent worker loss under the
+	// reassign policy: the result is exact, but fewer machines computed it.
+	Degraded      bool `json:"degraded,omitempty"`
+	Reassignments int  `json:"reassignments,omitempty"`
 
 	EnqueuedAt time.Time `json:"enqueued_at"`
 	StartedAt  time.Time `json:"started_at,omitempty"`
@@ -94,6 +108,27 @@ type JobStatus struct {
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// WorkerHealth is one worker's liveness within a job, as reported by the
+// recovery machinery through core's OnRecovery hook.
+type WorkerHealth struct {
+	Worker int  `json:"worker"`
+	Alive  bool `json:"alive"`
+	// Host is the worker hosting this worker's partition: itself while
+	// alive, the adopting survivor after a reassignment.
+	Host    int `json:"host"`
+	Crashes int `json:"crashes"`
+	Stalls  int `json:"stalls"`
+}
+
+// JobWorkers is one job's row in the /workers health view.
+type JobWorkers struct {
+	JobID         string         `json:"job_id"`
+	State         JobState       `json:"state"`
+	Degraded      bool           `json:"degraded,omitempty"`
+	Reassignments int            `json:"reassignments,omitempty"`
+	Workers       []WorkerHealth `json:"workers"`
 }
 
 // job is the scheduler's internal record.
@@ -107,6 +142,19 @@ type job struct {
 	// next attempt restores the last committed checkpoint from the job's
 	// (surviving) work directory instead of starting over.
 	resume bool
+	// health is the per-worker liveness this job's OnRecovery notices have
+	// built up; nil until the first notice (or until the attempt starts
+	// for a reassign job). Guarded by the scheduler's mu.
+	health        []WorkerHealth
+	reassignments int
+}
+
+// ensureHealth grows j.health to cover worker w. Callers hold s.mu.
+func (j *job) ensureHealth(w int) {
+	for len(j.health) <= w {
+		j.health = append(j.health, WorkerHealth{
+			Worker: len(j.health), Alive: true, Host: len(j.health)})
+	}
 }
 
 // SchedulerConfig bounds the scheduler (admission control).
@@ -138,6 +186,10 @@ type SchedulerConfig struct {
 	// were running from their last committed checkpoint. Empty disables
 	// the WAL (jobs die with the process).
 	WALDir string
+	// ConfigHook, when non-nil, is applied to every job's core.Config just
+	// before the run starts. Chaos harnesses and tests inject fault plans
+	// through it; production daemons leave it nil.
+	ConfigHook func(jobID string, cfg *core.Config)
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -162,7 +214,8 @@ type Scheduler struct {
 	mu       sync.Mutex
 	queue    []*job // ordered: higher priority first, then FIFO
 	jobs     map[string]*job
-	order    []string // all job ids in submit order (for listing)
+	byReqID  map[string]string // JobSpec.RequestID -> job id (submit dedup)
+	order    []string          // all job ids in submit order (for listing)
 	running  int
 	nextSeq  int64
 	draining bool
@@ -187,7 +240,7 @@ func NewScheduler(cat *catalog.Catalog, cfg SchedulerConfig) (*Scheduler, error)
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Scheduler{cfg: cfg, cat: cat, baseCtx: ctx, stop: stop,
-		jobs: make(map[string]*job)}
+		jobs: make(map[string]*job), byReqID: make(map[string]string)}
 	reg := cfg.Metrics
 	s.mSubmitted = reg.Counter("service.jobs_submitted")
 	s.mDone = reg.Counter("service.jobs_done")
@@ -203,6 +256,22 @@ func NewScheduler(cat *catalog.Catalog, cfg SchedulerConfig) (*Scheduler, error)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return int64(len(s.queue))
+	})
+	reg.RegisterFunc("service.workers_degraded", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var dead int64
+		for _, j := range s.jobs {
+			if j.status.State.Terminal() {
+				continue
+			}
+			for _, h := range j.health {
+				if !h.Alive {
+					dead++
+				}
+			}
+		}
+		return dead
 	})
 	if cfg.WALDir != "" {
 		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
@@ -236,6 +305,9 @@ func (s *Scheduler) replayWAL(recs []walRecord, torn bool) {
 				EnqueuedAt: time.Now()}
 			s.jobs[rec.ID] = j
 			s.order = append(s.order, rec.ID)
+			if rec.Spec.RequestID != "" {
+				s.byReqID[rec.Spec.RequestID] = rec.ID
+			}
 			if rec.Seq > s.nextSeq {
 				s.nextSeq = rec.Seq
 			}
@@ -318,6 +390,13 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if spec.RequestID != "" {
+		// Idempotent submit: the same request (a client retry after a lost
+		// response, say) returns the job it already created.
+		if id, ok := s.byReqID[spec.RequestID]; ok {
+			return s.jobs[id].status, nil
+		}
+	}
 	if s.draining {
 		s.mRejected.Inc()
 		return JobStatus{}, fmt.Errorf("service: scheduler is draining")
@@ -348,6 +427,9 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	s.jobs[j.status.ID] = j
 	s.order = append(s.order, j.status.ID)
+	if spec.RequestID != "" {
+		s.byReqID[spec.RequestID] = j.status.ID
+	}
 	s.enqueueLocked(j)
 	s.mSubmitted.Inc()
 	if s.cfg.Tracer != nil {
@@ -433,6 +515,8 @@ func (s *Scheduler) runJob(j *job, ctx context.Context) {
 		st.CatalogHit = res.CatalogHit
 		st.LayoutBuild = res.LayoutBuildBytes
 		st.LayoutReuse = res.LayoutReusedBytes
+		st.Degraded = res.Degraded
+		st.Reassignments = res.Reassignments
 		s.mDone.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
 		j.status.State = JobCancelled
@@ -490,8 +574,32 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 		Parallelism:     spec.Parallelism,
 		TCP:             spec.TCP,
 		Recovery:        spec.Recovery,
+		MaxRestarts:     spec.MaxRestarts,
 		CheckpointEvery: spec.CheckpointEvery,
 		Metrics:         s.cfg.Metrics,
+	}
+	// The recovery hook is the /workers health feed: every crash, stall
+	// and adoption lands in the job's per-worker liveness table as it
+	// happens, so a health query during a long run sees the current
+	// cluster shape, not the post-mortem.
+	cfg.OnRecovery = func(n core.RecoveryNotice) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		j.ensureHealth(n.Worker)
+		h := &j.health[n.Worker]
+		switch n.Kind {
+		case "crash":
+			h.Crashes++
+		case "stall":
+			h.Stalls++
+		case "reassign":
+			j.ensureHealth(n.Host)
+			h.Alive = false
+			h.Host = n.Host
+			j.reassignments++
+			j.status.Degraded = true
+			j.status.Reassignments = j.reassignments
+		}
 	}
 	if s.cfg.TraceDir != "" {
 		cfg.TracePath = filepath.Join(s.cfg.TraceDir,
@@ -519,12 +627,28 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 			}
 		}()
 	}
+	s.mu.Lock()
 	if j.resume {
 		// WAL replay found this job mid-run: restore its last committed
 		// checkpoint (if any verifies) instead of starting from scratch.
-		// One shot — a retry after a genuine failure starts clean.
+		// One shot — a retry after a genuine failure starts clean. A
+		// checkpoint committed after a reassignment carries the ownership
+		// table, so the resumed attempt continues with the shrunken worker
+		// set rather than waiting on a machine that is gone.
 		j.resume = false
 		cfg.ResumeFromCheckpoint = true
+	} else {
+		// A clean (re)start brings every worker back: the health table
+		// describes this attempt's cluster, not a previous one's.
+		j.health, j.reassignments = nil, 0
+		j.status.Degraded, j.status.Reassignments = false, 0
+	}
+	if spec.Recovery == "reassign" {
+		j.ensureHealth(entry.Workers() - 1)
+	}
+	s.mu.Unlock()
+	if s.cfg.ConfigHook != nil {
+		s.cfg.ConfigHook(j.status.ID, &cfg)
 	}
 	return core.RunContext(ctx, entry.Graph(), prog, cfg, engine)
 }
@@ -620,6 +744,29 @@ func (s *Scheduler) Result(id string) (*metrics.JobResult, error) {
 		return nil, fmt.Errorf("service: job %q is %s, not done", id, j.status.State)
 	}
 	return j.result, nil
+}
+
+// Workers reports the per-job worker-health view backing GET /workers:
+// one row per job that has a liveness table (reassign-policy jobs, plus
+// any job that reported a recovery notice), in submission order.
+func (s *Scheduler) Workers() []JobWorkers {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := []JobWorkers{}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(j.health) == 0 {
+			continue
+		}
+		out = append(out, JobWorkers{
+			JobID:         id,
+			State:         j.status.State,
+			Degraded:      j.status.Degraded,
+			Reassignments: j.status.Reassignments,
+			Workers:       append([]WorkerHealth(nil), j.health...),
+		})
+	}
+	return out
 }
 
 // Jobs lists all jobs in submission order.

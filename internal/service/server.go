@@ -271,6 +271,8 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /workers", s.handleWorkers)
+	mux.HandleFunc("GET /api/workers", s.handleWorkers)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s.reg.WriteTo(w)
@@ -389,6 +391,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, toWire(res))
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Workers())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
