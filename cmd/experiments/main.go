@@ -34,6 +34,8 @@ func main() {
 		par     = flag.Int("parallelism", 0, "per-worker compute goroutines (0 = NumCPU/workers)")
 		chaos   = flag.Int64("chaos-seed", 0, "base seed of the chaos campaign's fault schedules (0 = default 1)")
 		policy  = flag.String("recovery", "", "restrict the chaos/recovery experiments to one policy: scratch, resume, checkpoint, confined, reassign")
+		codecNm = flag.String("codec", "", "block codec every disk-backed job runs with: none, delta, lz (results identical; physical bytes shrink)")
+		outPath = flag.String("out", "", "override the bench/benchpar/benchcodec JSON artifact path")
 	)
 	flag.Parse()
 
@@ -44,7 +46,8 @@ func main() {
 		return
 	}
 	opts := harness.Options{Scale: *scale, Workers: *workers, LargeWorkers: *largeW, Quick: *quick,
-		Parallelism: *par, TraceDir: *trace, ChaosSeed: *chaos, Recovery: *policy}
+		Parallelism: *par, TraceDir: *trace, ChaosSeed: *chaos, Recovery: *policy,
+		Codec: *codecNm, Out: *outPath}
 	if *ssd {
 		opts.Profile = diskio.SSDAmazon
 	}

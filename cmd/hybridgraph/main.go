@@ -68,6 +68,8 @@ func runLegacy() {
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N supersteps (0 = policy default)")
 		deadline  = flag.Duration("barrier-deadline", 0, "barrier deadline for stall detection (0 = 250ms when stalls are scheduled)")
 		tcp       = flag.Bool("tcp", false, "run worker communication over loopback TCP")
+		codecName = flag.String("codec", "", "block codec for on-disk stores: none, delta, lz (default none)")
+		chargePhy = flag.Bool("charge-physical", false, "cost model charges physical (post-codec) bytes instead of logical bytes")
 		netSeed   = flag.Int64("net-seed", 0, "transport fault seed (with -tcp)")
 		netDrop   = flag.Float64("net-drop", 0, "transport request/response drop probability (with -tcp)")
 		netDup    = flag.Float64("net-dup", 0, "transport duplicate probability (with -tcp)")
@@ -124,6 +126,8 @@ func runLegacy() {
 		CheckpointEvery: *ckptEvery,
 		BarrierDeadline: *deadline,
 		TCP:             *tcp,
+		Codec:           *codecName,
+		ChargePhysical:  *chargePhy,
 	}
 	if *crashes != "" || *stalls != "" || *netDrop > 0 || *netDup > 0 || *diskSpec != "" {
 		plan := hybridgraph.NewFaultPlan()
@@ -175,6 +179,12 @@ func runLegacy() {
 	fmt.Printf("network  : %d B\n", res.NetBytes)
 	fmt.Printf("memory   : %d B peak buffers\n", res.MaxMemBytes)
 	fmt.Printf("loading  : %.4f s simulated, %d B written\n", res.LoadSimSeconds, res.LoadIO.Total())
+	if *codecName != "" && *codecName != "none" {
+		phys := res.PhysIO.Total() + res.LoadPhysIO.Total() + res.CheckpointPhysIO.Total() +
+			res.ReplayPhysIO.Total() + res.MigrationPhysIO.Total()
+		fmt.Printf("codec    : %s, %d B physical (%.2fx compression)\n",
+			*codecName, phys, res.CompressionRatio)
+	}
 	if res.Restarts > 0 {
 		fmt.Printf("recovery : %d restarts (%d stalls, %d confined), %d supersteps replayed, %.4f s simulated, %d B replayed, %d B logged\n",
 			res.Restarts, res.Stalls, res.ConfinedRecoveries, res.ReplayedSupersteps,

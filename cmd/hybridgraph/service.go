@@ -102,11 +102,12 @@ func cmdIngest(args []string) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	workers := fs.Int("workers", 5, "partition count the stores are built for")
 	blocks := fs.Int("blocks", 1, "Vblocks per worker")
+	codecName := fs.String("codec", "", "block codec the catalog stores the layouts with: none, delta, lz")
 	fs.Parse(args)
 	if *name == "" {
 		return fmt.Errorf("ingest: -name is required")
 	}
-	req := service.IngestRequest{Name: *name, Workers: *workers, BlocksPer: *blocks}
+	req := service.IngestRequest{Name: *name, Workers: *workers, BlocksPer: *blocks, Codec: *codecName}
 	switch {
 	case *file != "":
 		data, err := os.ReadFile(*file)
@@ -142,6 +143,8 @@ func cmdSubmit(args []string) error {
 	ckptEvery := fs.Int("ckpt-every", 0, "checkpoint every N supersteps (0 = policy default)")
 	retries := fs.Int("retries", 0, "scheduler re-enqueues after a failure this many times")
 	reqID := fs.String("request-id", "", "idempotency key: retried submits carrying the same id land on one job")
+	codecName := fs.String("codec", "", "block codec for the job's scratch state (must match the graph's ingest codec; empty adopts it)")
+	chargePhy := fs.Bool("charge-physical", false, "cost model charges physical (post-codec) bytes instead of logical bytes")
 	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
 	fs.Parse(args)
 	if *graphName == "" {
@@ -162,6 +165,8 @@ func cmdSubmit(args []string) error {
 		CheckpointEvery: *ckptEvery,
 		Retries:         *retries,
 		RequestID:       *reqID,
+		Codec:           *codecName,
+		ChargePhysical:  *chargePhy,
 	})
 	if err != nil {
 		return err

@@ -33,6 +33,7 @@ import (
 	"context"
 
 	"hybridgraph/internal/algo"
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/core"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/faultplan"
@@ -173,6 +174,17 @@ var ErrStalledWorker = core.ErrStalledWorker
 // reassignment raises when every worker is permanently dead, so no
 // survivor can adopt the failed partition.
 var ErrNoSurvivors = core.ErrNoSurvivors
+
+// ErrCodecCorrupt matches (via errors.Is) every decode failure of a
+// compressed block (Config.Codec): bad frame magic, truncation, CRC
+// mismatch, or a payload that does not decode to its declared length. A
+// bit flip in a compressed store surfaces as this or as ErrDiskFault,
+// never as silently wrong values.
+var ErrCodecCorrupt = codec.ErrCorrupt
+
+// ErrUnknownCodec matches (via errors.Is) the validation failure for a
+// Config.Codec name that is not registered (have: none, delta, lz).
+var ErrUnknownCodec = codec.ErrUnknown
 
 // Run executes prog over g with the given engine and returns the result.
 func Run(g *Graph, prog Program, cfg Config, engine Engine) (*Result, error) {

@@ -11,15 +11,27 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 )
 
 const edgeSize = 8 // dst uint32 + weight float32
 
+// blockReader is the store's file abstraction: a raw accounted File
+// (codec "none") or a compressed codec.BlockFile, which charges the
+// identical logical bytes and puts its frame I/O on the counter's
+// physical twin.
+type blockReader interface {
+	ReadAtClass(p []byte, off int64, c diskio.Class) (int, error)
+	Size() (int64, error)
+	SetCounter(*diskio.Counter)
+	Close() error
+}
+
 // Store holds the out-edges of one worker's vertex range [Lo, Lo+N).
 type Store struct {
-	f      *diskio.File
+	f      blockReader
 	lo     graph.VertexID
 	offs   []int64 // len N+1, byte offsets into the file
 	nEdges int64
@@ -28,14 +40,12 @@ type Store struct {
 
 // Build writes the adjacency runs for partition part of g to path and
 // returns the opened store. The write is one sequential pass, mirroring
-// the paper's Fig. 16 "adj" loading path.
-func Build(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition) (*Store, error) {
-	f, err := diskio.Create(path, ct)
-	if err != nil {
-		return nil, err
-	}
+// the paper's Fig. 16 "adj" loading path; under a non-trivial codec the
+// same pass is stored as compressed chunk frames with the logical
+// charge unchanged.
+func Build(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition, cdc codec.Codec) (*Store, error) {
 	n := part.Len()
-	s := &Store{f: f, lo: part.Lo, offs: make([]int64, n+1)}
+	s := &Store{lo: part.Lo, offs: make([]int64, n+1)}
 	// Buffer whole partition; partitions are modest at our scales.
 	var buf []byte
 	var off int64
@@ -52,6 +62,22 @@ func Build(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition
 		}
 	}
 	s.offs[n] = off
+	if !codec.IsNone(cdc) {
+		if err := codec.WriteBlockFile(path, ct, cdc, buf); err != nil {
+			return nil, err
+		}
+		bf, err := codec.OpenBlockFile(path, ct)
+		if err != nil {
+			return nil, err
+		}
+		s.f = bf
+		return s, nil
+	}
+	f, err := diskio.Create(path, ct)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
 	if len(buf) > 0 {
 		if _, err := f.WriteAtClass(buf, 0, diskio.SeqWrite); err != nil {
 			f.Close()
@@ -64,16 +90,16 @@ func Build(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition
 // BuildReverse is Build over the transpose: it stores, for each vertex of
 // the partition, its *in*-edges (sources as Dst fields). The pull baseline
 // gathers along in-edges.
-func BuildReverse(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition) (*Store, error) {
-	return Build(path, ct, g.Reverse(), part)
+func BuildReverse(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition, cdc codec.Codec) (*Store, error) {
+	return Build(path, ct, g.Reverse(), part, cdc)
 }
 
 // Open opens a previously built adjacency file read-only, recomputing the
 // offset index from the staged graph — the index is a deterministic
 // function of (g, part), so the catalog need not persist it. The file size
 // must match the index; deeper integrity is the manifest CRC's job.
-func Open(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition) (*Store, error) {
-	f, err := diskio.OpenRead(path, ct)
+func Open(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition, cdc codec.Codec) (*Store, error) {
+	f, err := openReader(path, ct, cdc)
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +123,14 @@ func Open(path string, ct *diskio.Counter, g *graph.Graph, part graph.Partition)
 		return nil, fmt.Errorf("adjstore: %s is %d bytes, index expects %d", path, size, off)
 	}
 	return s, nil
+}
+
+// openReader opens path as a raw file or a compressed block file.
+func openReader(path string, ct *diskio.Counter, cdc codec.Codec) (blockReader, error) {
+	if codec.IsNone(cdc) {
+		return diskio.OpenRead(path, ct)
+	}
+	return codec.OpenBlockFile(path, ct)
 }
 
 // SizeBytes reports the store's edge-run bytes (the on-disk file size for

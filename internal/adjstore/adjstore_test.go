@@ -11,7 +11,7 @@ import (
 func build(t *testing.T, g *graph.Graph, p graph.Partition) (*Store, *diskio.Counter) {
 	t.Helper()
 	var ct diskio.Counter
-	s, err := Build(filepath.Join(t.TempDir(), "adj.dat"), &ct, g, p)
+	s, err := Build(filepath.Join(t.TempDir(), "adj.dat"), &ct, g, p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestPartitionedStoreOnlyHoldsItsRange(t *testing.T) {
 func TestBuildReverseHoldsInEdges(t *testing.T) {
 	g := testGraph(t)
 	var ct diskio.Counter
-	s, err := BuildReverse(filepath.Join(t.TempDir(), "radj.dat"), &ct, g, graph.Partition{Lo: 0, Hi: 6})
+	s, err := BuildReverse(filepath.Join(t.TempDir(), "radj.dat"), &ct, g, graph.Partition{Lo: 0, Hi: 6}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"hybridgraph/internal/adjstore"
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 	"hybridgraph/internal/veblock"
@@ -54,9 +55,14 @@ type Manifest struct {
 	Workers   int    `json:"workers"`
 	BlocksPer []int  `json:"blocks_per"`
 	// IngestWriteBytes is the layout-build cost paid once at ingest (the
-	// bytes every catalog-hit job avoids).
+	// bytes every catalog-hit job avoids), always in logical bytes.
 	IngestWriteBytes int64              `json:"ingest_write_bytes"`
 	Files            map[string]FileSum `json:"files"`
+	// Codec names the block codec the adjacency and VE-BLOCK files were
+	// encoded with at ingest (empty means "none", the raw layout). Jobs
+	// must open the entry with the same codec; the mismatch is a typed
+	// configuration error, not a silent re-encode.
+	Codec string `json:"codec,omitempty"`
 }
 
 // Catalog is a directory of ingested graphs. Safe for concurrent use;
@@ -104,10 +110,16 @@ func validName(name string) error {
 // renamed into place only after the manifest is written, so a crashed
 // ingest never leaves a half-entry a later open could trust. blocksPer
 // fixes each worker's Vblock count (>= 1); jobs reusing the entry adopt
-// this geometry.
-func (c *Catalog) Ingest(name string, g *graph.Graph, workers, blocksPer int) (*Entry, error) {
+// this geometry. codecName selects the block codec the stores are encoded
+// with ("" or "none" for the raw layout); it is recorded in the manifest
+// and every job opening the entry must declare the same codec.
+func (c *Catalog) Ingest(name string, g *graph.Graph, workers, blocksPer int, codecName string) (*Entry, error) {
 	if err := validName(name); err != nil {
 		return nil, err
+	}
+	cdc, err := codec.Lookup(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: ingest of %q: %w", name, err)
 	}
 	if g == nil || g.NumVertices <= 0 {
 		return nil, fmt.Errorf("catalog: ingest of empty graph %q", name)
@@ -129,7 +141,7 @@ func (c *Catalog) Ingest(name string, g *graph.Graph, workers, blocksPer int) (*
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return nil, err
 	}
-	m, err := buildEntryFiles(tmp, name, g, workers, blocksPer)
+	m, err := buildEntryFiles(tmp, name, g, workers, blocksPer, cdc)
 	if err != nil {
 		os.RemoveAll(tmp)
 		return nil, err
@@ -148,10 +160,13 @@ func (c *Catalog) Ingest(name string, g *graph.Graph, workers, blocksPer int) (*
 	return c.Entry(name)
 }
 
-func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int) (*Manifest, error) {
+func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int, cdc codec.Codec) (*Manifest, error) {
 	m := &Manifest{Name: name, Version: ManifestVersion,
 		Vertices: g.NumVertices, Edges: int64(g.NumEdges()),
 		Workers: workers, Files: make(map[string]FileSum)}
+	if !codec.IsNone(cdc) {
+		m.Codec = cdc.Name()
+	}
 	m.BlocksPer = make([]int, workers)
 	for i := range m.BlocksPer {
 		m.BlocksPer[i] = blocksPer
@@ -170,14 +185,14 @@ func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int) (
 		if err := os.MkdirAll(wdir, 0o755); err != nil {
 			return nil, err
 		}
-		a, err := adjstore.Build(filepath.Join(wdir, "adj.dat"), ct, g, parts[w])
+		a, err := adjstore.Build(filepath.Join(wdir, "adj.dat"), ct, g, parts[w], cdc)
 		if err != nil {
 			return nil, err
 		}
 		if err := a.Close(); err != nil {
 			return nil, err
 		}
-		ve, err := veblock.Build(filepath.Join(wdir, "veblock.dat"), ct, g, layout, w)
+		ve, err := veblock.Build(filepath.Join(wdir, "veblock.dat"), ct, g, layout, w, cdc)
 		if err != nil {
 			return nil, err
 		}
@@ -328,6 +343,7 @@ type Entry struct {
 	manifest *Manifest
 	g        *graph.Graph
 	parts    []graph.Partition
+	cdc      codec.Codec
 }
 
 func loadEntry(dir string) (*Entry, error) {
@@ -357,7 +373,11 @@ func loadEntry(dir string) (*Entry, error) {
 		return nil, fmt.Errorf("catalog: %s: inconsistent geometry (%d workers, %d block counts)",
 			m.Name, m.Workers, len(m.BlocksPer))
 	}
-	return &Entry{dir: dir, manifest: m, g: g,
+	cdc, err := codec.Lookup(m.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %s: %w", m.Name, err)
+	}
+	return &Entry{dir: dir, manifest: m, g: g, cdc: cdc,
 		parts: graph.RangePartition(g.NumVertices, m.Workers)}, nil
 }
 
@@ -378,6 +398,16 @@ func (e *Entry) BlocksPer() []int {
 	return append([]int(nil), e.manifest.BlocksPer...)
 }
 
+// Codec implements core.StoreSource: the canonical name of the block
+// codec the entry's store files were encoded with at ingest ("none" for
+// the raw layout). Jobs must run with a matching Config.Codec.
+func (e *Entry) Codec() string {
+	if codec.IsNone(e.cdc) {
+		return "none"
+	}
+	return e.cdc.Name()
+}
+
 // OpenAdj implements core.StoreSource.
 func (e *Entry) OpenAdj(w int, ct *diskio.Counter, g *graph.Graph, part graph.Partition) (*adjstore.Store, error) {
 	if w < 0 || w >= e.manifest.Workers {
@@ -387,7 +417,7 @@ func (e *Entry) OpenAdj(w int, ct *diskio.Counter, g *graph.Graph, part graph.Pa
 		return nil, fmt.Errorf("catalog: %s: worker %d partition [%d,%d) does not match ingested [%d,%d)",
 			e.manifest.Name, w, part.Lo, part.Hi, e.parts[w].Lo, e.parts[w].Hi)
 	}
-	return adjstore.Open(filepath.Join(e.dir, fmt.Sprintf("w%d", w), "adj.dat"), ct, g, part)
+	return adjstore.Open(filepath.Join(e.dir, fmt.Sprintf("w%d", w), "adj.dat"), ct, g, part, e.cdc)
 }
 
 // OpenVE implements core.StoreSource.
@@ -395,5 +425,5 @@ func (e *Entry) OpenVE(w int, ct *diskio.Counter, g *graph.Graph, layout *vebloc
 	if w < 0 || w >= e.manifest.Workers {
 		return nil, fmt.Errorf("catalog: %s: no worker %d", e.manifest.Name, w)
 	}
-	return veblock.Open(filepath.Join(e.dir, fmt.Sprintf("w%d", w), "veblock.dat"), ct, g, layout, w)
+	return veblock.Open(filepath.Join(e.dir, fmt.Sprintf("w%d", w), "veblock.dat"), ct, g, layout, w, e.cdc)
 }

@@ -23,10 +23,10 @@ func TestIngestListRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := testGraph()
-	if _, err := c.Ingest("beta", g, 3, 2); err != nil {
+	if _, err := c.Ingest("beta", g, 3, 2, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Ingest("alpha", graph.GenUniform(200, 1200, 3), 2, 1); err != nil {
+	if _, err := c.Ingest("alpha", graph.GenUniform(200, 1200, 3), 2, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	list, err := c.List()
@@ -67,14 +67,14 @@ func TestIngestRejectsBadNamesAndDuplicates(t *testing.T) {
 	}
 	g := graph.GenUniform(100, 500, 1)
 	for _, bad := range []string{"", ".hidden", "a/b", "sp ace", "x*"} {
-		if _, err := c.Ingest(bad, g, 2, 1); err == nil {
+		if _, err := c.Ingest(bad, g, 2, 1, ""); err == nil {
 			t.Errorf("Ingest(%q) succeeded, want error", bad)
 		}
 	}
-	if _, err := c.Ingest("dup", g, 2, 1); err != nil {
+	if _, err := c.Ingest("dup", g, 2, 1, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Ingest("dup", g, 2, 1); err == nil {
+	if _, err := c.Ingest("dup", g, 2, 1, ""); err == nil {
 		t.Fatal("duplicate Ingest succeeded, want error")
 	}
 }
@@ -85,7 +85,7 @@ func TestCorruptedStoreRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Ingest("g", testGraph(), 3, 2); err != nil {
+	if _, err := c.Ingest("g", testGraph(), 3, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "g", "w0", "adj.dat")
@@ -154,7 +154,7 @@ func TestCatalogReuseBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entry, err := c.Ingest("rmat", g, workers, blocks)
+	entry, err := c.Ingest("rmat", g, workers, blocks, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestCrashedIngestLeavesNoEntry(t *testing.T) {
 	if _, err := c.Entry("g"); err == nil {
 		t.Fatal("Entry resolved a half-ingested graph")
 	}
-	if _, err := c.Ingest("g", graph.GenUniform(100, 500, 1), 2, 1); err != nil {
+	if _, err := c.Ingest("g", graph.GenUniform(100, 500, 1), 2, 1, ""); err != nil {
 		t.Fatalf("re-ingest after crash: %v", err)
 	}
 }

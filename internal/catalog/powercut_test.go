@@ -28,7 +28,7 @@ func TestIngestSurvivesImmediatePowerCut(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := smallGraph()
-	if _, err := c.Ingest("g", g, 2, 2); err != nil {
+	if _, err := c.Ingest("g", g, 2, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	fs.PowerCut()
@@ -67,7 +67,7 @@ func TestIngestPowerCutAtEveryOp(t *testing.T) {
 		diskio.Uninstall(probe)
 		t.Fatal(err)
 	}
-	if _, err := pc.Ingest("g", g, 2, 2); err != nil {
+	if _, err := pc.Ingest("g", g, 2, 2, ""); err != nil {
 		diskio.Uninstall(probe)
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestIngestPowerCutAtEveryOp(t *testing.T) {
 			diskio.Uninstall(root)
 			t.Fatal(err)
 		}
-		_, ierr := c.Ingest("g", g, 2, 2)
+		_, ierr := c.Ingest("g", g, 2, 2, "")
 		diskio.Uninstall(root)
 		if ierr == nil {
 			t.Fatalf("cut at op %d/%d: ingest reported success", k, total)
@@ -111,7 +111,7 @@ func TestIngestPowerCutAtEveryOp(t *testing.T) {
 		}
 
 		// And nothing the crash left behind blocks a clean retry.
-		if _, err := c2.Ingest("g", g, 2, 2); err != nil {
+		if _, err := c2.Ingest("g", g, 2, 2, ""); err != nil {
 			t.Fatalf("cut at op %d/%d: re-ingest after reboot failed: %v", k, total, err)
 		}
 		if _, err := c2.Entry("g"); err != nil {

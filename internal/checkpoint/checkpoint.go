@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
@@ -87,8 +89,12 @@ type Master struct {
 }
 
 // WriteSnapshot atomically writes s to path, charging the bytes to ct as
-// sequential writes. Returns the file size.
-func WriteSnapshot(path string, ct *diskio.Counter, s *Snapshot) (int64, error) {
+// sequential writes. Under a non-trivial codec the serialized snapshot
+// is stored as one compressed frame — the logical charge and the
+// returned size are the uncompressed length either way, so checkpoint
+// cost in the paper's model is codec-independent. Returns the logical
+// file size.
+func WriteSnapshot(path string, ct *diskio.Counter, s *Snapshot, cdc codec.Codec) (int64, error) {
 	p := make([]byte, 0, 64+len(s.Records)*recordBytes)
 	p = appendU32(p, kindWorker)
 	p = appendU32(p, uint32(s.Step))
@@ -120,11 +126,13 @@ func WriteSnapshot(path string, ct *diskio.Counter, s *Snapshot) (int64, error) 
 			p = appendF64(p, m.Val)
 		}
 	}
-	return writeFile(path, ct, p)
+	return writeFile(path, ct, p, cdc)
 }
 
 // ReadSnapshot reads and CRC-verifies a worker snapshot, charging the bytes
-// to ct as sequential reads.
+// to ct as sequential reads. The file is self-describing: a codec-framed
+// snapshot is detected by its frame magic and decoded transparently, with
+// the logical charge equal to the uncompressed read.
 func ReadSnapshot(path string, ct *diskio.Counter) (*Snapshot, error) {
 	p, err := readFile(path, ct)
 	if err != nil {
@@ -180,7 +188,7 @@ func ReadSnapshot(path string, ct *diskio.Counter) (*Snapshot, error) {
 }
 
 // WriteMaster atomically writes the master record to path.
-func WriteMaster(path string, ct *diskio.Counter, m *Master) (int64, error) {
+func WriteMaster(path string, ct *diskio.Counter, m *Master, cdc codec.Codec) (int64, error) {
 	p := make([]byte, 0, 64+len(m.Modes)*8)
 	p = appendU32(p, kindMaster)
 	p = appendU32(p, uint32(m.Step))
@@ -207,7 +215,7 @@ func WriteMaster(path string, ct *diskio.Counter, m *Master) (int64, error) {
 			p = appendU64(p, uint64(int64(h)))
 		}
 	}
-	return writeFile(path, ct, p)
+	return writeFile(path, ct, p, cdc)
 }
 
 // ReadMaster reads and CRC-verifies a master record.
@@ -355,36 +363,82 @@ func (c Coordinator) Remove(step, workers int) error {
 // fsync before the rename is the durability half of the commit rule:
 // without it a power cut can leave a fully renamed, fully referenced
 // snapshot whose bytes never reached the platter.
-func writeFile(path string, ct *diskio.Counter, payload []byte) (int64, error) {
+func writeFile(path string, ct *diskio.Counter, payload []byte, cdc codec.Codec) (int64, error) {
 	buf := make([]byte, 0, len(magic)+8+len(payload)+4)
 	buf = append(buf, magic...)
 	buf = appendU32(buf, version)
 	buf = append(buf, payload...)
 	buf = appendU32(buf, crc32.ChecksumIEEE(payload))
-	if err := diskio.WriteFileSync(path, buf, ct, diskio.SeqWrite); err != nil {
+	if codec.IsNone(cdc) {
+		if err := diskio.WriteFileSync(path, buf, ct, diskio.SeqWrite); err != nil {
+			return 0, err
+		}
+		return int64(len(buf)), nil
+	}
+	// Compressed: the whole HGCK image becomes one codec frame. The
+	// physical bytes land on ct's twin, the logical charge and returned
+	// size stay the uncompressed length.
+	frame := codec.AppendFrame(nil, cdc, buf)
+	if err := diskio.WriteFileSyncDual(path, frame, int64(len(buf)), ct, diskio.SeqWrite); err != nil {
 		return 0, err
 	}
 	return int64(len(buf)), nil
 }
 
 // readFile reads a framed file sequentially, verifies magic, version and
-// CRC, and returns the payload.
+// CRC, and returns the payload. Codec-framed files are sniffed by their
+// frame magic (format detection is uncharged metadata introspection, like
+// os.Stat): the physical frame is read on ct's twin and the decoded HGCK
+// image charged to ct, so logical accounting matches an uncompressed read.
 func readFile(path string, ct *diskio.Counter) ([]byte, error) {
-	f, err := diskio.Open(path, ct)
+	framed, err := sniffFramed(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	size, err := f.Size()
-	if err != nil {
-		return nil, err
+	var buf []byte
+	if framed {
+		f, err := diskio.OpenRead(path, diskio.PhysFor(ct))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		size, err := f.Size()
+		if err != nil {
+			return nil, err
+		}
+		raw := make([]byte, size)
+		if _, err := f.ReadAtClass(raw, 0, diskio.SeqRead); err != nil {
+			return nil, err
+		}
+		var n int
+		buf, n, err = codec.DecodeFrame(nil, raw)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+		}
+		if int64(n) != size {
+			return nil, fmt.Errorf("checkpoint: %s: %d trailing bytes after frame: %w", path, size-int64(n), codec.ErrCorrupt)
+		}
+		diskio.NewAccountant(ct).ReadAtClass(int64(len(buf)), 0, diskio.SeqRead)
+	} else {
+		f, err := diskio.Open(path, ct)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		size, err := f.Size()
+		if err != nil {
+			return nil, err
+		}
+		if size < int64(len(magic))+8+4 {
+			return nil, fmt.Errorf("checkpoint: %s truncated (%d bytes)", path, size)
+		}
+		buf = make([]byte, size)
+		if _, err := f.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+			return nil, err
+		}
 	}
-	if size < int64(len(magic))+8+4 {
-		return nil, fmt.Errorf("checkpoint: %s truncated (%d bytes)", path, size)
-	}
-	buf := make([]byte, size)
-	if _, err := f.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
-		return nil, err
+	if int64(len(buf)) < int64(len(magic))+8+4 {
+		return nil, fmt.Errorf("checkpoint: %s truncated (%d bytes)", path, len(buf))
 	}
 	if string(buf[:len(magic)]) != magic {
 		return nil, fmt.Errorf("checkpoint: %s has bad magic", path)
@@ -398,6 +452,47 @@ func readFile(path string, ct *diskio.Counter) ([]byte, error) {
 		return nil, fmt.Errorf("checkpoint: %s CRC mismatch (got %08x, want %08x)", path, got, want)
 	}
 	return payload, nil
+}
+
+// sniffFramed peeks at the first bytes of path without charging I/O.
+// Raw checkpoint files start "HGCK", codec frames "HGCB" — the two can
+// never collide, so four bytes decide the format.
+func sniffFramed(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var b [4]byte
+	n, _ := io.ReadFull(f, b[:])
+	return n == 4 && string(b[:]) == codec.FrameMagic, nil
+}
+
+// SnapshotLogicalSize reports the logical byte size of the checkpoint
+// file at path: the frame header's declared logical length for a
+// codec-framed file, the raw file size otherwise. Reassignment's Cmig
+// uses it so migration cost stays in logical bytes under any codec.
+// Uncharged, like the os.Stat it replaces.
+func SnapshotLogicalSize(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [codec.HeaderSize]byte
+	n, _ := io.ReadFull(f, hdr[:])
+	if n >= 4 && string(hdr[:4]) == codec.FrameMagic {
+		h, err := codec.ParseHeader(hdr[:n])
+		if err != nil {
+			return 0, fmt.Errorf("checkpoint: %s: %w", path, err)
+		}
+		return int64(h.LogicalLen), nil
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
 }
 
 func appendU32(b []byte, v uint32) []byte {

@@ -31,7 +31,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	ct := &diskio.Counter{}
 	path := filepath.Join(dir, "snap.dat")
 	s := testSnapshot()
-	n, err := WriteSnapshot(path, ct, s)
+	n, err := WriteSnapshot(path, ct, s, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestMasterRoundTrip(t *testing.T) {
 	ct := &diskio.Counter{}
 	m := &Master{Step: 8, Modes: []string{"b-pull", "push", "b-pull"},
 		QtSigns: []bool{true, false, true}, LastSwitch: -10, Rco: 0.4, PrevAgg: 1.25}
-	if _, err := WriteMaster(path, ct, m); err != nil {
+	if _, err := WriteMaster(path, ct, m, nil); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadMaster(path, ct)
@@ -105,7 +105,7 @@ func TestMasterRoundTrip(t *testing.T) {
 func TestCorruptionDetected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "snap.dat")
 	ct := &diskio.Counter{}
-	if _, err := WriteSnapshot(path, ct, testSnapshot()); err != nil {
+	if _, err := WriteSnapshot(path, ct, testSnapshot(), nil); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -136,7 +136,7 @@ func TestCommitProtocol(t *testing.T) {
 	}
 	ct := &diskio.Counter{}
 	// Snapshots written but not committed are invisible.
-	if _, err := WriteSnapshot(c.SnapshotPath(4, 0), ct, testSnapshot()); err != nil {
+	if _, err := WriteSnapshot(c.SnapshotPath(4, 0), ct, testSnapshot(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.LastCommitted(); ok {
@@ -163,7 +163,7 @@ func TestCommitProtocol(t *testing.T) {
 func TestRemoveReportsErrors(t *testing.T) {
 	c := Coordinator{Dir: t.TempDir()}
 	ct := &diskio.Counter{}
-	if _, err := WriteMaster(c.MasterPath(3), ct, &Master{Step: 3}); err != nil {
+	if _, err := WriteMaster(c.MasterPath(3), ct, &Master{Step: 3}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Commit(3, &diskio.Counter{}); err != nil {

@@ -1,0 +1,378 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/lru"
+)
+
+// ChunkSize is the logical granularity of a compressed block file: the
+// raw image is split into ChunkSize runs, each stored as one frame, so
+// a random logical access decompresses one chunk, not the whole store.
+const ChunkSize = 64 << 10
+
+// SpillChunk is the staging threshold of a compressed spill file:
+// records accumulate in memory and are flushed as one frame per
+// SpillChunk logical bytes (12-byte spill records framed individually
+// would expand, not compress).
+const SpillChunk = 16 << 10
+
+const (
+	footerMagic = "HGCI"
+	footerSize  = 4 + 8 + 8 // magic + index offset + logical size
+)
+
+// chunkCacheCap bounds the decoded-chunk LRU each BlockFile holds
+// (chunkCacheCap × ChunkSize bytes at most). One chunk is not enough:
+// b-pull's Pull-Respond interleaves fragment scans with metadata reads
+// in a different file region, and a single-slot cache re-decodes a full
+// frame on every alternation — physical reads would dwarf the logical
+// bytes the access actually asked for.
+const chunkCacheCap = 8
+
+// BlockFile is the compressed replacement for the write-once,
+// scan-many stores (adjacency runs, VE-BLOCK images). On disk it is a
+// run of chunk frames, an index frame (frame lengths of every chunk,
+// codec "none"), and a fixed footer locating the index. Logical
+// accounting replays the caller's accesses through an Accountant;
+// physical frame I/O is charged, in the caller's access class, to the
+// counter's physical twin.
+//
+// Safe for concurrent readers: a mutex serialises chunk decode and the
+// one-chunk cache (parallel shards scanning disjoint ranges still get
+// exact logical accounting — charges are per-access, not positional).
+type BlockFile struct {
+	f    *diskio.File // physical frames, charged to the phys twin
+	acct *diskio.Accountant
+	path string
+
+	mu     sync.Mutex
+	size   int64 // logical bytes
+	chunks []chunkRef
+	cache  *lru.Cache // chunk index -> decoded chunk
+}
+
+type chunkRef struct {
+	physOff int64
+	physLen int64
+}
+
+// WriteBlockFile writes buf as a compressed block file at path. The
+// logical charge is exactly the uncompressed store's: one sequential
+// write of len(buf) bytes at offset 0 on a fresh file — and, like the
+// raw stores, nothing at all for an empty image (the file is created
+// and left empty).
+func WriteBlockFile(path string, ct *diskio.Counter, c Codec, buf []byte) error {
+	f, err := diskio.Create(path, diskio.PhysFor(ct))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if len(buf) == 0 {
+		return nil
+	}
+	var physOff int64
+	frame := make([]byte, 0, ChunkSize+FrameOverhead)
+	nChunks := (len(buf) + ChunkSize - 1) / ChunkSize
+	index := make([]byte, 0, 4+4*nChunks)
+	index = binary.LittleEndian.AppendUint32(index, uint32(nChunks))
+	for off := 0; off < len(buf); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(buf) {
+			end = len(buf)
+		}
+		frame = AppendFrame(frame[:0], c, buf[off:end])
+		if _, err := f.WriteAtClass(frame, physOff, diskio.SeqWrite); err != nil {
+			return err
+		}
+		index = binary.LittleEndian.AppendUint32(index, uint32(len(frame)))
+		physOff += int64(len(frame))
+	}
+	indexFrame := AppendFrame(nil, None, index)
+	if _, err := f.WriteAtClass(indexFrame, physOff, diskio.SeqWrite); err != nil {
+		return err
+	}
+	footer := make([]byte, 0, footerSize)
+	footer = append(footer, footerMagic...)
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(physOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(buf)))
+	if _, err := f.WriteAtClass(footer, physOff+int64(len(indexFrame)), diskio.SeqWrite); err != nil {
+		return err
+	}
+	diskio.NewAccountant(ct).WriteAtClass(int64(len(buf)), 0, diskio.SeqWrite)
+	return nil
+}
+
+// OpenBlockFile opens a compressed block file for reading. The footer
+// and index reads are physical-only (the raw store's open performs no
+// data I/O either — geometry checks come from sizes the caller knows).
+func OpenBlockFile(path string, ct *diskio.Counter) (*BlockFile, error) {
+	f, err := diskio.OpenRead(path, diskio.PhysFor(ct))
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockFile{f: f, acct: diskio.NewAccountant(ct), path: path, cache: lru.New(chunkCacheCap)}
+	if err := b.loadIndex(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("codec: open %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func (b *BlockFile) loadIndex() error {
+	fsize, err := b.f.Size()
+	if err != nil {
+		return err
+	}
+	if fsize == 0 {
+		return nil // empty image
+	}
+	if fsize < footerSize {
+		return fmt.Errorf("%w: %d-byte file below footer size", ErrCorrupt, fsize)
+	}
+	fb := make([]byte, footerSize)
+	if _, err := b.f.ReadAtClass(fb, fsize-footerSize, diskio.RandRead); err != nil {
+		return err
+	}
+	if string(fb[:4]) != footerMagic {
+		return fmt.Errorf("%w: bad footer magic %q", ErrCorrupt, fb[:4])
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(fb[4:]))
+	b.size = int64(binary.LittleEndian.Uint64(fb[12:]))
+	if indexOff < 0 || indexOff > fsize-footerSize || b.size < 0 {
+		return fmt.Errorf("%w: implausible footer (index %d size %d)", ErrCorrupt, indexOff, b.size)
+	}
+	rawIdx := make([]byte, fsize-footerSize-indexOff)
+	if _, err := b.f.ReadAtClass(rawIdx, indexOff, diskio.RandRead); err != nil {
+		return err
+	}
+	index, _, err := DecodeFrame(nil, rawIdx)
+	if err != nil {
+		return err
+	}
+	if len(index) < 4 {
+		return fmt.Errorf("%w: truncated chunk index", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(index))
+	if len(index) != 4+4*n {
+		return fmt.Errorf("%w: chunk index declares %d entries in %d bytes", ErrCorrupt, n, len(index))
+	}
+	want := (b.size + ChunkSize - 1) / ChunkSize
+	if int64(n) != want {
+		return fmt.Errorf("%w: %d chunks for %d logical bytes", ErrCorrupt, n, b.size)
+	}
+	b.chunks = make([]chunkRef, n)
+	var off int64
+	for i := 0; i < n; i++ {
+		l := int64(binary.LittleEndian.Uint32(index[4+4*i:]))
+		b.chunks[i] = chunkRef{physOff: off, physLen: l}
+		off += l
+	}
+	if off != indexOff {
+		return fmt.Errorf("%w: chunk lengths sum to %d, index at %d", ErrCorrupt, off, indexOff)
+	}
+	return nil
+}
+
+// Size reports the logical image size.
+func (b *BlockFile) Size() (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.size, nil
+}
+
+// SetCounter retargets logical accounting to ct and physical accounting
+// to ct's twin, mirroring File.SetCounter on the raw stores.
+func (b *BlockFile) SetCounter(ct *diskio.Counter) {
+	b.acct.SetCounter(ct)
+	b.f.SetCounter(diskio.PhysFor(ct))
+}
+
+// Name reports the file path.
+func (b *BlockFile) Name() string { return b.path }
+
+// Close releases the physical file.
+func (b *BlockFile) Close() error { return b.f.Close() }
+
+// ReadAtClass reads logical bytes at off, charging exactly what the
+// raw store's File.ReadAtClass would charge, and decompressing only the
+// chunks the range touches (physical reads carry the same class).
+func (b *BlockFile) ReadAtClass(p []byte, off int64, c diskio.Class) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("codec: %s: negative read offset %d", b.path, off)
+	}
+	n := int64(len(p))
+	if n == 0 || off >= b.size {
+		// Mirror the raw File: a zero-byte or past-end read still records
+		// one zero-byte operation of class c.
+		b.acct.ReadAtClass(0, off, c)
+		if n == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	short := false
+	if off+n > b.size {
+		n = b.size - off
+		short = true
+	}
+	var copied int64
+	for copied < n {
+		pos := off + copied
+		ci := int(pos / ChunkSize)
+		chunk, err := b.chunkLocked(ci, c)
+		if err != nil {
+			return int(copied), fmt.Errorf("codec: %s: %w", b.path, err)
+		}
+		in := pos - int64(ci)*ChunkSize
+		copied += int64(copy(p[copied:n], chunk[in:]))
+	}
+	b.acct.ReadAtClass(n, off, c)
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// chunkLocked returns the decoded chunk ci, via the chunk LRU.
+func (b *BlockFile) chunkLocked(ci int, c diskio.Class) ([]byte, error) {
+	if v, ok := b.cache.Get(uint32(ci)); ok {
+		return v.([]byte), nil
+	}
+	ref := b.chunks[ci]
+	raw := make([]byte, ref.physLen)
+	if _, err := b.f.ReadAtClass(raw, ref.physOff, c); err != nil {
+		return nil, err
+	}
+	chunk, _, err := DecodeFrame(nil, raw)
+	if err != nil {
+		return nil, err
+	}
+	wantLen := ChunkSize
+	if ci == len(b.chunks)-1 {
+		wantLen = int(b.size - int64(ci)*ChunkSize)
+	}
+	if len(chunk) != wantLen {
+		return nil, fmt.Errorf("%w: chunk %d decoded to %d bytes, want %d", ErrCorrupt, ci, len(chunk), wantLen)
+	}
+	b.cache.Put(uint32(ci), chunk)
+	return chunk, nil
+}
+
+// SpillFile is the compressed replacement for a message-spill file:
+// records are charged logically as the paper's random writes (arrival
+// order, destination locality unknown), staged in memory, and flushed
+// to disk as compressed frames. ReadAll reassembles the full logical
+// record stream — flushed frames plus the unflushed tail — and charges
+// the one sequential read the raw spill's drain performs.
+type SpillFile struct {
+	path string
+	c    Codec
+	ct   *diskio.Counter
+
+	acct       *diskio.Accountant
+	f          *diskio.File
+	staging    []byte
+	physOff    int64
+	logicalLen int64
+}
+
+// NewSpillFile prepares a spill at path; like the raw spill, the file
+// is created lazily on the first Append.
+func NewSpillFile(path string, ct *diskio.Counter, c Codec) *SpillFile {
+	return &SpillFile{path: path, c: c, ct: ct}
+}
+
+// SetCounter retargets future logical and physical charges.
+func (s *SpillFile) SetCounter(ct *diskio.Counter) {
+	s.ct = ct
+	if s.acct != nil {
+		s.acct.SetCounter(ct)
+	}
+	if s.f != nil {
+		s.f.SetCounter(diskio.PhysFor(ct))
+	}
+}
+
+// Len reports the logical bytes appended since the last Close.
+func (s *SpillFile) Len() int64 { return s.logicalLen }
+
+// Append spills one record, charging the random write the raw spill
+// would perform at the same logical offset.
+func (s *SpillFile) Append(rec []byte) error {
+	if s.f == nil {
+		f, err := diskio.Create(s.path, diskio.PhysFor(s.ct))
+		if err != nil {
+			return err
+		}
+		s.f = f
+		s.acct = diskio.NewAccountant(s.ct)
+	}
+	s.acct.WriteAtClass(int64(len(rec)), s.logicalLen, diskio.RandWrite)
+	s.staging = append(s.staging, rec...)
+	s.logicalLen += int64(len(rec))
+	if len(s.staging) >= SpillChunk {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *SpillFile) flush() error {
+	frame := AppendFrame(nil, s.c, s.staging)
+	if _, err := s.f.WriteAtClass(frame, s.physOff, diskio.RandWrite); err != nil {
+		return err
+	}
+	s.physOff += int64(len(frame))
+	s.staging = s.staging[:0]
+	return nil
+}
+
+// ReadAll fills p (which must be exactly Len() bytes) with the logical
+// record stream and charges the whole-spill sequential read.
+func (s *SpillFile) ReadAll(p []byte) error {
+	if int64(len(p)) != s.logicalLen {
+		return fmt.Errorf("codec: %s: drain of %d bytes, spilled %d", s.path, len(p), s.logicalLen)
+	}
+	out := p[:0]
+	if s.physOff > 0 {
+		raw := make([]byte, s.physOff)
+		if _, err := s.f.ReadAtClass(raw, 0, diskio.SeqRead); err != nil {
+			return err
+		}
+		for len(raw) > 0 {
+			var n int
+			var err error
+			out, n, err = DecodeFrame(out, raw)
+			if err != nil {
+				return fmt.Errorf("codec: %s: %w", s.path, err)
+			}
+			raw = raw[n:]
+		}
+	}
+	out = append(out, s.staging...)
+	if int64(len(out)) != s.logicalLen {
+		return fmt.Errorf("%w: %s: spill decoded to %d bytes, want %d", ErrCorrupt, s.path, len(out), s.logicalLen)
+	}
+	s.acct.ReadAtClass(s.logicalLen, 0, diskio.SeqRead)
+	return nil
+}
+
+// Close releases the physical file and resets to the lazy state, so the
+// next Append starts a fresh spill cycle exactly as the raw spill's
+// close-and-recreate does.
+func (s *SpillFile) Close() error {
+	var err error
+	if s.f != nil {
+		err = s.f.Close()
+	}
+	s.f, s.acct = nil, nil
+	s.staging = nil
+	s.physOff, s.logicalLen = 0, 0
+	return err
+}

@@ -42,28 +42,40 @@ func (j *job) maybeCheckpoint(t int, res *metrics.JobResult) error {
 	coord := checkpoint.Coordinator{Dir: j.dir}
 	befores := make([]diskio.Snapshot, len(j.workers))
 	logBefores := make([]diskio.Snapshot, len(j.workers))
+	physBefores := make([]diskio.Snapshot, len(j.workers))
 	for i, w := range j.workers {
 		befores[i] = w.ct.Snapshot()
+		physBefores[i] = j.pcts[i].Snapshot()
 		if w.logCt != nil {
 			logBefores[i] = w.logCt.Snapshot()
 		}
 	}
 	// The master's own record is tiny; charge it to a scratch counter and
-	// fold it into the same checkpoint tally.
+	// fold it into the same checkpoint tally. Its physical twin keeps the
+	// frame bytes of a compressed master record in the physical tally too.
 	mct := &diskio.Counter{}
+	mpct := &diskio.Counter{}
+	mct.SetPhys(mpct)
 	werr := j.writeCheckpoint(coord, t, mct)
 	// Bytes moved before a failed attempt are real: charge the delta on
 	// every path. The msglog fsyncs ride the workers' log counters and are
 	// folded into the same tally (the LogIO side of the sync contract).
 	delta := mct.Snapshot()
+	physDelta := mpct.Snapshot()
 	for i, w := range j.workers {
 		delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
+		physDelta = physDelta.Add(j.pcts[i].Snapshot().Sub(physBefores[i]))
 		if w.logCt != nil {
 			delta = delta.Add(w.logCt.Snapshot().Sub(logBefores[i]))
 		}
 	}
 	res.CheckpointIO = res.CheckpointIO.Add(delta)
-	res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	res.CheckpointPhysIO = res.CheckpointPhysIO.Add(physDelta)
+	if j.cfg.ChargePhysical {
+		res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(physDelta)
+	} else {
+		res.CheckpointSimSeconds += j.cfg.Profile.DiskSeconds(delta)
+	}
 	if werr != nil {
 		if diskio.IsPowerCut(werr) {
 			return fmt.Errorf("core: checkpoint at superstep %d: %w", t, werr)
@@ -138,11 +150,11 @@ func (j *job) writeCheckpoint(coord checkpoint.Coordinator, t int, mct *diskio.C
 		if err != nil {
 			return fmt.Errorf("worker %d snapshot: %w", w.id, err)
 		}
-		if _, err := checkpoint.WriteSnapshot(coord.SnapshotPath(t, w.id), w.ct, snap); err != nil {
+		if _, err := checkpoint.WriteSnapshot(coord.SnapshotPath(t, w.id), w.ct, snap, j.cdc); err != nil {
 			return fmt.Errorf("worker %d snapshot: %w", w.id, err)
 		}
 	}
-	if _, err := checkpoint.WriteMaster(coord.MasterPath(t), mct, j.masterRecord(t)); err != nil {
+	if _, err := checkpoint.WriteMaster(coord.MasterPath(t), mct, j.masterRecord(t), j.cdc); err != nil {
 		return fmt.Errorf("master record: %w", err)
 	}
 	for _, w := range j.workers {
@@ -202,17 +214,28 @@ func (j *job) restoreFromCheckpoint(engine Engine, res *metrics.JobResult) (step
 		return 0, false, nil
 	}
 	befores := make([]diskio.Snapshot, len(j.workers))
+	physBefores := make([]diskio.Snapshot, len(j.workers))
 	for i, w := range j.workers {
 		befores[i] = w.ct.Snapshot()
+		physBefores[i] = j.pcts[i].Snapshot()
 	}
 	mct := &diskio.Counter{}
+	mpct := &diskio.Counter{}
+	mct.SetPhys(mpct)
 	defer func() {
 		delta := mct.Snapshot()
+		physDelta := mpct.Snapshot()
 		for i, w := range j.workers {
 			delta = delta.Add(w.ct.Snapshot().Sub(befores[i]))
+			physDelta = physDelta.Add(j.pcts[i].Snapshot().Sub(physBefores[i]))
 		}
-		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+		if j.cfg.ChargePhysical {
+			res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(physDelta)
+		} else {
+			res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+		}
 		res.ReplayIO = res.ReplayIO.Add(delta)
+		res.ReplayPhysIO = res.ReplayPhysIO.Add(physDelta)
 		if ok {
 			j.jm.restores.Inc()
 			if j.trace != nil {

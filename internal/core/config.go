@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hybridgraph/internal/adjstore"
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/faultplan"
@@ -45,6 +46,11 @@ type StoreSource interface {
 	// OpenVE opens worker w's VE-BLOCK store read-only against layout,
 	// which must match the geometry the file was built with.
 	OpenVE(w int, ct *diskio.Counter, g *graph.Graph, layout *veblock.Layout) (*veblock.Store, error)
+	// Codec names the block codec the stores were encoded with at build
+	// time ("" or "none" for the raw layout). A job must declare the same
+	// codec in Config.Codec — setup rejects a mismatch rather than
+	// misread or silently re-encode the files.
+	Codec() string
 }
 
 // Engine names one message-handling approach.
@@ -255,6 +261,26 @@ type Config struct {
 	// overhead shows up in SimSeconds. Defaults to 5 when Recovery is
 	// "checkpoint" and left unset.
 	CheckpointEvery int
+	// Codec selects the block codec every disk-resident structure the job
+	// writes or opens is encoded with: adjacency runs, VE-BLOCK Eblock
+	// files, inbox spill segments, recovery message logs and checkpoint
+	// snapshots. "" or "none" is the raw layout; "delta" zigzag-delta
+	// varint-codes sorted id runs; "lz" is flate. The codec changes only
+	// physical bytes: every logical charge — the paper's Eq. (7)/(8)
+	// classes, Q^t inputs, LoadIO, checkpoint and replay costs — is
+	// byte-identical to codec "none", and final vertex values are
+	// bit-exact. Physical (compressed) bytes are reported separately in
+	// StepStats.PhysIO / JobResult.PhysIO with the achieved
+	// CompressionRatio. When Stores is set, the codec must match the
+	// source's ingest codec.
+	Codec string
+	// ChargePhysical makes the disk-time component of SimSeconds use the
+	// physical (compressed) byte deltas instead of the logical ones —
+	// "what would this run cost on hardware actually moving compressed
+	// blocks". Q^t inputs and all reported logical stats are unaffected;
+	// only DiskSeconds switches dimension. No-op under codec "none"
+	// (physical == logical there).
+	ChargePhysical bool
 	// ResumeFromCheckpoint makes the job, before its first superstep, look
 	// for a committed checkpoint in WorkDir and resume from it instead of
 	// starting at superstep 1. This is how a restarted service daemon
@@ -362,6 +388,20 @@ func (c Config) validate(n int) error {
 	if c.Stores != nil && c.Workers != c.Stores.Workers() {
 		return fmt.Errorf("core: %d workers but the store source was built for %d",
 			c.Workers, c.Stores.Workers())
+	}
+	if _, err := codec.Lookup(c.Codec); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Stores != nil {
+		want, err := codec.Lookup(c.Stores.Codec())
+		if err != nil {
+			return fmt.Errorf("core: store source declares %w", err)
+		}
+		have, _ := codec.Lookup(c.Codec)
+		if want.ID() != have.ID() {
+			return fmt.Errorf("core: Config.Codec %q does not match the store source's ingest codec %q",
+				have.Name(), want.Name())
+		}
 	}
 	switch c.Recovery {
 	case "", "scratch", "resume", "checkpoint", "confined", "reassign":

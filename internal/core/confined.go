@@ -276,6 +276,9 @@ func (j *job) confinedRecover(engine Engine, res *metrics.JobResult, fw, lastDon
 	}
 
 	rf := &replayFabric{j: j, failed: fw, logCt: &diskio.Counter{}, served: map[int]int64{}}
+	// The survivors' log-segment reads get their own physical twin so the
+	// frame bytes of a compressed msglog land in ReplayPhysIO.
+	rf.logCt.SetPhys(&diskio.Counter{})
 	j.replayFab = rf
 	defer func() { j.replayFab = nil }()
 
@@ -306,15 +309,23 @@ func (j *job) confinedRecover(engine Engine, res *metrics.JobResult, fw, lastDon
 		rf.resetStep()
 		wb := w.ct.Snapshot()
 		lb := rf.logCt.Snapshot()
+		wpb := j.pcts[w.id].Snapshot()
+		lpb := rf.logCt.Phys().Snapshot()
 		if err := j.injectLogged(w, lastDone, rf); err != nil {
 			return rejoinStat{}, err
 		}
 		d := w.ct.Snapshot().Sub(wb)
 		logD := rf.logCt.Snapshot().Sub(lb)
+		physD := j.pcts[w.id].Snapshot().Sub(wpb).Add(rf.logCt.Phys().Snapshot().Sub(lpb))
 		_, net := rf.takeStep()
 		res.ReplayIO = res.ReplayIO.Add(d).Add(logD)
+		res.ReplayPhysIO = res.ReplayPhysIO.Add(physD)
 		res.ReplayNetBytes += net
-		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(d.Add(logD)) + j.cfg.Profile.NetSeconds(net)
+		diskD := d.Add(logD)
+		if j.cfg.ChargePhysical {
+			diskD = physD
+		}
+		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(diskD) + j.cfg.Profile.NetSeconds(net)
 	}
 
 	res.ConfinedRecoveries++
@@ -340,11 +351,18 @@ func (j *job) confinedRecover(engine Engine, res *metrics.JobResult, fw, lastDon
 func (j *job) confinedRestore(w *worker, base int, res *metrics.JobResult) (ok bool, err error) {
 	coord := checkpoint.Coordinator{Dir: j.dir}
 	before := w.ct.Snapshot()
+	physBefore := j.pcts[w.id].Snapshot()
 	failReason := ""
 	defer func() {
 		delta := w.ct.Snapshot().Sub(before)
+		physDelta := j.pcts[w.id].Snapshot().Sub(physBefore)
 		res.ReplayIO = res.ReplayIO.Add(delta)
-		res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+		res.ReplayPhysIO = res.ReplayPhysIO.Add(physDelta)
+		if j.cfg.ChargePhysical {
+			res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(physDelta)
+		} else {
+			res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(delta)
+		}
 		if ok {
 			res.Restores++
 			j.jm.restores.Inc()
@@ -385,6 +403,8 @@ func (j *job) replayStep(w *worker, u, base int, engine Engine, rf *replayFabric
 	rf.resetStep()
 	wb := w.ct.Snapshot()
 	lb := rf.logCt.Snapshot()
+	wpb := j.pcts[w.id].Snapshot()
+	lpb := rf.logCt.Phys().Snapshot()
 	survBefore := make([]diskio.Snapshot, len(j.workers))
 	for i, sv := range j.workers {
 		if i != w.id {
@@ -408,13 +428,19 @@ func (j *job) replayStep(w *worker, u, base int, engine Engine, rf *replayFabric
 
 	d := w.ct.Snapshot().Sub(wb)
 	logD := rf.logCt.Snapshot().Sub(lb)
+	physD := j.pcts[w.id].Snapshot().Sub(wpb).Add(rf.logCt.Phys().Snapshot().Sub(lpb))
 	served, net := rf.takeStep()
 	w.mu.Lock()
 	stat := w.stat
 	w.mu.Unlock()
 	cpuSec := stat.cpu.Seconds(j.cfg.Profile)
-	simSecs := cpuSec + j.cfg.Profile.DiskSeconds(d.Add(logD)) + j.cfg.Profile.NetSeconds(net)
+	diskD := d.Add(logD)
+	if j.cfg.ChargePhysical {
+		diskD = physD
+	}
+	simSecs := cpuSec + j.cfg.Profile.DiskSeconds(diskD) + j.cfg.Profile.NetSeconds(net)
 	res.ReplayIO = res.ReplayIO.Add(d).Add(logD)
+	res.ReplayPhysIO = res.ReplayPhysIO.Add(physD)
 	res.ReplayNetBytes += net
 	res.RecoverySimSeconds += simSecs
 	res.ReplayedSupersteps++

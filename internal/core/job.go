@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hybridgraph/internal/algo"
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
@@ -34,6 +35,14 @@ type job struct {
 	loadCts []*diskio.Counter
 	dir     string
 	ownDir  bool
+
+	// cdc is the resolved block codec every disk-resident structure uses;
+	// pcts are the per-worker physical twin counters its frame I/O lands
+	// on (one per worker, shared by that worker's compute, load and log
+	// counters via Counter.SetPhys). Under codec "none" the twins mirror
+	// the logical charges exactly, so physical == logical by construction.
+	cdc  codec.Codec
+	pcts []*diskio.Counter
 
 	// Catalog accounting: bytes written building edge layouts during setup
 	// (adj, VE-BLOCK, mirror) and bytes reused from a pre-built store
@@ -131,6 +140,7 @@ func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Conf
 		ctx = context.Background()
 	}
 	j := &job{cfg: cfg, runCtx: ctx, g: g, prog: prog, engine: engine}
+	j.cdc, _ = codec.Lookup(cfg.Codec)
 	tr, err := newJobTracer(cfg, prog, engine)
 	if err != nil {
 		return nil, err
@@ -153,6 +163,7 @@ func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Conf
 		Algorithm:   prog.Name(),
 		Workers:     cfg.Workers,
 		Parallelism: cfg.Parallelism,
+		Codec:       j.cdc.Name(),
 	}
 	if err := j.setup(engine, res); err != nil {
 		return nil, err
@@ -164,6 +175,7 @@ func RunContext(ctx context.Context, g *graph.Graph, prog algo.Program, cfg Conf
 		return nil, err
 	}
 	res.Finish()
+	j.jm.compression.Set(int64(res.CompressionRatio * 1000))
 	if j.faultFS != nil {
 		res.DiskFaults = j.faultFS.Stats().Total()
 	}
@@ -360,6 +372,7 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		cs.SetContext(j.runCtx)
 	}
 	j.loadCts = make([]*diskio.Counter, t)
+	j.pcts = make([]*diskio.Counter, t)
 	j.workers = make([]*worker, t)
 	if j.cfg.MsgBuf > 0 {
 		j.bTotal = int64(j.cfg.MsgBuf) * int64(t)
@@ -388,8 +401,11 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 
 	for w := 0; w < t; w++ {
 		j.loadCts[w] = &diskio.Counter{}
+		j.pcts[w] = &diskio.Counter{}
+		j.loadCts[w].SetPhys(j.pcts[w])
 		wk := &worker{id: w, job: j, part: j.parts[w], ct: &diskio.Counter{},
 			dir: filepath.Join(j.dir, fmt.Sprintf("w%d", w))}
+		wk.ct.SetPhys(j.pcts[w])
 		if err := os.MkdirAll(wk.dir, 0o755); err != nil {
 			return err
 		}
@@ -436,7 +452,8 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		}
 		if logged {
 			wk.logCt = &diskio.Counter{}
-			ml, err := msglog.Open(filepath.Join(wk.dir, "msglog"), wk.logCt)
+			wk.logCt.SetPhys(j.pcts[w])
+			ml, err := msglog.Open(filepath.Join(wk.dir, "msglog"), wk.logCt, j.cdc)
 			if err != nil {
 				return err
 			}
@@ -453,6 +470,11 @@ func (j *job) setup(engine Engine, res *metrics.JobResult) error {
 		loadIO = loadIO.Add(ct.Snapshot())
 	}
 	res.LoadIO = loadIO
+	var loadPhys diskio.Snapshot
+	for _, p := range j.pcts {
+		loadPhys = loadPhys.Add(p.Snapshot())
+	}
+	res.LoadPhysIO = loadPhys
 	res.LoadSimSeconds = j.cfg.Profile.DiskSeconds(loadIO) +
 		float64(j.g.NumEdges())*metrics.CostPerEdge*j.cfg.Profile.CPUFactor
 	res.CatalogHit = j.cfg.Stores != nil
@@ -578,6 +600,7 @@ func (j *job) run(engine Engine, res *metrics.JobResult) error {
 			res.RecoverySimSeconds += s.SimSeconds
 			res.ReplayedSupersteps++
 			res.ReplayIO = res.ReplayIO.Add(s.IO)
+			res.ReplayPhysIO = res.ReplayPhysIO.Add(s.PhysIO)
 			res.ReplayNetBytes += s.NetBytes
 		}
 		discarded := len(res.Steps) - kept
@@ -787,6 +810,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	type before struct {
 		io      diskio.Snapshot
 		log     diskio.Snapshot
+		phys    diskio.Snapshot
 		in, out int64
 	}
 	befores := make([]before, len(j.workers))
@@ -794,7 +818,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		w.resetStat()
 		w.clearStepFlags(t)
 		in, out := j.fabric.Traffic(w.id)
-		befores[i] = before{io: w.ct.Snapshot(), in: in, out: out}
+		befores[i] = before{io: w.ct.Snapshot(), phys: j.pcts[i].Snapshot(), in: in, out: out}
 		if w.logCt != nil {
 			befores[i].log = w.logCt.Snapshot()
 		}
@@ -898,6 +922,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	}
 	for i, w := range j.workers {
 		d := w.ct.Snapshot().Sub(befores[i].io)
+		pd := j.pcts[i].Snapshot().Sub(befores[i].phys)
 		var logD diskio.Snapshot
 		if w.logCt != nil {
 			logD = w.logCt.Snapshot().Sub(befores[i].log)
@@ -925,6 +950,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		st.Spilled += s.parts.MdiskW / comm.MsgWireSize
 		st.IO = st.IO.Add(d)
 		st.LogIO = st.LogIO.Add(logD)
+		st.PhysIO = st.PhysIO.Add(pd)
 		addBreakdown(&st.Parts, s.parts)
 
 		mem := s.memBytes
@@ -966,7 +992,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 				Produced: s.produced, Requests: s.requests,
 				Spilled: s.parts.MdiskW / comm.MsgWireSize,
 				NetIn:   nIn, NetOut: nOut,
-				IO: d, LogIO: logD, Parts: s.parts, MemBytes: mem,
+				IO: d, LogIO: logD, PhysIO: pd, Parts: s.parts, MemBytes: mem,
 				MigrationIO: migIO, MigrationNetBytes: migNet})
 		}
 
@@ -976,6 +1002,12 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 		// so the Q^t inputs and the trace-vs-stats cross-check see pure
 		// Eq. (7)/(8) traffic.
 		diskSec := j.cfg.Profile.DiskSeconds(d.Add(logD))
+		if j.cfg.ChargePhysical {
+			// Charge what the platter actually moved: the compressed frame
+			// bytes. Logical stats and Q^t inputs are untouched — only the
+			// time dimension switches to the physical reality.
+			diskSec = j.cfg.Profile.DiskSeconds(pd)
+		}
 		netSec := j.cfg.Profile.NetSeconds(nIn + nOut)
 		st.CPUSeconds += cpuSec
 		st.DiskSeconds += diskSec
@@ -1013,6 +1045,27 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	j.lastStepAggSet = aggSet
 	j.finishQt(t, mode, &st)
 
+	if j.trace != nil && !codec.IsNone(j.cdc) {
+		// One codec event pair per superstep, derived from the counter
+		// deltas: the write classes are the compress direction, the read
+		// classes decompress. Logical bytes include the message log — the
+		// codec frames it too.
+		wLog := st.IO.Bytes[diskio.SeqWrite] + st.IO.Bytes[diskio.RandWrite] +
+			st.LogIO.Bytes[diskio.SeqWrite] + st.LogIO.Bytes[diskio.RandWrite]
+		rLog := st.IO.Bytes[diskio.SeqRead] + st.IO.Bytes[diskio.RandRead] +
+			st.LogIO.Bytes[diskio.SeqRead] + st.LogIO.Bytes[diskio.RandRead]
+		wPhys := st.PhysIO.Bytes[diskio.SeqWrite] + st.PhysIO.Bytes[diskio.RandWrite]
+		rPhys := st.PhysIO.Bytes[diskio.SeqRead] + st.PhysIO.Bytes[diskio.RandRead]
+		if wLog > 0 {
+			j.trace.Emit(obs.CodecEvent{Type: obs.EventCompress, Step: t,
+				Codec: j.cdc.Name(), Logical: wLog, Physical: wPhys})
+		}
+		if rLog > 0 {
+			j.trace.Emit(obs.CodecEvent{Type: obs.EventDecompress, Step: t,
+				Codec: j.cdc.Name(), Logical: rLog, Physical: rPhys})
+		}
+	}
+
 	j.jm.supersteps.Inc()
 	j.jm.step.Set(int64(t))
 	j.jm.updated.Add(st.Updated)
@@ -1021,6 +1074,7 @@ func (j *job) superstep(t int, engine, mode Engine) (metrics.StepStats, error) {
 	j.jm.netBytes.Add(st.NetBytes)
 	j.jm.ioBytes.Add(st.IO.Total())
 	j.jm.logBytes.Add(st.LogIO.Total())
+	j.jm.physBytes.Add(st.PhysIO.Total())
 	j.jm.memPeak.Max(st.MemBytes)
 	if stallErr != nil {
 		return st, stallErr

@@ -38,6 +38,8 @@ type jobMetrics struct {
 	reassigns   *obs.Counter // "core.reassignments" (partitions adopted by survivors)
 	migIOBytes  *obs.Counter // "migration.io_bytes" (store-rebuild I/O of adoptions)
 	migNetBytes *obs.Counter // "migration.net_bytes" (state shipped to adopting hosts)
+	physBytes   *obs.Counter // "core.phys_bytes" (physical post-codec superstep bytes)
+	compression *obs.Gauge   // "core.compression_ratio_milli" (logical/physical ×1000)
 	step        *obs.Gauge   // "core.superstep" (the superstep in flight)
 	memPeak     *obs.Gauge   // "core.mem_bytes_peak"
 	degraded    *obs.Gauge   // "core.workers_degraded" (permanently-dead workers)
@@ -70,6 +72,8 @@ func newJobMetrics(reg *obs.Registry) jobMetrics {
 		reassigns:   reg.Counter("core.reassignments"),
 		migIOBytes:  reg.Counter("migration.io_bytes"),
 		migNetBytes: reg.Counter("migration.net_bytes"),
+		physBytes:   reg.Counter("core.phys_bytes"),
+		compression: reg.Gauge("core.compression_ratio_milli"),
 		step:        reg.Gauge("core.superstep"),
 		memPeak:     reg.Gauge("core.mem_bytes_peak"),
 		degraded:    reg.Gauge("core.workers_degraded"),

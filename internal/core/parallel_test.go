@@ -30,6 +30,14 @@ func parallelPrograms() map[string]func() algo.Program {
 // is the only StepStats field allowed to differ.
 func sameSteps(t *testing.T, label string, a, b []metrics.StepStats) {
 	t.Helper()
+	sameStepsEx(t, label, a, b, true)
+}
+
+// sameStepsEx is sameSteps with the physical dimension optional: two runs
+// under the same codec must agree on PhysIO too, while a cross-codec
+// comparison (the codec-identity suite) checks only the logical fields.
+func sameStepsEx(t *testing.T, label string, a, b []metrics.StepStats, comparePhys bool) {
+	t.Helper()
 	if len(a) != len(b) {
 		t.Fatalf("%s: %d supersteps vs %d", label, len(a), len(b))
 	}
@@ -50,6 +58,9 @@ func sameSteps(t *testing.T, label string, a, b []metrics.StepStats) {
 		if x.LogIO != y.LogIO {
 			t.Errorf("%s step %d: LogIO snapshot differs", label, x.Step)
 		}
+		if comparePhys && x.PhysIO != y.PhysIO {
+			t.Errorf("%s step %d: PhysIO snapshot differs: %+v vs %+v", label, x.Step, x.PhysIO, y.PhysIO)
+		}
 		if x.Parts != y.Parts {
 			t.Errorf("%s step %d: Eq.(7)/(8) parts differ: %+v vs %+v", label, x.Step, x.Parts, y.Parts)
 		}
@@ -63,6 +74,11 @@ func sameSteps(t *testing.T, label string, a, b []metrics.StepStats) {
 }
 
 func sameResults(t *testing.T, label string, a, b *metrics.JobResult) {
+	t.Helper()
+	sameResultsEx(t, label, a, b, true)
+}
+
+func sameResultsEx(t *testing.T, label string, a, b *metrics.JobResult, comparePhys bool) {
 	t.Helper()
 	if len(a.Values) != len(b.Values) {
 		t.Fatalf("%s: %d values vs %d", label, len(a.Values), len(b.Values))
@@ -82,7 +98,7 @@ func sameResults(t *testing.T, label string, a, b *metrics.JobResult) {
 	if a.MaxMemBytes != b.MaxMemBytes {
 		t.Errorf("%s: MaxMemBytes %d vs %d", label, a.MaxMemBytes, b.MaxMemBytes)
 	}
-	sameSteps(t, label, a.Steps, b.Steps)
+	sameStepsEx(t, label, a.Steps, b.Steps, comparePhys)
 }
 
 func TestParallelismByteIdentical(t *testing.T) {

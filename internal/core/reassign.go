@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"os"
 
 	"hybridgraph/internal/checkpoint"
 	"hybridgraph/internal/comm"
@@ -151,6 +150,8 @@ func (j *job) adoptWorker(fw, host, step int, reason string, res *metrics.JobRes
 	// migration counter — this is the I/O the adoption itself performs —
 	// and the stores then return to the unit's compute counter.
 	migCt := &diskio.Counter{}
+	migPct := &diskio.Counter{}
+	migCt.SetPhys(migPct)
 	saved := j.loadCts[fw]
 	j.loadCts[fw] = migCt
 	rebuild := func() error {
@@ -193,11 +194,15 @@ func (j *job) adoptWorker(fw, host, step int, reason string, res *metrics.JobRes
 	// segments, and the layout bytes fetched to rebuild the stores
 	// (Cmig = |snapshot| + Σ|seg| + |adj| + |VE|).
 	migIO := migCt.Snapshot()
+	migPhys := migPct.Snapshot()
 	var netBytes int64
 	if j.ckptStep > 0 {
+		// The snapshot's contribution to Cmig is its logical size: what
+		// crosses the wire in the paper's model is the state, not however
+		// the local file happens to be framed on disk.
 		coord := checkpoint.Coordinator{Dir: j.dir}
-		if fi, err := os.Stat(coord.SnapshotPath(j.ckptStep, fw)); err == nil {
-			netBytes += fi.Size()
+		if sz, err := checkpoint.SnapshotLogicalSize(coord.SnapshotPath(j.ckptStep, fw)); err == nil {
+			netBytes += sz
 		}
 	}
 	if w.mlog != nil {
@@ -209,9 +214,14 @@ func (j *job) adoptWorker(fw, host, step int, reason string, res *metrics.JobRes
 
 	res.Reassignments++
 	res.MigrationIO = res.MigrationIO.Add(migIO)
+	res.MigrationPhysIO = res.MigrationPhysIO.Add(migPhys)
 	res.MigrationNetBytes += netBytes
 	res.Degraded = true
-	res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(migIO) + j.cfg.Profile.NetSeconds(netBytes)
+	migDisk := migIO
+	if j.cfg.ChargePhysical {
+		migDisk = migPhys
+	}
+	res.RecoverySimSeconds += j.cfg.Profile.DiskSeconds(migDisk) + j.cfg.Profile.NetSeconds(netBytes)
 	j.pendingMig[fw] = pendingMig{set: true, io: migIO, net: netBytes}
 	j.jm.reassigns.Inc()
 	j.jm.migIOBytes.Add(migIO.Total())

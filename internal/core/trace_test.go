@@ -30,6 +30,7 @@ type parsedTrace struct {
 	scheduler        []obs.SchedulerEvent
 	reassigns        []obs.ReassignEvent
 	adoptBlocks      []obs.AdoptBlockEvent
+	codecs           []obs.CodecEvent
 }
 
 func parseTrace(t *testing.T, data []byte) *parsedTrace {
@@ -138,6 +139,12 @@ func parseTrace(t *testing.T, data []byte) *parsedTrace {
 				t.Fatal(err)
 			}
 			p.adoptBlocks = append(p.adoptBlocks, ev)
+		case obs.EventCompress, obs.EventDecompress:
+			var ev obs.CodecEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			p.codecs = append(p.codecs, ev)
 		case obs.EventJobQueued, obs.EventJobCancelled:
 			var ev obs.SchedulerEvent
 			if err := json.Unmarshal(line, &ev); err != nil {

@@ -192,7 +192,7 @@ func (w *worker) buildAdj(g *graph.Graph) error {
 		w.adj = adjstore.BuildMem(g, w.part)
 		return nil
 	}
-	a, err := adjstore.Build(filepath.Join(w.dir, "adj.dat"), w.job.loadCt(w.id), g, w.part)
+	a, err := adjstore.Build(filepath.Join(w.dir, "adj.dat"), w.job.loadCt(w.id), g, w.part, w.job.cdc)
 	if err != nil {
 		return err
 	}
@@ -217,7 +217,7 @@ func (w *worker) buildMirror(g *graph.Graph) error {
 		w.mirror = adjstore.BuildMem(mg, full)
 		return nil
 	}
-	m, err := adjstore.Build(filepath.Join(w.dir, "mirror.dat"), w.job.loadCt(w.id), mg, full)
+	m, err := adjstore.Build(filepath.Join(w.dir, "mirror.dat"), w.job.loadCt(w.id), mg, full, w.job.cdc)
 	if err != nil {
 		return err
 	}
@@ -246,7 +246,7 @@ func (w *worker) buildVE(g *graph.Graph) error {
 		w.ve = ve
 		return nil
 	}
-	ve, err := veblock.Build(filepath.Join(w.dir, "veblock.dat"), w.job.loadCt(w.id), g, w.job.layout, w.id)
+	ve, err := veblock.Build(filepath.Join(w.dir, "veblock.dat"), w.job.loadCt(w.id), g, w.job.layout, w.id, w.job.cdc)
 	if err != nil {
 		return err
 	}
@@ -276,7 +276,7 @@ func (w *worker) initInboxes() {
 			capacity = -1
 		}
 		base := msgstore.NewInbox(filepath.Join(w.dir, fmt.Sprintf("spill%d.dat", p)),
-			w.ct, capacity)
+			w.ct, capacity, w.job.cdc)
 		if w.hot != nil {
 			online := msgstore.NewOnlineInbox(base, w.hot, w.job.prog.Combiner())
 			online.SetMetrics(w.job.cfg.Metrics)

@@ -1,0 +1,98 @@
+package diskio
+
+import "sync"
+
+// Accountant replays File's exact charging state machine — sequential
+// position, last-touched page, per-page device amplification for random
+// classes, the zero-byte sync op — against a Counter without performing
+// any real I/O. Compressed stores use it to keep the *logical* byte
+// dimension byte-identical to an uncompressed run: every logical access
+// is charged here exactly as the raw File would have charged it, while
+// the store's real frame I/O goes through an ordinary File opened on
+// the counter's physical twin. Charges are applied with the raw
+// (non-mirroring) tally update, so they never leak into the physical
+// dimension.
+type Accountant struct {
+	mu       sync.Mutex
+	ct       *Counter
+	seqPos   int64
+	lastPage int64
+}
+
+// NewAccountant starts a charge machine in the state of a freshly
+// created or opened File.
+func NewAccountant(ct *Counter) *Accountant {
+	return &Accountant{ct: ct, lastPage: -1}
+}
+
+// SetCounter retargets accounting, mirroring File.SetCounter.
+func (a *Accountant) SetCounter(ct *Counter) {
+	a.mu.Lock()
+	a.ct = ct
+	a.mu.Unlock()
+}
+
+// devCharge mirrors File.devCharge. Callers hold a.mu.
+func (a *Accountant) devCharge(off, n int64, c Class) int64 {
+	if n <= 0 {
+		return 0
+	}
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	if c == SeqRead || c == SeqWrite {
+		a.lastPage = last
+		return n
+	}
+	var dev int64
+	for p := first; p <= last; p++ {
+		if p != a.lastPage {
+			dev += PageSize
+		}
+		a.lastPage = p
+	}
+	return dev
+}
+
+// ReadAtClass charges an n-byte read of class c at off, exactly as
+// File.ReadAtClass would for a successful full read.
+func (a *Accountant) ReadAtClass(n, off int64, c Class) {
+	a.charge(n, off, c)
+}
+
+// WriteAtClass charges an n-byte write of class c at off, exactly as
+// File.WriteAtClass would for a successful full write.
+func (a *Accountant) WriteAtClass(n, off int64, c Class) {
+	a.charge(n, off, c)
+}
+
+func (a *Accountant) charge(n, off int64, c Class) {
+	a.mu.Lock()
+	a.seqPos = off + n
+	dev := a.devCharge(off, n, c)
+	ct := a.ct
+	a.mu.Unlock()
+	ct.addDev(c, n, dev)
+}
+
+// Sync charges the zero-byte sequential-write op File.Sync records.
+func (a *Accountant) Sync() {
+	a.mu.Lock()
+	ct := a.ct
+	a.mu.Unlock()
+	ct.addDev(SeqWrite, 0, 0)
+}
+
+// WriteFileSyncDual is WriteFileSync for a compressed file: phys is
+// what reaches the disk (written, fsynced and renamed through the fault
+// layer, charged to ct's physical twin), while ct receives the logical
+// charges the uncompressed WriteFileSync would have made for a
+// logicalLen-byte payload — one class-c write plus the sync op.
+func WriteFileSyncDual(path string, phys []byte, logicalLen int64, ct *Counter, c Class) error {
+	if err := WriteFileSync(path, phys, PhysFor(ct), c); err != nil {
+		return err
+	}
+	a := NewAccountant(ct)
+	a.WriteAtClass(logicalLen, 0, c)
+	a.Sync()
+	return nil
+}

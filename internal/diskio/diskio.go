@@ -59,17 +59,50 @@ type Counter struct {
 	bytes [numClasses]atomic.Int64
 	dev   [numClasses]atomic.Int64
 	ops   [numClasses]atomic.Int64
+	phys  atomic.Pointer[Counter]
 }
 
 // Add records n logical bytes of class c as one operation with an equal
 // device transfer (used for sequential access and direct accounting).
 func (ct *Counter) Add(c Class, n int64) { ct.AddDev(c, n, n) }
 
-// AddDev records n logical bytes moved with dev device bytes.
+// AddDev records n logical bytes moved with dev device bytes. When a
+// physical twin is attached (SetPhys), the same charge is mirrored into
+// it: for uncompressed files the bytes that hit the device *are* the
+// logical bytes, so the physical dimension tracks charge-for-charge.
+// Compressed stores instead charge logical bytes through an Accountant
+// (which does not mirror) and let their real frame I/O land on the twin.
 func (ct *Counter) AddDev(c Class, n, dev int64) {
+	ct.addDev(c, n, dev)
+	if p := ct.phys.Load(); p != nil {
+		p.addDev(c, n, dev)
+	}
+}
+
+// addDev is the raw, non-mirroring tally update.
+func (ct *Counter) addDev(c Class, n, dev int64) {
 	ct.bytes[c].Add(n)
 	ct.dev[c].Add(dev)
 	ct.ops[c].Add(1)
+}
+
+// SetPhys attaches the counter that receives this counter's physical
+// (on-device) dimension. Passing nil detaches it.
+func (ct *Counter) SetPhys(p *Counter) { ct.phys.Store(p) }
+
+// Phys reports the attached physical twin, or nil.
+func (ct *Counter) Phys() *Counter { return ct.phys.Load() }
+
+// PhysFor resolves where a store's real compressed-frame I/O should be
+// charged: ct's physical twin when one is attached, otherwise a
+// throwaway counter so callers that never wired a twin (unit tests,
+// one-off tools) keep exact logical accounting and simply drop the
+// physical dimension.
+func PhysFor(ct *Counter) *Counter {
+	if p := ct.Phys(); p != nil {
+		return p
+	}
+	return &Counter{}
 }
 
 // DevBytes reports accumulated device bytes of class c.

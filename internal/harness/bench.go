@@ -61,6 +61,10 @@ var BenchPath = "BENCH_pr4.json"
 // drifts are visible without gating the build.
 func Bench(o Options) ([]*Table, error) {
 	o = o.withDefaults()
+	out := o.Out
+	if out == "" {
+		out = BenchPath
+	}
 	n, m := 8000, 64000
 	if o.Quick {
 		n, m = 2000, 16000
@@ -87,7 +91,7 @@ func Bench(o Options) ([]*Table, error) {
 	}
 	engines := []core.Engine{core.Push, core.BPull, core.Hybrid}
 
-	tb := &Table{ID: "bench", Title: "Benchmark matrix (also written to " + BenchPath + ")",
+	tb := &Table{ID: "bench", Title: "Benchmark matrix (also written to " + out + ")",
 		Header: []string{"graph", "algo", "engine", "steps", "sim-s", "net-B", "io-B", "Eq7-B", "Eq8-B", "Qt-mean"}}
 	for _, bg := range art.Graphs {
 		g := graphs[bg.Name]
@@ -147,7 +151,7 @@ func Bench(o Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(BenchPath, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		return nil, err
 	}
 	return []*Table{tb}, nil

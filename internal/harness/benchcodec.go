@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/metrics"
+)
+
+// BenchCodecLeg is one (engine, codec) cell of the codec ablation: the
+// same PageRank job over the synthetic livej stand-in, with the codec as
+// the only variable. The logical columns must be byte-identical to the
+// codec-none leg of the same engine — the codec is not allowed to touch
+// the paper's cost model — while the physical column is what actually
+// hit the disk.
+type BenchCodecLeg struct {
+	Engine string `json:"engine"`
+	Codec  string `json:"codec"`
+
+	// Identity proof against the codec-none leg: an FNV-1a hash over the
+	// final values' IEEE-754 bits, plus the logical totals the Q^t switch
+	// and the cost models consume.
+	ValuesFNV    uint64 `json:"values_fnv"`
+	Identical    bool   `json:"identical"`
+	LogicalBytes int64  `json:"logical_bytes"`
+	NetBytes     int64  `json:"net_bytes"`
+	Eq7CioPush   int64  `json:"eq7_cio_push_bytes"`
+	Eq8CioBpull  int64  `json:"eq8_cio_bpull_bytes"`
+
+	// The physical dimension: post-codec bytes and the resulting ratio
+	// (logical/physical; exactly 1 under codec none).
+	PhysicalBytes    int64   `json:"physical_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	Shrinks          bool    `json:"shrinks"` // physical < codec-none physical
+}
+
+// BenchCodecArtifact is the BENCH_pr9.json document.
+type BenchCodecArtifact struct {
+	Workers int             `json:"workers"`
+	MsgBuf  int             `json:"msg_buf"`
+	Profile string          `json:"profile"`
+	Graph   BenchGraph      `json:"graph"`
+	Codecs  []string        `json:"codecs"`
+	Legs    []BenchCodecLeg `json:"legs"`
+	// AllIdentical aggregates the per-leg logical-identity checks;
+	// AllShrink aggregates the per-leg physical-shrink checks over the
+	// non-none codecs.
+	AllIdentical bool `json:"all_identical"`
+	AllShrink    bool `json:"all_shrink"`
+}
+
+// BenchCodecPath is the benchcodec experiment's default JSON artifact
+// path; Options.Out overrides it.
+var BenchCodecPath = "BENCH_pr9.json"
+
+// logicalTotal sums every logical byte dimension a run charges.
+func logicalTotal(r *metrics.JobResult) int64 {
+	return r.IO.Total() + r.LogIO.Total() + r.LoadIO.Total() +
+		r.CheckpointIO.Total() + r.ReplayIO.Total() + r.MigrationIO.Total()
+}
+
+// physicalTotal sums the parallel physical dimensions.
+func physicalTotal(r *metrics.JobResult) int64 {
+	return r.PhysIO.Total() + r.LoadPhysIO.Total() +
+		r.CheckpointPhysIO.Total() + r.ReplayPhysIO.Total() + r.MigrationPhysIO.Total()
+}
+
+// BenchCodec runs the codec ablation: PageRank over the synthetic livej
+// stand-in under the limited-memory configuration, for every registered
+// codec crossed with {push, b-pull, hybrid}, writing BENCH_pr9.json. Per
+// engine, the codec-none leg is the baseline; every other codec must
+// reproduce its values and every logical byte statistic exactly, and
+// must put fewer physical bytes on disk. A violation of either contract
+// fails the experiment, not just the artifact.
+func BenchCodec(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	out := o.Out
+	if out == "" {
+		out = BenchCodecPath
+	}
+	ds, err := graph.DatasetByName("livej")
+	if err != nil {
+		return nil, err
+	}
+	scale := o.Scale
+	if o.Quick && scale > 0.05 {
+		scale = 0.05
+	}
+	g := ds.GenerateCached(scale)
+
+	codecs := []string{"none", "delta", "lz"}
+	engines := []core.Engine{core.Push, core.BPull, core.Hybrid}
+	if o.Quick {
+		engines = []core.Engine{core.Push, core.Hybrid}
+	}
+	buf := int(bufferRatio["livej"] * float64(g.NumVertices))
+	if buf < 16 {
+		buf = 16
+	}
+	art := BenchCodecArtifact{
+		Workers:      o.Workers,
+		MsgBuf:       buf,
+		Profile:      o.Profile.Name,
+		Codecs:       codecs,
+		AllIdentical: true,
+		AllShrink:    true,
+		Graph: BenchGraph{Name: "livej", Kind: "rmat",
+			Vertices: g.NumVertices, Edges: g.NumEdges(), Seed: ds.Seed},
+	}
+
+	tb := &Table{ID: "benchcodec", Title: "Codec ablation (also written to " + out + ")",
+		Header: []string{"engine", "codec", "logical-B", "physical-B", "ratio", "identical", "shrinks"}}
+	for _, e := range engines {
+		var base *BenchCodecLeg
+		for _, cn := range codecs {
+			cfg := core.Config{
+				Workers:     o.Workers,
+				MsgBuf:      buf,
+				MaxSteps:    maxStepsFor("pagerank"),
+				Profile:     o.Profile,
+				Parallelism: o.Parallelism,
+				Codec:       cn,
+				TraceDir:    o.TraceDir,
+				Metrics:     o.Metrics,
+			}
+			res, err := core.Run(g, algo.NewPageRank(0.85), cfg, e)
+			if err != nil {
+				return nil, fmt.Errorf("benchcodec %s/%s: %w", e, cn, err)
+			}
+			var cio7, cio8 int64
+			for _, s := range res.Steps {
+				cio7 += s.Parts.CioPush()
+				cio8 += s.Parts.CioBpull()
+			}
+			leg := BenchCodecLeg{
+				Engine:           string(e),
+				Codec:            cn,
+				ValuesFNV:        valuesFNV(res.Values),
+				LogicalBytes:     logicalTotal(res),
+				NetBytes:         res.NetBytes,
+				Eq7CioPush:       cio7,
+				Eq8CioBpull:      cio8,
+				PhysicalBytes:    physicalTotal(res),
+				CompressionRatio: res.CompressionRatio,
+			}
+			if base == nil {
+				// The codec-none baseline is, by definition, identical to
+				// itself and is not expected to shrink.
+				base = &leg
+				leg.Identical = true
+				leg.Shrinks = false
+			} else {
+				leg.Identical = leg.ValuesFNV == base.ValuesFNV &&
+					leg.LogicalBytes == base.LogicalBytes &&
+					leg.NetBytes == base.NetBytes &&
+					leg.Eq7CioPush == base.Eq7CioPush &&
+					leg.Eq8CioBpull == base.Eq8CioBpull
+				leg.Shrinks = leg.PhysicalBytes < base.PhysicalBytes
+				if !leg.Identical {
+					art.AllIdentical = false
+				}
+				if !leg.Shrinks {
+					art.AllShrink = false
+				}
+			}
+			art.Legs = append(art.Legs, leg)
+			tb.Rows = append(tb.Rows, []string{
+				string(e), cn,
+				fmtBytes(leg.LogicalBytes), fmtBytes(leg.PhysicalBytes),
+				fmt.Sprintf("%.2fx", leg.CompressionRatio),
+				fmt.Sprintf("%v", leg.Identical), fmt.Sprintf("%v", leg.Shrinks),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	if !art.AllIdentical {
+		return nil, fmt.Errorf("benchcodec: a codec changed the values or the logical statistics (see %s)", out)
+	}
+	if !art.AllShrink {
+		return nil, fmt.Errorf("benchcodec: a codec failed to shrink physical bytes (see %s)", out)
+	}
+	return []*Table{tb}, nil
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchCodecWritesArtifactAndHoldsContracts(t *testing.T) {
+	o := quickOpts()
+	o.Out = filepath.Join(t.TempDir(), "BENCH_pr9.json")
+
+	tables, err := BenchCodec(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode: 2 engines x 3 codecs.
+	if len(tables) != 1 || len(tables[0].Rows) != 6 {
+		t.Fatalf("benchcodec table shape: %d tables, %d rows (want 1 x 6)", len(tables), len(tables[0].Rows))
+	}
+	data, err := os.ReadFile(o.Out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var art BenchCodecArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Codecs) != 3 || len(art.Legs) != 6 {
+		t.Fatalf("artifact has %d codecs, %d legs (want 3, 6)", len(art.Codecs), len(art.Legs))
+	}
+	if !art.AllIdentical || !art.AllShrink {
+		t.Fatalf("contracts violated: identical=%v shrink=%v", art.AllIdentical, art.AllShrink)
+	}
+	for _, l := range art.Legs {
+		if l.ValuesFNV == 0 || l.LogicalBytes <= 0 || l.PhysicalBytes <= 0 {
+			t.Fatalf("%s/%s: identity fields not populated: %+v", l.Engine, l.Codec, l)
+		}
+		switch l.Codec {
+		case "none":
+			if l.CompressionRatio != 1.0 {
+				t.Fatalf("%s/none: compression ratio %g, want exactly 1", l.Engine, l.CompressionRatio)
+			}
+		default:
+			if !l.Identical || !l.Shrinks || l.CompressionRatio <= 1.0 {
+				t.Fatalf("%s/%s: identical=%v shrinks=%v ratio=%g", l.Engine, l.Codec, l.Identical, l.Shrinks, l.CompressionRatio)
+			}
+		}
+	}
+}

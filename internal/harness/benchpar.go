@@ -52,7 +52,8 @@ type BenchParArtifact struct {
 	AllIdentical bool    `json:"all_identical"`
 }
 
-// BenchParPath is where the benchpar experiment writes its JSON artifact.
+// BenchParPath is the benchpar experiment's default JSON artifact path;
+// Options.Out overrides it.
 var BenchParPath = "BENCH_pr7.json"
 
 // valuesFNV hashes the converged vertex values bit-exactly, in vertex
@@ -79,6 +80,10 @@ func valuesFNV(vals []float64) uint64 {
 // regression-tracking material.
 func BenchPar(o Options) ([]*Table, error) {
 	o = o.withDefaults()
+	out := o.Out
+	if out == "" {
+		out = BenchParPath
+	}
 	// Bigger per-worker partitions than bench and fewer workers, so the
 	// sharded update scan is the dominant cost being measured.
 	n, m := 30000, 240000
@@ -114,7 +119,7 @@ func BenchPar(o Options) ([]*Table, error) {
 	}
 	engines := []core.Engine{core.Push, core.BPull, core.Hybrid}
 
-	tb := &Table{ID: "benchpar", Title: "Parallel compute speedup (also written to " + BenchParPath + ")",
+	tb := &Table{ID: "benchpar", Title: "Parallel compute speedup (also written to " + out + ")",
 		Header: []string{"graph", "algo", "engine", "wall-1", fmt.Sprintf("wall-%d", par), "speedup", "identical"}}
 	logSpeedups := 0.0
 	for _, bg := range art.Graphs {
@@ -192,11 +197,11 @@ func BenchPar(o Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(BenchParPath, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		return nil, err
 	}
 	if !art.AllIdentical {
-		return nil, fmt.Errorf("benchpar: parallel run diverged from sequential run (see %s)", BenchParPath)
+		return nil, fmt.Errorf("benchpar: parallel run diverged from sequential run (see %s)", out)
 	}
 	return []*Table{tb}, nil
 }

@@ -48,7 +48,7 @@ func Chaos(o Options) ([]*Table, error) {
 			"restarts", "replayed", "recovery(sim s)", "replay(B)", "values"}}
 
 	base := core.Config{Workers: o.Workers, MsgBuf: 64, MaxSteps: 8,
-		Profile: o.Profile, CheckpointEvery: 3, TraceDir: o.TraceDir, Metrics: o.Metrics}
+		Profile: o.Profile, CheckpointEvery: 3, Codec: o.Codec, TraceDir: o.TraceDir, Metrics: o.Metrics}
 
 	for _, alg := range algs {
 		for _, e := range []core.Engine{core.Push, core.BPull, core.Hybrid} {
@@ -129,7 +129,7 @@ func ReassignChaos(o Options) ([]*Table, error) {
 
 	base := core.Config{Workers: o.Workers, MsgBuf: 64, MaxSteps: 8,
 		Profile: o.Profile, CheckpointEvery: 3, Recovery: "reassign",
-		MaxRestarts: 1, TraceDir: o.TraceDir, Metrics: o.Metrics}
+		MaxRestarts: 1, Codec: o.Codec, TraceDir: o.TraceDir, Metrics: o.Metrics}
 
 	for _, alg := range algs {
 		for _, e := range []core.Engine{core.Push, core.BPull, core.Hybrid} {
@@ -220,7 +220,7 @@ func RecoveryCost(o Options) ([]*Table, error) {
 		for _, policy := range policies {
 			cfg := core.Config{Workers: o.Workers, MsgBuf: 64, MaxSteps: 30,
 				Profile: o.Profile, CheckpointEvery: 3, Recovery: policy,
-				FaultPlan: plan, TraceDir: o.TraceDir, Metrics: o.Metrics}
+				FaultPlan: plan, Codec: o.Codec, TraceDir: o.TraceDir, Metrics: o.Metrics}
 			res, err := core.Run(g, algo.NewSSSP(0), cfg, e)
 			if err != nil {
 				return nil, err

@@ -57,7 +57,7 @@ func DiskChaos(o Options) ([]*Table, error) {
 			"disk-faults", "ckpt-abandoned", "restarts", "outcome"}}
 
 	base := core.Config{Workers: o.Workers, MsgBuf: 64, MaxSteps: 8,
-		Profile: o.Profile, CheckpointEvery: 2, TraceDir: o.TraceDir, Metrics: o.Metrics}
+		Profile: o.Profile, CheckpointEvery: 2, Codec: o.Codec, TraceDir: o.TraceDir, Metrics: o.Metrics}
 
 	identical, typed, faultsSeen := 0, 0, 0
 	for _, e := range engines {

@@ -54,6 +54,15 @@ type Options struct {
 	// "checkpoint", "confined" or "reassign"). Empty runs each
 	// experiment's full list.
 	Recovery string
+	// Codec names the block codec every disk-backed job runs with ("",
+	// "none", "delta", "lz"). Results and every logical byte statistic are
+	// identical whatever the codec; only physical bytes change. The chaos
+	// and disk-chaos campaigns honour it, which is how CI runs their
+	// compression legs.
+	Codec string
+	// Out overrides the benchmark experiments' JSON artifact path (bench,
+	// benchpar, benchcodec each have their own default when empty).
+	Out string
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +173,7 @@ var Experiments = []Experiment{
 	{"diskchaos", "Disk-fault chaos: seeded storage faults under crash+stall plans, identical or typed failure", DiskChaos},
 	{"bench", "Machine-readable benchmark matrix, written to BENCH_pr4.json (runtime, Eq. 7/8 bytes, Qt)", Bench},
 	{"benchpar", "Parallel-compute benchmark: Parallelism=1 vs NumCPU, written to BENCH_pr7.json (speedup, identity checks)", BenchPar},
+	{"benchcodec", "Codec ablation: none vs delta vs lz, written to BENCH_pr9.json (logical/physical bytes, identity checks)", BenchCodec},
 }
 
 // ByName finds an experiment.

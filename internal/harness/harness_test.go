@@ -19,7 +19,10 @@ func mustRun(t *testing.T, name string) []*Table {
 	if !ok {
 		t.Fatalf("experiment %q not registered", name)
 	}
-	tables, err := exp.Run(quickOpts())
+	o := quickOpts()
+	// Keep the bench-style JSON artifacts out of the package directory.
+	o.Out = filepath.Join(t.TempDir(), "artifact.json")
+	tables, err := exp.Run(o)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -66,12 +69,6 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 	for _, exp := range Experiments {
 		exp := exp
 		t.Run(exp.Name, func(t *testing.T) {
-			if exp.Name == "bench" {
-				// Keep the JSON artifact out of the package directory.
-				old := BenchPath
-				BenchPath = filepath.Join(t.TempDir(), "BENCH_pr4.json")
-				defer func() { BenchPath = old }()
-			}
 			mustRun(t, exp.Name)
 		})
 	}

@@ -71,6 +71,15 @@ type StepStats struct {
 	// (7)/(8) traffic.
 	LogIO diskio.Snapshot
 
+	// PhysIO is the physical (post-codec) bytes this superstep's disk
+	// traffic actually moved, per class: compressed frame writes and reads
+	// of every store plus the message log. Under codec "none" it equals
+	// IO+LogIO charge-for-charge; under a real codec it shrinks while IO,
+	// Parts and every Q^t input stay byte-identical to the uncompressed
+	// run. Purely observational unless Config.ChargePhysical redirects
+	// DiskSeconds to it.
+	PhysIO diskio.Snapshot
+
 	// MigrationIO and MigrationNetBytes land the cost of a partition
 	// reassignment that completed just before this superstep ran: the disk
 	// traffic of rebuilding the adopted worker's stores from the shared
@@ -199,6 +208,24 @@ type JobResult struct {
 	DiskFaults              int
 	CheckpointWriteFailures int
 
+	// Codec names the block codec the run stored its disk-resident
+	// structures with ("none" for the raw layout). The physical dimension
+	// below measures what that codec actually moved; every logical field
+	// above is codec-independent by construction.
+	Codec string
+	// PhysIO is Σ superstep PhysIO (derived by Finish); the companions
+	// split the out-of-superstep physical traffic by activity, mirroring
+	// LoadIO / CheckpointIO / ReplayIO / MigrationIO.
+	PhysIO           diskio.Snapshot
+	LoadPhysIO       diskio.Snapshot
+	CheckpointPhysIO diskio.Snapshot
+	ReplayPhysIO     diskio.Snapshot
+	MigrationPhysIO  diskio.Snapshot
+	// CompressionRatio is total logical bytes over total physical bytes
+	// across every activity (1.0 under codec "none", > 1 when compression
+	// bites, 0 when the run moved no physical bytes). Derived by Finish.
+	CompressionRatio float64
+
 	// Values holds the final vertex values indexed by vertex id (rank,
 	// distance, label or ad, depending on the algorithm).
 	Values []float64
@@ -209,6 +236,7 @@ func (r *JobResult) Finish() {
 	r.SimSeconds, r.WallSeconds, r.NetBytes, r.MaxMemBytes = 0, 0, 0, 0
 	r.IO = diskio.Snapshot{}
 	r.LogIO = diskio.Snapshot{}
+	r.PhysIO = diskio.Snapshot{}
 	for i := range r.Steps {
 		s := &r.Steps[i]
 		r.SimSeconds += s.SimSeconds
@@ -216,11 +244,21 @@ func (r *JobResult) Finish() {
 		r.NetBytes += s.NetBytes
 		r.IO = r.IO.Add(s.IO)
 		r.LogIO = r.LogIO.Add(s.LogIO)
+		r.PhysIO = r.PhysIO.Add(s.PhysIO)
 		if s.MemBytes > r.MaxMemBytes {
 			r.MaxMemBytes = s.MemBytes
 		}
 	}
 	r.SimSeconds += r.CheckpointSimSeconds
+	logical := r.IO.Total() + r.LogIO.Total() + r.LoadIO.Total() +
+		r.CheckpointIO.Total() + r.ReplayIO.Total() + r.MigrationIO.Total()
+	phys := r.PhysIO.Total() + r.LoadPhysIO.Total() + r.CheckpointPhysIO.Total() +
+		r.ReplayPhysIO.Total() + r.MigrationPhysIO.Total()
+	if phys > 0 {
+		r.CompressionRatio = float64(logical) / float64(phys)
+	} else {
+		r.CompressionRatio = 0
+	}
 }
 
 // Supersteps reports the number of supersteps run.

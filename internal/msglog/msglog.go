@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
@@ -55,22 +56,28 @@ const msgSize = 4 + 8
 type Log struct {
 	dir string
 	ct  *diskio.Counter
+	cdc codec.Codec
 
 	mu      sync.Mutex
 	step    int          // superstep of the open segment (-1 = none)
 	f       *diskio.File // open segment, append position off
-	off     int64
+	off     int64        // logical append position (== physical when raw)
+	poff    int64        // physical append position (framed segments)
+	acct    *diskio.Accountant
 	bytes   int64 // total record bytes appended over the log's lifetime
 	records int64
 }
 
 // Open creates (or reopens) a worker's message log rooted at dir. All
-// write I/O is charged to ct as sequential writes.
-func Open(dir string, ct *diskio.Counter) (*Log, error) {
+// write I/O is charged to ct as sequential writes. With a non-trivial
+// codec each record is stored as one compressed frame: the logical
+// charge (the record bytes, the number Eq.-style LogIO reasons about)
+// is unchanged, while the frame bytes land on ct's physical twin.
+func Open(dir string, ct *diskio.Counter, cdc codec.Codec) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Log{dir: dir, ct: ct, step: -1}, nil
+	return &Log{dir: dir, ct: ct, cdc: cdc, step: -1}, nil
 }
 
 // SegmentPath names the segment file holding superstep step's records.
@@ -98,8 +105,17 @@ func (l *Log) append(step int, kind Kind, key uint32, msgs []comm.Msg) error {
 	if err := l.switchTo(step); err != nil {
 		return err
 	}
-	if _, err := l.f.WriteAtClass(rec, l.off, diskio.SeqWrite); err != nil {
-		return fmt.Errorf("msglog: %s: %w", l.SegmentPath(step), err)
+	if codec.IsNone(l.cdc) {
+		if _, err := l.f.WriteAtClass(rec, l.off, diskio.SeqWrite); err != nil {
+			return fmt.Errorf("msglog: %s: %w", l.SegmentPath(step), err)
+		}
+	} else {
+		frame := codec.AppendFrame(nil, l.cdc, rec)
+		if _, err := l.f.WriteAtClass(frame, l.poff, diskio.SeqWrite); err != nil {
+			return fmt.Errorf("msglog: %s: %w", l.SegmentPath(step), err)
+		}
+		l.poff += int64(len(frame))
+		l.acct.WriteAtClass(int64(len(rec)), l.off, diskio.SeqWrite)
 	}
 	l.off += int64(len(rec))
 	l.bytes += int64(len(rec))
@@ -121,8 +137,13 @@ func (l *Log) switchTo(step int) error {
 		l.f = nil
 	}
 	path := l.SegmentPath(step)
+	fct := l.ct
+	if !codec.IsNone(l.cdc) {
+		fct = diskio.PhysFor(l.ct)
+		l.acct = diskio.NewAccountant(l.ct)
+	}
 	if _, err := os.Stat(path); err == nil {
-		f, err := diskio.Open(path, l.ct)
+		f, err := diskio.Open(path, fct)
 		if err != nil {
 			return err
 		}
@@ -131,16 +152,68 @@ func (l *Log) switchTo(step int) error {
 			f.Close()
 			return err
 		}
-		l.f, l.off = f, size
+		if codec.IsNone(l.cdc) {
+			l.f, l.off = f, size
+		} else {
+			// Reopening a framed segment at its tail: the logical append
+			// position is the sum of frame logical lengths, recovered by
+			// re-reading the segment (a physical-only cost — the raw log's
+			// reopen performs no data I/O, and neither does our logical
+			// dimension).
+			logical, phys, lerr := loadSegment(path, diskio.PhysFor(l.ct))
+			if lerr != nil {
+				f.Close()
+				return fmt.Errorf("msglog: reopen %s: %w", path, lerr)
+			}
+			l.f, l.off, l.poff = f, int64(len(logical)), phys
+		}
 	} else {
-		f, err := diskio.Create(path, l.ct)
+		f, err := diskio.Create(path, fct)
 		if err != nil {
 			return err
 		}
-		l.f, l.off = f, 0
+		l.f, l.off, l.poff = f, 0, 0
 	}
 	l.step = step
 	return nil
+}
+
+// loadSegment reads one whole segment through the fault layer (charged
+// to physCt as one sequential read) and returns its logical record
+// bytes: frames are decoded when the segment is framed, raw bytes pass
+// through. The sniff is unambiguous — a raw record starts with its kind
+// byte (1 or 2), never with the frame magic's 'H'.
+func loadSegment(path string, physCt *diskio.Counter) (logical []byte, physSize int64, err error) {
+	f, err := diskio.OpenRead(path, physCt)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, 0, err
+	}
+	if size == 0 {
+		return nil, 0, nil
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+		return nil, 0, err
+	}
+	if buf[0] != 'H' {
+		return buf, size, nil // raw segment
+	}
+	var out []byte
+	rest := buf
+	for len(rest) > 0 {
+		var n int
+		out, n, err = codec.DecodeFrame(out, rest)
+		if err != nil {
+			return nil, 0, err
+		}
+		rest = rest[n:]
+	}
+	return out, size, nil
 }
 
 // PushTo reads every push record worker dst was sent during superstep
@@ -188,19 +261,33 @@ func (l *Log) scan(step int, rct *diskio.Counter, fn func(kind Kind, key uint32,
 		}
 		return err
 	}
-	f, err := diskio.Open(path, rct)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	size, err := f.Size()
-	if err != nil {
-		return err
-	}
-	buf := make([]byte, size)
-	if size > 0 {
-		if _, err := f.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+	var buf []byte
+	if codec.IsNone(l.cdc) {
+		f, err := diskio.Open(path, rct)
+		if err != nil {
 			return err
+		}
+		defer f.Close()
+		size, err := f.Size()
+		if err != nil {
+			return err
+		}
+		buf = make([]byte, size)
+		if size > 0 {
+			if _, err := f.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+				return err
+			}
+		}
+	} else {
+		logical, _, err := loadSegment(path, diskio.PhysFor(rct))
+		if err != nil {
+			return fmt.Errorf("msglog: %s: %w", path, err)
+		}
+		buf = logical
+		if len(buf) > 0 {
+			// The raw log charges the whole-segment sequential read; the
+			// logical dimension charges the same record bytes.
+			diskio.NewAccountant(rct).ReadAtClass(int64(len(buf)), 0, diskio.SeqRead)
 		}
 	}
 	off := 0
@@ -273,6 +360,11 @@ func (l *Log) Sync() error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("msglog: %s: %w", l.SegmentPath(l.step), err)
 		}
+		if !codec.IsNone(l.cdc) {
+			// The open framed segment's handle charges the physical twin;
+			// the logical dimension records the same zero-byte sync op.
+			l.acct.Sync()
+		}
 	}
 	ents, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -302,11 +394,13 @@ func (l *Log) BytesLogged() int64 {
 	return l.bytes
 }
 
-// SegmentBytes reports the on-disk bytes of every segment still in the
-// log (pruned segments excluded). This is the size of the log slice a
-// partition adoption must ship to the surviving host — BytesLogged is the
-// wrong number there, being a lifetime total that still counts pruned
-// segments.
+// SegmentBytes reports the *logical* record bytes of every segment
+// still in the log (pruned segments excluded). This is the size of the
+// log slice a partition adoption must ship to the surviving host —
+// BytesLogged is the wrong number there, being a lifetime total that
+// still counts pruned segments. For framed segments the logical size is
+// recovered from the frame headers (a physical-only re-read), so the
+// migration cost model sees the same bytes whatever codec is active.
 func (l *Log) SegmentBytes() (int64, error) {
 	ents, err := os.ReadDir(l.dir)
 	if err != nil {
@@ -318,11 +412,19 @@ func (l *Log) SegmentBytes() (int64, error) {
 		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
 			continue
 		}
-		info, err := e.Info()
+		if codec.IsNone(l.cdc) {
+			info, err := e.Info()
+			if err != nil {
+				return 0, err
+			}
+			total += info.Size()
+			continue
+		}
+		logical, _, err := loadSegment(filepath.Join(l.dir, name), diskio.PhysFor(l.ct))
 		if err != nil {
 			return 0, err
 		}
-		total += info.Size()
+		total += int64(len(logical))
 	}
 	return total, nil
 }

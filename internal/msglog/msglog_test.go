@@ -13,7 +13,7 @@ import (
 func openTest(t *testing.T) (*Log, *diskio.Counter) {
 	t.Helper()
 	ct := &diskio.Counter{}
-	l, err := Open(filepath.Join(t.TempDir(), "msglog"), ct)
+	l, err := Open(filepath.Join(t.TempDir(), "msglog"), ct, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/comm"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
@@ -73,15 +74,50 @@ func SortLists(m map[graph.VertexID][]float64, p int) {
 	wg.Wait()
 }
 
+// spillFile is the spill backend: the raw accounted file, or a
+// compressed codec.SpillFile charging identical logical bytes while
+// staging compressed frames on the counter's physical twin. Records are
+// appended in arrival order either way; ReadAll reassembles the full
+// record stream.
+type spillFile interface {
+	Append(rec []byte) error
+	ReadAll(p []byte) error
+	Close() error
+}
+
+// rawSpill is the codec-"none" backend, preserving the historical
+// charge sequence exactly: one random write per record at the record's
+// offset, one sequential whole-file read at drain.
+type rawSpill struct {
+	f   *diskio.File
+	off int64
+}
+
+func (r *rawSpill) Append(rec []byte) error {
+	_, err := r.f.WriteAtClass(rec, r.off, diskio.RandWrite)
+	if err == nil {
+		r.off += int64(len(rec))
+	}
+	return err
+}
+
+func (r *rawSpill) ReadAll(p []byte) error {
+	_, err := r.f.ReadAtClass(p, 0, diskio.SeqRead)
+	return err
+}
+
+func (r *rawSpill) Close() error { return r.f.Close() }
+
 // Inbox is one worker's receive buffer for one superstep's incoming
 // messages. Safe for concurrent Add from multiple senders.
 type Inbox struct {
 	mu       sync.Mutex
 	ct       *diskio.Counter
+	cdc      codec.Codec
 	path     string
 	capacity int // B_i in messages; <= 0 means unlimited (sufficient memory)
 	mem      []comm.Msg
-	spill    *diskio.File
+	spill    spillFile
 	spillN   int64
 	received int64
 	maxMem   int64
@@ -103,9 +139,9 @@ func (b *Inbox) SetMetrics(reg *obs.Registry) {
 // buffered: capacity 0 means unlimited (sufficient memory), a negative
 // capacity means every message spills (MOCgraph's "messages sent to
 // disk-resident vertices reside on disk"). The spill file is created
-// lazily.
-func NewInbox(path string, ct *diskio.Counter, capacity int) *Inbox {
-	return &Inbox{ct: ct, path: path, capacity: capacity}
+// lazily; cdc selects its on-disk encoding (nil or codec.None = raw).
+func NewInbox(path string, ct *diskio.Counter, capacity int, cdc codec.Codec) *Inbox {
+	return &Inbox{ct: ct, cdc: cdc, path: path, capacity: capacity}
 }
 
 // Add accepts one message. Beyond capacity the message is spilled with
@@ -136,11 +172,15 @@ func (b *Inbox) AddAll(msgs []comm.Msg) error {
 
 func (b *Inbox) spillMsg(m comm.Msg) error {
 	if b.spill == nil {
-		f, err := diskio.Create(b.path, b.ct)
-		if err != nil {
-			return err
+		if codec.IsNone(b.cdc) {
+			f, err := diskio.Create(b.path, b.ct)
+			if err != nil {
+				return err
+			}
+			b.spill = &rawSpill{f: f}
+		} else {
+			b.spill = codec.NewSpillFile(b.path, b.ct, b.cdc)
 		}
-		b.spill = f
 	}
 	var rec [recSize]byte
 	binary.LittleEndian.PutUint32(rec[0:], uint32(m.Dst))
@@ -148,7 +188,7 @@ func (b *Inbox) spillMsg(m comm.Msg) error {
 	// Charged as a random write: Giraph's spilled messages have no
 	// destination locality, which is what makes push I/O-inefficient
 	// (Section 1, "expensive random writes").
-	if _, err := b.spill.WriteAtClass(rec[:], b.spillN*recSize, diskio.RandWrite); err != nil {
+	if err := b.spill.Append(rec[:]); err != nil {
 		return err
 	}
 	b.spillN++
@@ -189,7 +229,7 @@ func (b *Inbox) Drain() (map[graph.VertexID][]float64, error) {
 	}
 	if b.spill != nil {
 		buf := make([]byte, b.spillN*recSize)
-		if _, err := b.spill.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+		if err := b.spill.ReadAll(buf); err != nil {
 			return nil, err
 		}
 		for o := int64(0); o < int64(len(buf)); o += recSize {
@@ -220,7 +260,7 @@ func (b *Inbox) Pending() ([]comm.Msg, error) {
 	copy(out, b.mem)
 	if b.spill != nil && b.spillN > 0 {
 		buf := make([]byte, b.spillN*recSize)
-		if _, err := b.spill.ReadAtClass(buf, 0, diskio.SeqRead); err != nil {
+		if err := b.spill.ReadAll(buf); err != nil {
 			return nil, err
 		}
 		for o := int64(0); o < int64(len(buf)); o += recSize {

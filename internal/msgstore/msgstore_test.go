@@ -14,7 +14,7 @@ import (
 func newInbox(t *testing.T, capacity int) (*Inbox, *diskio.Counter) {
 	t.Helper()
 	var ct diskio.Counter
-	return NewInbox(filepath.Join(t.TempDir(), "spill.dat"), &ct, capacity), &ct
+	return NewInbox(filepath.Join(t.TempDir(), "spill.dat"), &ct, capacity, nil), &ct
 }
 
 func TestInboxInMemory(t *testing.T) {
@@ -243,7 +243,7 @@ func TestInboxRoundTripProperty(t *testing.T) {
 	f := func(dsts []uint8, capRaw uint8) bool {
 		capacity := int(capRaw % 20)
 		var ct diskio.Counter
-		b := NewInbox(filepath.Join(t.TempDir(), "p.dat"), &ct, capacity)
+		b := NewInbox(filepath.Join(t.TempDir(), "p.dat"), &ct, capacity, nil)
 		want := map[graph.VertexID]int{}
 		for i, d := range dsts {
 			m := comm.Msg{Dst: graph.VertexID(d % 32), Val: float64(i)}

@@ -135,6 +135,11 @@ const (
 	EventDiskFault        = "disk_fault"        // the FaultFS injected one storage fault
 	EventCheckpointFailed = "checkpoint_failed" // a checkpoint write failed; the attempt was abandoned
 	EventWALReplay        = "wal_replay"        // a restarted scheduler replayed its job WAL
+
+	// Block-codec events (Config.Codec != "none"): the per-superstep
+	// logical-vs-physical byte pairs on each direction of the codec.
+	EventCompress   = "compress"   // write side: logical bytes in, frame bytes out
+	EventDecompress = "decompress" // read side: frame bytes in, logical bytes out
 )
 
 // JobEvent opens (job_start) and closes (job_end) a journal.
@@ -189,6 +194,13 @@ type WorkerStepEvent struct {
 	// StepStats fields so the events-sum-to-stats cross-check covers them.
 	MigrationIO       diskio.Snapshot `json:"migration_io,omitempty"`
 	MigrationNetBytes int64           `json:"migration_net_bytes,omitempty"`
+	// PhysIO is the physical (post-codec) disk delta this worker's
+	// superstep traffic moved, the compressed counterpart of IO+LogIO
+	// (equal to it charge-for-charge under codec "none"). Summing a
+	// step's worker PhysIO reproduces StepStats.PhysIO, the physical leg
+	// of the events-sum-to-stats cross-check. Omitted only when zero
+	// (in-memory runs).
+	PhysIO diskio.Snapshot `json:"phys_io,omitzero"`
 }
 
 // StepEvent is the cluster-aggregated superstep record: the same StepStats
@@ -199,6 +211,19 @@ type StepEvent struct {
 	Type     string            `json:"type"`
 	Stats    metrics.StepStats `json:"stats"`
 	NextMode string            `json:"next_mode,omitempty"` // hybrid: modes[t+2]
+}
+
+// CodecEvent summarises one direction of the block codec's work during
+// one superstep: Logical is the uncompressed bytes the engines charged,
+// Physical the frame bytes that actually crossed the disk boundary.
+// Type "compress" pairs the write classes, "decompress" the read classes.
+// Emitted only when the job runs with a non-trivial codec.
+type CodecEvent struct {
+	Type     string `json:"type"`
+	Step     int    `json:"step"`
+	Codec    string `json:"codec"`
+	Logical  int64  `json:"logical_bytes"`
+	Physical int64  `json:"physical_bytes"`
 }
 
 // ModeSwitchEvent records a hybrid switch superstep (Fig. 6): superstep

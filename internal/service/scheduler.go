@@ -19,6 +19,7 @@ import (
 
 	"hybridgraph/internal/algo"
 	"hybridgraph/internal/catalog"
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/core"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
@@ -77,6 +78,14 @@ type JobSpec struct {
 	// in-run recovery policies, a checkpointing job killed with the daemon
 	// resumes from its last committed checkpoint on restart (job WAL).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Codec names the block codec for the job's scratch state (spills,
+	// message logs, checkpoints). It must match the graph's ingest codec;
+	// an empty value adopts the graph's codec so compressed catalogs work
+	// without every client repeating the name.
+	Codec string `json:"codec,omitempty"`
+	// ChargePhysical makes the cost model's DiskSeconds run on physical
+	// (post-codec) bytes instead of the paper's logical bytes.
+	ChargePhysical bool `json:"charge_physical,omitempty"`
 }
 
 // JobStatus is the externally visible job record (JSON-served as-is).
@@ -380,8 +389,27 @@ func (s *Scheduler) Submit(spec JobSpec) (JobStatus, error) {
 	if _, err := engineFor(spec); err != nil {
 		return JobStatus{}, err
 	}
-	if _, err := s.cat.Entry(spec.Graph); err != nil {
+	entry, err := s.cat.Entry(spec.Graph)
+	if err != nil {
 		return JobStatus{}, err
+	}
+	if spec.Codec != "" {
+		// Reject a codec mismatch at the door rather than as a failed run:
+		// the catalog's layouts are framed with the ingest codec and a job
+		// cannot re-encode them.
+		want, err := codec.Lookup(entry.Codec())
+		if err != nil {
+			return JobStatus{}, err
+		}
+		have, err := codec.Lookup(spec.Codec)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if want.ID() != have.ID() {
+			return JobStatus{}, fmt.Errorf(
+				"service: job codec %q does not match graph %q ingest codec %q",
+				spec.Codec, spec.Graph, entry.Codec())
+		}
 	}
 	if s.cfg.MaxMsgBuf > 0 && (spec.MsgBuf <= 0 || spec.MsgBuf > s.cfg.MaxMsgBuf) {
 		// Admission's memory budget: unlimited buffers are not available
@@ -566,6 +594,10 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 	if err != nil {
 		return nil, err
 	}
+	jobCodec := spec.Codec
+	if jobCodec == "" {
+		jobCodec = entry.Codec()
+	}
 	cfg := core.Config{
 		Stores:          entry,
 		JobLabel:        j.status.ID,
@@ -576,6 +608,8 @@ func (s *Scheduler) execute(j *job, ctx context.Context) (*metrics.JobResult, er
 		Recovery:        spec.Recovery,
 		MaxRestarts:     spec.MaxRestarts,
 		CheckpointEvery: spec.CheckpointEvery,
+		Codec:           jobCodec,
+		ChargePhysical:  spec.ChargePhysical,
 		Metrics:         s.cfg.Metrics,
 	}
 	// The recovery hook is the /workers health feed: every crash, stall

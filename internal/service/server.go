@@ -202,6 +202,10 @@ type IngestRequest struct {
 	EdgeList  string   `json:"edge_list,omitempty"` // inline text edge list
 	Path      string   `json:"path,omitempty"`      // server-side file path
 	Generator *GenSpec `json:"generator,omitempty"`
+	// Codec names the block codec the catalog stores this graph's layouts
+	// with ("", "none", "delta", "lz"). Jobs over the graph must run with a
+	// matching Config.Codec; the manifest records the choice.
+	Codec string `json:"codec,omitempty"`
 }
 
 type apiError struct {
@@ -320,7 +324,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if req.Workers <= 0 {
 		req.Workers = 5
 	}
-	entry, err := s.cat.Ingest(req.Name, g, req.Workers, req.BlocksPer)
+	entry, err := s.cat.Ingest(req.Name, g, req.Workers, req.BlocksPer, req.Codec)
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return

@@ -20,7 +20,7 @@ func newTestCatalog(t *testing.T, dir string) *catalog.Catalog {
 		t.Fatal(err)
 	}
 	g := graph.GenRMAT(1500, 12000, 0.57, 0.19, 0.19, 7)
-	if _, err := c.Ingest("g", g, 3, 2); err != nil {
+	if _, err := c.Ingest("g", g, 3, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	return c

@@ -6,9 +6,20 @@ import (
 	"math"
 
 	"hybridgraph/internal/bitset"
+	"hybridgraph/internal/codec"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
 )
+
+// blockReader abstracts the Eblock file: a raw accounted File (codec
+// "none") or a compressed codec.BlockFile with identical logical
+// charges and physical frame I/O on the counter's twin.
+type blockReader interface {
+	ReadAtClass(p []byte, off int64, c diskio.Class) (int, error)
+	Size() (int64, error)
+	SetCounter(*diskio.Counter)
+	Close() error
+}
 
 const (
 	// FragAuxSize is the on-disk size of a fragment's auxiliary data
@@ -39,7 +50,7 @@ type span struct {
 type Store struct {
 	layout *Layout
 	worker int
-	f      *diskio.File
+	f      blockReader
 	buf    []byte // memory-resident Eblocks when f is nil
 	firstB int    // global id of first local block
 	nLocal int    // number of local blocks
@@ -53,10 +64,21 @@ type Store struct {
 // Edges are grouped into Eblocks by (source block, destination block) and
 // clustered into per-svertex fragments, then written in one sequential
 // pass — the "VE-BLOCK" loading path of Fig. 16.
-func Build(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w int) (*Store, error) {
+func Build(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w int, cdc codec.Codec) (*Store, error) {
 	s, buf, err := assemble(g, layout, w)
 	if err != nil {
 		return nil, err
+	}
+	if !codec.IsNone(cdc) {
+		if err := codec.WriteBlockFile(path, ct, cdc, buf); err != nil {
+			return nil, err
+		}
+		bf, err := codec.OpenBlockFile(path, ct)
+		if err != nil {
+			return nil, err
+		}
+		s.f = bf
+		return s, nil
 	}
 	f, err := diskio.Create(path, ct)
 	if err != nil {
@@ -77,14 +99,20 @@ func Build(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w in
 // deterministic function of (g, layout, w), so the catalog need not
 // persist them. The file size must match the assembled layout; deeper
 // integrity is the manifest CRC's job.
-func Open(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w int) (*Store, error) {
+func Open(path string, ct *diskio.Counter, g *graph.Graph, layout *Layout, w int, cdc codec.Codec) (*Store, error) {
 	s, buf, err := assemble(g, layout, w)
 	if err != nil {
 		return nil, err
 	}
-	f, err := diskio.OpenRead(path, ct)
-	if err != nil {
-		return nil, err
+	var f blockReader
+	var err2 error
+	if codec.IsNone(cdc) {
+		f, err2 = diskio.OpenRead(path, ct)
+	} else {
+		f, err2 = codec.OpenBlockFile(path, ct)
+	}
+	if err2 != nil {
+		return nil, err2
 	}
 	size, err := f.Size()
 	if err != nil {

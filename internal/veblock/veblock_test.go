@@ -73,7 +73,7 @@ func buildAll(t *testing.T, g *graph.Graph, l *Layout, workers int) ([]*Store, *
 	dir := t.TempDir()
 	stores := make([]*Store, workers)
 	for w := 0; w < workers; w++ {
-		s, err := Build(filepath.Join(dir, "ve-w"+string(rune('0'+w))+".dat"), &ct, g, l, w)
+		s, err := Build(filepath.Join(dir, "ve-w"+string(rune('0'+w))+".dat"), &ct, g, l, w, nil)
 		if err == nil {
 			stores[w] = s
 			t.Cleanup(func() { s.Close() })
