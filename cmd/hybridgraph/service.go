@@ -11,6 +11,8 @@ import (
 	"syscall"
 	"time"
 
+	"hybridgraph/internal/catalog"
+	"hybridgraph/internal/ingest"
 	"hybridgraph/internal/service"
 )
 
@@ -96,6 +98,9 @@ func cmdIngest(args []string) error {
 	server := serverFlag(fs)
 	name := fs.String("name", "", "catalog name for the graph (required)")
 	file := fs.String("file", "", "edge-list file to upload")
+	stream := fs.Bool("stream", false, "stream -file to the bulk-import endpoint instead of inlining it (any size; text, binary HGE1, or gzip)")
+	path := fs.String("path", "", "server-side edge-list file to stream-ingest (no upload)")
+	memBudget := fs.String("mem-budget", "", "streaming builder memory budget, e.g. 64M or 1G (empty = unlimited)")
 	gen := fs.String("gen", "", "generator kind instead of a file: rmat, web, uniform, chain")
 	vertices := fs.Int("vertices", 10000, "generator vertex count")
 	edges := fs.Int("edges", 80000, "generator edge count")
@@ -107,7 +112,36 @@ func cmdIngest(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("ingest: -name is required")
 	}
-	req := service.IngestRequest{Name: *name, Workers: *workers, BlocksPer: *blocks, Codec: *codecName}
+	var budget int64
+	if *memBudget != "" {
+		var err error
+		if budget, err = ingest.ParseBytes(*memBudget); err != nil {
+			return err
+		}
+	}
+	so := catalog.StreamOptions{Workers: *workers, BlocksPer: *blocks, Codec: *codecName, MemBudget: budget}
+	c := service.NewClient(*server)
+	switch {
+	case *path != "":
+		resp, err := c.IngestServerPath(context.Background(), *name, *path, so)
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+	case *file != "" && *stream:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		resp, err := c.IngestStream(context.Background(), *name, f, so)
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+	}
+	req := service.IngestRequest{Name: *name, Workers: *workers, BlocksPer: *blocks,
+		Codec: *codecName, MemBudget: budget}
 	switch {
 	case *file != "":
 		data, err := os.ReadFile(*file)
@@ -118,9 +152,9 @@ func cmdIngest(args []string) error {
 	case *gen != "":
 		req.Generator = &service.GenSpec{Kind: *gen, Vertices: *vertices, Edges: *edges, Seed: *seed}
 	default:
-		return fmt.Errorf("ingest: one of -file or -gen is required")
+		return fmt.Errorf("ingest: one of -file, -path or -gen is required")
 	}
-	m, err := service.NewClient(*server).Ingest(context.Background(), req)
+	m, err := c.Ingest(context.Background(), req)
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ import (
 	"hybridgraph/internal/codec"
 	"hybridgraph/internal/diskio"
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/ingest"
 	"hybridgraph/internal/veblock"
 )
 
@@ -117,53 +118,89 @@ func (c *Catalog) Ingest(name string, g *graph.Graph, workers, blocksPer int, co
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	cdc, err := codec.Lookup(codecName)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: ingest of %q: %w", name, err)
-	}
 	if g == nil || g.NumVertices <= 0 {
 		return nil, fmt.Errorf("catalog: ingest of empty graph %q", name)
 	}
 	if workers <= 0 || workers > g.NumVertices {
 		return nil, fmt.Errorf("catalog: %d workers for %d vertices", workers, g.NumVertices)
 	}
+	e, _, err := c.ingestWith(name, codecName, workers, blocksPer,
+		func(tmp string, cdc codec.Codec, ct *diskio.Counter) (*ingest.Stats, error) {
+			return ingest.BuildFromGraph(ingest.Options{
+				Dir: tmp, Workers: workers, BlocksPer: blocksPer,
+				Codec: cdc, LayoutCT: ct}, g)
+		})
+	return e, err
+}
+
+// StreamOptions configures IngestStream. Workers is required; BlocksPer
+// defaults to 1, Codec to "none", and MemBudget <= 0 means unlimited
+// (the whole sort happens in memory, nothing spills).
+type StreamOptions struct {
+	Workers   int
+	BlocksPer int
+	Codec     string
+	MemBudget int64
+}
+
+// IngestStream builds a catalog entry directly from an edge-list stream
+// — text, binary, or gzip-wrapped, sniffed by magic bytes — without
+// materialising the graph: the streaming builder external-sorts the
+// edges under o.MemBudget and writes the entry layout shard by shard.
+// The published entry is bit-identical to what Ingest would produce
+// from the parsed graph, whatever the budget. The same staged-rename
+// publishing protocol applies: a failed or interrupted stream leaves no
+// trace under the catalog root except a hidden temp directory that the
+// next attempt clears.
+func (c *Catalog) IngestStream(name string, r io.Reader, o StreamOptions) (*Entry, *ingest.Stats, error) {
+	if err := validName(name); err != nil {
+		return nil, nil, err
+	}
+	if o.Workers <= 0 {
+		return nil, nil, fmt.Errorf("catalog: %d workers", o.Workers)
+	}
+	return c.ingestWith(name, o.Codec, o.Workers, o.BlocksPer,
+		func(tmp string, cdc codec.Codec, ct *diskio.Counter) (*ingest.Stats, error) {
+			return ingest.BuildFromStream(ingest.Options{
+				Dir: tmp, Workers: o.Workers, BlocksPer: o.BlocksPer,
+				Codec: cdc, MemBudget: o.MemBudget, LayoutCT: ct}, r)
+		})
+}
+
+// ingestWith runs one build function against a staged hidden directory
+// and publishes the result: build, fsync + checksum every file, write
+// the manifest, rename into place. Every error path removes the staging
+// directory, so a failed ingest is all-or-nothing.
+func (c *Catalog) ingestWith(name, codecName string, workers, blocksPer int,
+	build func(tmp string, cdc codec.Codec, ct *diskio.Counter) (*ingest.Stats, error)) (*Entry, *ingest.Stats, error) {
+	cdc, err := codec.Lookup(codecName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("catalog: ingest of %q: %w", name, err)
+	}
 	if blocksPer <= 0 {
 		blocksPer = 1
 	}
 	final := filepath.Join(c.root, name)
 	if _, err := os.Stat(final); err == nil {
-		return nil, fmt.Errorf("catalog: graph %q already ingested", name)
+		return nil, nil, fmt.Errorf("catalog: graph %q already ingested", name)
 	}
 	tmp := filepath.Join(c.root, "."+name+".ingest")
 	if err := os.RemoveAll(tmp); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	m, err := buildEntryFiles(tmp, name, g, workers, blocksPer, cdc)
+	ct := &diskio.Counter{}
+	st, err := build(tmp, cdc, ct)
 	if err != nil {
 		os.RemoveAll(tmp)
-		return nil, err
+		return nil, nil, err
 	}
-	if err := writeManifest(filepath.Join(tmp, ManifestName), m); err != nil {
-		os.RemoveAll(tmp)
-		return nil, err
-	}
-	// The publishing rename goes through diskio so the storage-fault layer
-	// can model it (a simulated power cut on the rename leaves the entry
-	// fully absent, never half-published).
-	if err := diskio.Rename(tmp, final); err != nil {
-		os.RemoveAll(tmp)
-		return nil, err
-	}
-	return c.Entry(name)
-}
-
-func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int, cdc codec.Codec) (*Manifest, error) {
 	m := &Manifest{Name: name, Version: ManifestVersion,
-		Vertices: g.NumVertices, Edges: int64(g.NumEdges()),
-		Workers: workers, Files: make(map[string]FileSum)}
+		Vertices: st.Vertices, Edges: st.Edges,
+		Workers: workers, Files: make(map[string]FileSum),
+		IngestWriteBytes: ct.Bytes(diskio.SeqWrite)}
 	if !codec.IsNone(cdc) {
 		m.Codec = cdc.Name()
 	}
@@ -171,47 +208,17 @@ func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int, c
 	for i := range m.BlocksPer {
 		m.BlocksPer[i] = blocksPer
 	}
-	if err := graph.SaveEdgeList(filepath.Join(dir, "graph.el"), g); err != nil {
-		return nil, err
-	}
-	parts := graph.RangePartition(g.NumVertices, workers)
-	layout, err := veblock.NewLayout(parts, m.BlocksPer)
-	if err != nil {
-		return nil, err
-	}
-	ct := &diskio.Counter{}
-	for w := 0; w < workers; w++ {
-		wdir := filepath.Join(dir, fmt.Sprintf("w%d", w))
-		if err := os.MkdirAll(wdir, 0o755); err != nil {
-			return nil, err
-		}
-		a, err := adjstore.Build(filepath.Join(wdir, "adj.dat"), ct, g, parts[w], cdc)
-		if err != nil {
-			return nil, err
-		}
-		if err := a.Close(); err != nil {
-			return nil, err
-		}
-		ve, err := veblock.Build(filepath.Join(wdir, "veblock.dat"), ct, g, layout, w, cdc)
-		if err != nil {
-			return nil, err
-		}
-		if err := ve.Close(); err != nil {
-			return nil, err
-		}
-	}
-	m.IngestWriteBytes = ct.Bytes(diskio.SeqWrite)
 	// Fsync then checksum everything built so far (the manifest itself is
 	// excluded). The sync is the durability half of the ingest contract:
 	// the manifest asserts these exact bytes, so they must be on the
 	// platter before the manifest — let alone the publishing rename —
 	// exists. A power cut after Ingest returns must find a verifiable
 	// entry (see DESIGN.md, "Durability contract").
-	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+	err = filepath.Walk(tmp, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
 			return err
 		}
-		rel, err := filepath.Rel(dir, path)
+		rel, err := filepath.Rel(tmp, path)
 		if err != nil {
 			return err
 		}
@@ -226,9 +233,25 @@ func buildEntryFiles(dir, name string, g *graph.Graph, workers, blocksPer int, c
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		os.RemoveAll(tmp)
+		return nil, nil, err
 	}
-	return m, nil
+	if err := writeManifest(filepath.Join(tmp, ManifestName), m); err != nil {
+		os.RemoveAll(tmp)
+		return nil, nil, err
+	}
+	// The publishing rename goes through diskio so the storage-fault layer
+	// can model it (a simulated power cut on the rename leaves the entry
+	// fully absent, never half-published).
+	if err := diskio.Rename(tmp, final); err != nil {
+		os.RemoveAll(tmp)
+		return nil, nil, err
+	}
+	e, err := c.Entry(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, st, nil
 }
 
 func checksumFile(path string) (FileSum, error) {

@@ -1,0 +1,291 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridgraph/internal/algo"
+	"hybridgraph/internal/codec"
+	"hybridgraph/internal/core"
+	"hybridgraph/internal/diskio"
+	"hybridgraph/internal/graph"
+	"hybridgraph/internal/ingest"
+)
+
+// streamInput generates a deterministic text edge list with unique
+// (src, dst) pairs and varied weights.
+func streamInput(t *testing.T, n, m int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# vertices %d\n", n)
+	for len(seen) < m {
+		src := uint32(rng.Intn(n))
+		dst := uint32(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		key := uint64(src)<<32 | uint64(dst)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Fprintf(&buf, "%d %d %g\n", src, dst, float32(rng.Intn(100))/4)
+	}
+	return buf.Bytes()
+}
+
+func valuesHash(vals []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// TestIngestStreamByteIdenticalToInMemory is the acceptance check for
+// the streaming path: the same input ingested via IngestStream at a
+// tiny budget (forcing >= 3 spill/merge generations), a medium budget,
+// and unlimited, and via the in-memory Ingest, must publish entries
+// whose manifests — sizes, CRCs, IngestWriteBytes — are identical, and
+// whose PageRank values match bit-exactly across push, b-pull and
+// hybrid engines.
+func TestIngestStreamByteIdenticalToInMemory(t *testing.T) {
+	const workers, blocks = 3, 2
+	input := streamInput(t, 500, 8000, 21)
+	g, err := graph.ReadEdgeList(bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memCat, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	memEntry, err := memCat.Ingest("g", g, workers, blocks, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := memEntry.Manifest()
+
+	entries := []*Entry{memEntry}
+	for _, budget := range []int64{16 << 10, 256 << 10, 0} {
+		c, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, st, err := c.IngestStream("g", bytes.NewReader(input), StreamOptions{
+			Workers: workers, BlocksPer: blocks, MemBudget: budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if budget == 16<<10 {
+			if st.MergeGenerations < 3 {
+				t.Errorf("budget 16k: %d merge generations, want >= 3", st.MergeGenerations)
+			}
+			if st.SpillWriteBytes == 0 || st.SpillReadBytes == 0 {
+				t.Errorf("budget 16k: spill bytes w=%d r=%d, want nonzero",
+					st.SpillWriteBytes, st.SpillReadBytes)
+			}
+		}
+		m := e.Manifest()
+		if m.Vertices != ref.Vertices || m.Edges != ref.Edges ||
+			m.IngestWriteBytes != ref.IngestWriteBytes {
+			t.Errorf("budget %d: manifest %dv/%de/%dB, in-memory %dv/%de/%dB",
+				budget, m.Vertices, m.Edges, m.IngestWriteBytes,
+				ref.Vertices, ref.Edges, ref.IngestWriteBytes)
+		}
+		if len(m.Files) != len(ref.Files) {
+			t.Errorf("budget %d: %d files, in-memory %d", budget, len(m.Files), len(ref.Files))
+		}
+		for rel, want := range ref.Files {
+			if got, ok := m.Files[rel]; !ok || got != want {
+				t.Errorf("budget %d: %s = %+v, in-memory %+v", budget, rel, got, want)
+			}
+		}
+		entries = append(entries, e)
+	}
+
+	// PageRank must agree bit-exactly across entries for each engine
+	// (engines differ among themselves only in floating-point summation
+	// order, which the repo compares with tolerance elsewhere).
+	for _, engine := range []core.Engine{core.Push, core.BPull, core.Hybrid} {
+		var want uint64
+		for i, e := range entries {
+			res, err := core.Run(e.Graph(), algo.NewPageRank(0.85), core.Config{
+				Stores: e, MsgBuf: 200, MaxSteps: 5}, engine)
+			if err != nil {
+				t.Fatalf("entry %d engine %v: %v", i, engine, err)
+			}
+			h := valuesHash(res.Values)
+			if i == 0 {
+				want = h
+			} else if h != want {
+				t.Fatalf("entry %d engine %v: values hash %x, want %x", i, engine, h, want)
+			}
+		}
+	}
+}
+
+// TestIngestStreamCodecIdentical repeats the identity check under a
+// real codec: frames differ from raw bytes, but budgets must not.
+func TestIngestStreamCodecIdentical(t *testing.T) {
+	input := streamInput(t, 200, 3000, 5)
+	g, err := graph.ReadEdgeList(bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memCat, _ := Open(t.TempDir())
+	memEntry, err := memCat.Ingest("g", g, 2, 2, "lz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Open(t.TempDir())
+	e, _, err := c.IngestStream("g", bytes.NewReader(input), StreamOptions{
+		Workers: 2, BlocksPer: 2, Codec: "lz", MemBudget: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, got := memEntry.Manifest(), e.Manifest()
+	if got.Codec != "lz" {
+		t.Fatalf("manifest codec %q, want lz", got.Codec)
+	}
+	for rel, want := range ref.Files {
+		if g, ok := got.Files[rel]; !ok || g != want {
+			t.Errorf("%s = %+v, in-memory %+v", rel, g, want)
+		}
+	}
+}
+
+// assertNoResidue checks the all-or-nothing publish contract after a
+// failed streaming ingest: no entry directory and no staging directory
+// survive under the catalog root.
+func assertNoResidue(t *testing.T, root, name string) {
+	t.Helper()
+	if _, err := os.Stat(filepath.Join(root, name)); !os.IsNotExist(err) {
+		t.Fatalf("entry directory %s survives a failed ingest (stat err = %v)", name, err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "."+name+".ingest")); !os.IsNotExist(err) {
+		t.Fatalf("staging directory survives a failed ingest (stat err = %v)", err)
+	}
+}
+
+// TestIngestStreamENOSPCMidSpill injects ENOSPC on the first accounted
+// write — with a tiny budget that is a spill-run write, mid external
+// sort. The ingest must fail with the typed disk fault and leave no
+// trace under the catalog root.
+func TestIngestStreamENOSPCMidSpill(t *testing.T) {
+	root := t.TempDir()
+	fs := diskio.NewFaultFS(diskio.FaultConfig{Seed: 3, WriteENOSPC: 1, MaxFaults: 1})
+	diskio.Install(root, fs)
+	defer diskio.Uninstall(root)
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.IngestStream("g", bytes.NewReader(streamInput(t, 300, 5000, 9)),
+		StreamOptions{Workers: 2, MemBudget: 16 << 10})
+	if err == nil {
+		t.Fatal("ingest succeeded under ENOSPC")
+	}
+	if !errors.Is(err, diskio.ErrDiskFault) {
+		t.Fatalf("err = %v, want ErrDiskFault", err)
+	}
+	assertNoResidue(t, root, "g")
+	// The catalog must be reusable after the failure.
+	diskio.Uninstall(root)
+	if _, _, err := c.IngestStream("g", bytes.NewReader(streamInput(t, 300, 5000, 9)),
+		StreamOptions{Workers: 2, MemBudget: 16 << 10}); err != nil {
+		t.Fatalf("re-ingest after ENOSPC failed: %v", err)
+	}
+}
+
+// TestIngestStreamPowerCutMidMerge cuts power partway through the
+// build's disk ops — in merge territory for a tiny budget — and checks
+// the same all-or-nothing outcome with the typed power-cut error.
+func TestIngestStreamPowerCutMidMerge(t *testing.T) {
+	input := streamInput(t, 300, 5000, 13)
+	for _, after := range []int64{5, 25, 80} {
+		root := t.TempDir()
+		fs := diskio.NewFaultFS(diskio.FaultConfig{Seed: 1, PowerCutAfter: after})
+		diskio.Install(root, fs)
+		c, err := Open(root)
+		if err != nil {
+			diskio.Uninstall(root)
+			t.Fatal(err)
+		}
+		_, _, err = c.IngestStream("g", bytes.NewReader(input),
+			StreamOptions{Workers: 2, MemBudget: 16 << 10})
+		diskio.Uninstall(root)
+		if err == nil {
+			t.Fatalf("after=%d: ingest survived a power cut", after)
+		}
+		if !diskio.IsPowerCut(err) {
+			t.Fatalf("after=%d: err = %v, want power-cut", after, err)
+		}
+		assertNoResidue(t, root, "g")
+	}
+}
+
+// TestIngestStreamBitFlipOnSpillRead flips one bit on a read — with a
+// tiny budget the overwhelmingly likely victim is a spill frame during
+// the merge. The silent corruption must surface as the codec's typed
+// CRC failure, and the failed ingest must leave nothing behind.
+func TestIngestStreamBitFlipOnSpillRead(t *testing.T) {
+	root := t.TempDir()
+	fs := diskio.NewFaultFS(diskio.FaultConfig{Seed: 7, ReadBitFlip: 1, MaxFaults: 1})
+	diskio.Install(root, fs)
+	defer diskio.Uninstall(root)
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.IngestStream("g", bytes.NewReader(streamInput(t, 300, 5000, 17)),
+		StreamOptions{Workers: 2, MemBudget: 16 << 10})
+	if err == nil {
+		t.Fatal("ingest succeeded over a flipped spill bit")
+	}
+	if !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("err = %v, want codec.ErrCorrupt", err)
+	}
+	assertNoResidue(t, root, "g")
+}
+
+// TestIngestStreamRejects covers the request-validation surface of the
+// streaming path.
+func TestIngestStreamRejects(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.IngestStream("g", strings.NewReader(""), StreamOptions{Workers: 2}); !errors.Is(err, ingest.ErrFormat) {
+		t.Fatalf("empty stream: err = %v, want ErrFormat", err)
+	}
+	if _, _, err := c.IngestStream("g", strings.NewReader("0 1\n"), StreamOptions{Workers: 0}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, _, err := c.IngestStream(".bad", strings.NewReader("0 1\n"), StreamOptions{Workers: 1}); err == nil {
+		t.Fatal("hidden name accepted")
+	}
+	if _, _, err := c.IngestStream("g", strings.NewReader("0 1\n"), StreamOptions{Workers: 1, Codec: "zstd"}); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, _, err := c.IngestStream("g", strings.NewReader("garbage line\n"), StreamOptions{Workers: 1}); !errors.Is(err, ingest.ErrFormat) {
+		t.Fatalf("malformed stream: err = %v, want ErrFormat", err)
+	}
+	assertNoResidue(t, c.Root(), "g")
+}

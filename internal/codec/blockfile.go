@@ -65,46 +65,18 @@ type chunkRef struct {
 // logical charge is exactly the uncompressed store's: one sequential
 // write of len(buf) bytes at offset 0 on a fresh file — and, like the
 // raw stores, nothing at all for an empty image (the file is created
-// and left empty).
+// and left empty). It is the buffered convenience over BlockWriter; the
+// two produce byte-identical files.
 func WriteBlockFile(path string, ct *diskio.Counter, c Codec, buf []byte) error {
-	f, err := diskio.Create(path, diskio.PhysFor(ct))
+	w, err := NewBlockWriter(path, ct, c)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if len(buf) == 0 {
-		return nil
-	}
-	var physOff int64
-	frame := make([]byte, 0, ChunkSize+FrameOverhead)
-	nChunks := (len(buf) + ChunkSize - 1) / ChunkSize
-	index := make([]byte, 0, 4+4*nChunks)
-	index = binary.LittleEndian.AppendUint32(index, uint32(nChunks))
-	for off := 0; off < len(buf); off += ChunkSize {
-		end := off + ChunkSize
-		if end > len(buf) {
-			end = len(buf)
-		}
-		frame = AppendFrame(frame[:0], c, buf[off:end])
-		if _, err := f.WriteAtClass(frame, physOff, diskio.SeqWrite); err != nil {
-			return err
-		}
-		index = binary.LittleEndian.AppendUint32(index, uint32(len(frame)))
-		physOff += int64(len(frame))
-	}
-	indexFrame := AppendFrame(nil, None, index)
-	if _, err := f.WriteAtClass(indexFrame, physOff, diskio.SeqWrite); err != nil {
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
 		return err
 	}
-	footer := make([]byte, 0, footerSize)
-	footer = append(footer, footerMagic...)
-	footer = binary.LittleEndian.AppendUint64(footer, uint64(physOff))
-	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(buf)))
-	if _, err := f.WriteAtClass(footer, physOff+int64(len(indexFrame)), diskio.SeqWrite); err != nil {
-		return err
-	}
-	diskio.NewAccountant(ct).WriteAtClass(int64(len(buf)), 0, diskio.SeqWrite)
-	return nil
+	return w.Close()
 }
 
 // OpenBlockFile opens a compressed block file for reading. The footer

@@ -1,0 +1,119 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hybridgraph/internal/diskio"
+)
+
+// BlockWriter streams a block file to disk without holding the logical
+// image in memory: logical bytes are staged up to ChunkSize, each full
+// chunk is emitted as one frame, and Close appends the chunk index and
+// footer. The output is byte-identical to WriteBlockFile over the same
+// logical stream — same chunk boundaries, index frame, footer, and the
+// same single whole-image logical charge — so builders that used to
+// buffer a store can switch to streaming without disturbing manifests,
+// CRCs or accounting.
+type BlockWriter struct {
+	f       *diskio.File
+	ct      *diskio.Counter
+	c       Codec
+	buf     []byte // staged logical bytes, < ChunkSize after flush
+	frame   []byte
+	lens    []uint32 // physical frame length per chunk
+	physOff int64
+	logical int64
+	closed  bool
+}
+
+// NewBlockWriter creates (truncating) a block file at path. As with
+// WriteBlockFile, physical frame I/O lands on ct's physical twin and the
+// logical charge is taken once, at Close.
+func NewBlockWriter(path string, ct *diskio.Counter, c Codec) (*BlockWriter, error) {
+	f, err := diskio.Create(path, diskio.PhysFor(ct))
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		c = None
+	}
+	return &BlockWriter{f: f, ct: ct, c: c, buf: make([]byte, 0, ChunkSize)}, nil
+}
+
+// Write stages logical bytes, flushing a frame per completed ChunkSize
+// chunk. Implements io.Writer.
+func (w *BlockWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("codec: write to closed block writer %s", w.f.Name())
+	}
+	n := len(p)
+	for len(p) > 0 {
+		take := ChunkSize - len(w.buf)
+		if take > len(p) {
+			take = len(p)
+		}
+		w.buf = append(w.buf, p[:take]...)
+		p = p[take:]
+		if len(w.buf) == ChunkSize {
+			if err := w.flushChunk(); err != nil {
+				return n - len(p), err
+			}
+		}
+	}
+	return n, nil
+}
+
+func (w *BlockWriter) flushChunk() error {
+	w.frame = AppendFrame(w.frame[:0], w.c, w.buf)
+	if _, err := w.f.WriteAtClass(w.frame, w.physOff, diskio.SeqWrite); err != nil {
+		return err
+	}
+	w.lens = append(w.lens, uint32(len(w.frame)))
+	w.physOff += int64(len(w.frame))
+	w.logical += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Logical reports the logical bytes accepted so far, staged included.
+func (w *BlockWriter) Logical() int64 { return w.logical + int64(len(w.buf)) }
+
+// Close flushes the final partial chunk, writes the index frame and
+// footer, and takes the whole-image logical charge. A writer that never
+// received a byte leaves an empty file, exactly like WriteBlockFile on
+// an empty image. Close is not idempotent-safe for further Writes but
+// may be called once on any writer.
+func (w *BlockWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	defer w.f.Close()
+	if len(w.buf) > 0 {
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
+	}
+	if w.logical == 0 {
+		return nil
+	}
+	index := make([]byte, 0, 4+4*len(w.lens))
+	index = binary.LittleEndian.AppendUint32(index, uint32(len(w.lens)))
+	for _, l := range w.lens {
+		index = binary.LittleEndian.AppendUint32(index, l)
+	}
+	indexFrame := AppendFrame(nil, None, index)
+	if _, err := w.f.WriteAtClass(indexFrame, w.physOff, diskio.SeqWrite); err != nil {
+		return err
+	}
+	footer := make([]byte, 0, footerSize)
+	footer = append(footer, footerMagic...)
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(w.physOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(w.logical))
+	if _, err := w.f.WriteAtClass(footer, w.physOff+int64(len(indexFrame)), diskio.SeqWrite); err != nil {
+		return err
+	}
+	diskio.NewAccountant(w.ct).WriteAtClass(w.logical, 0, diskio.SeqWrite)
+	return nil
+}

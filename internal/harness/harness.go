@@ -174,6 +174,7 @@ var Experiments = []Experiment{
 	{"bench", "Machine-readable benchmark matrix, written to BENCH_pr4.json (runtime, Eq. 7/8 bytes, Qt)", Bench},
 	{"benchpar", "Parallel-compute benchmark: Parallelism=1 vs NumCPU, written to BENCH_pr7.json (speedup, identity checks)", BenchPar},
 	{"benchcodec", "Codec ablation: none vs delta vs lz, written to BENCH_pr9.json (logical/physical bytes, identity checks)", BenchCodec},
+	{"benchingest", "Streaming ingest benchmark: edges/sec, spill bytes and peak heap at several memory budgets, written to BENCH_pr10.json", BenchIngest},
 }
 
 // ByName finds an experiment.

@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"hybridgraph/internal/graph"
+)
+
+// fuzzParse runs parseStream over data and enforces the package's error
+// contract: every failure is typed ErrFormat (sink errors are impossible
+// here — the emit never fails), and nothing panics.
+func fuzzParse(t *testing.T, data []byte) (int, int64, bool) {
+	var edges int64
+	n, parsed, err := parseStream(bytes.NewReader(data), func(src, dst uint32, w float32) error {
+		edges++
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, ErrFormat) {
+			t.Fatalf("untyped parse error: %v", err)
+		}
+		return 0, 0, false
+	}
+	if parsed != edges {
+		t.Fatalf("parsed = %d but emit saw %d", parsed, edges)
+	}
+	return n, parsed, true
+}
+
+// FuzzTextParser is differential against graph.ReadEdgeList: wherever
+// the original in-memory reader accepts an input, the streaming parser
+// must accept it with the same vertex count — and where it rejects, the
+// streaming parser must reject with the typed ErrFormat, never a panic.
+func FuzzTextParser(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# vertices 10\n0 1 2.5\n")
+	f.Add("5 6\n# vertices 3\n0 1\n")
+	f.Add("0\t1\t0.5\n# comment\n\n2 0\n")
+	f.Add("x y z\n")
+	f.Add("0 1 1e309\n")
+	f.Add("18446744073709551616 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Keep the corpus in text-parser territory: a gzip or binary
+		// magic prefix would route elsewhere and void the differential.
+		if len(input) >= 2 && input[0] == 0x1f && input[1] == 0x8b {
+			return
+		}
+		if strings.HasPrefix(input, BinaryMagic) {
+			return
+		}
+		n, _, ok := fuzzParse(t, []byte(input))
+		g, gerr := graph.ReadEdgeList(strings.NewReader(input))
+		if !ok {
+			if gerr == nil {
+				t.Fatalf("streaming parser rejected input ReadEdgeList accepts: %q", input)
+			}
+			return
+		}
+		// parseStream defers the empty-graph rejection to the builder;
+		// ReadEdgeList folds it into the read.
+		if n == 0 {
+			return
+		}
+		if gerr != nil {
+			t.Fatalf("ReadEdgeList rejected input the streaming parser accepts (%v): %q", gerr, input)
+		}
+		if g.NumVertices != n {
+			t.Fatalf("vertex count: streaming %d, ReadEdgeList %d for %q", n, g.NumVertices, input)
+		}
+	})
+}
+
+// FuzzBinaryParser throws arbitrary bodies behind the HGE1 magic: whole
+// 8-byte records must parse exactly, any trailing partial record must be
+// the typed truncation error, and nothing panics.
+func FuzzBinaryParser(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		data := append([]byte(BinaryMagic), body...)
+		n, parsed, ok := fuzzParse(t, data)
+		if len(body)%8 == 0 {
+			if !ok {
+				t.Fatalf("aligned binary body of %d bytes rejected", len(body))
+			}
+			if parsed != int64(len(body)/8) {
+				t.Fatalf("parsed %d records from %d bytes", parsed, len(body))
+			}
+			want := 0
+			for off := 0; off+8 <= len(body); off += 8 {
+				if v := int(binary.LittleEndian.Uint32(body[off:])) + 1; v > want {
+					want = v
+				}
+				if v := int(binary.LittleEndian.Uint32(body[off+4:])) + 1; v > want {
+					want = v
+				}
+			}
+			if n != want {
+				t.Fatalf("n = %d, want %d", n, want)
+			}
+		} else if ok {
+			t.Fatalf("misaligned binary body of %d bytes accepted", len(body))
+		}
+	})
+}
+
+// FuzzSniff feeds raw bytes straight at the format sniffer — gzip
+// headers with garbage deflate streams, truncated members, magic-byte
+// prefixes of every kind. The only allowed outcomes are success or the
+// typed ErrFormat.
+func FuzzSniff(f *testing.F) {
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03})
+	f.Add([]byte(BinaryMagic))
+	f.Add([]byte("0 1\n"))
+	f.Add([]byte{0x1f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzParse(t, data)
+	})
+}

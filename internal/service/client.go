@@ -9,6 +9,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -187,6 +189,69 @@ func (c *Client) Ingest(ctx context.Context, req IngestRequest) (*catalog.Manife
 		return nil, err
 	}
 	return m, nil
+}
+
+// IngestStream streams an edge-list body (text, binary, or gzip) to the
+// daemon's bulk-import endpoint. Never retried: the body is consumed by
+// the attempt, and a lost response would collide with the entry the
+// first attempt created. No per-request timeout applies — a bulk import
+// legitimately outlives one round trip — so bound it with ctx.
+func (c *Client) IngestStream(ctx context.Context, name string, body io.Reader, o catalog.StreamOptions) (*IngestStreamResponse, error) {
+	return c.ingestStream(ctx, ingestQuery(name, o), body)
+}
+
+// IngestServerPath asks the daemon to stream-ingest a file on the
+// server's own filesystem — the bulk path when the data is already
+// there. Same no-retry, no-timeout policy as IngestStream.
+func (c *Client) IngestServerPath(ctx context.Context, name, path string, o catalog.StreamOptions) (*IngestStreamResponse, error) {
+	q := ingestQuery(name, o)
+	q.Set("path", path)
+	return c.ingestStream(ctx, q, nil)
+}
+
+func ingestQuery(name string, o catalog.StreamOptions) url.Values {
+	q := url.Values{}
+	q.Set("name", name)
+	if o.Workers > 0 {
+		q.Set("workers", strconv.Itoa(o.Workers))
+	}
+	if o.BlocksPer > 0 {
+		q.Set("blocks", strconv.Itoa(o.BlocksPer))
+	}
+	if o.Codec != "" {
+		q.Set("codec", o.Codec)
+	}
+	if o.MemBudget > 0 {
+		q.Set("mem_budget", strconv.FormatInt(o.MemBudget, 10))
+	}
+	return q
+}
+
+func (c *Client) ingestStream(ctx context.Context, q url.Values, body io.Reader) (*IngestStreamResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/api/ingest?"+q.Encode(), body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return nil, &httpError{fmt.Sprintf("POST /api/ingest: %s (%s)", ae.Error, resp.Status)}
+		}
+		return nil, &httpError{fmt.Sprintf("POST /api/ingest: %s", resp.Status)}
+	}
+	out := &IngestStreamResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Graphs lists the catalog's manifests.

@@ -3,19 +3,23 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"hybridgraph/internal/catalog"
 	"hybridgraph/internal/graph"
+	"hybridgraph/internal/ingest"
 	"hybridgraph/internal/metrics"
 	"hybridgraph/internal/obs"
 )
@@ -206,6 +210,18 @@ type IngestRequest struct {
 	// with ("", "none", "delta", "lz"). Jobs over the graph must run with a
 	// matching Config.Codec; the manifest records the choice.
 	Codec string `json:"codec,omitempty"`
+	// MemBudget bounds the streaming builder's working memory when the
+	// graph arrives via Path (bytes; <= 0 means unlimited). Inline and
+	// generated graphs are already in memory, so it applies only to Path.
+	MemBudget int64 `json:"mem_budget,omitempty"`
+}
+
+// IngestStreamResponse reports a streaming ingest: the published
+// manifest plus the builder's effort (spill bytes, merge generations,
+// drops).
+type IngestStreamResponse struct {
+	Manifest *catalog.Manifest `json:"manifest"`
+	Stats    *ingest.Stats     `json:"stats"`
 }
 
 type apiError struct {
@@ -268,6 +284,7 @@ func (s *Server) mux() *http.ServeMux {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("POST /api/graphs", s.handleIngest)
+	mux.HandleFunc("POST /api/ingest", s.handleIngestStream)
 	mux.HandleFunc("GET /api/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /api/graphs/{name}", s.handleGraph)
 	mux.HandleFunc("POST /api/jobs", s.handleSubmit)
@@ -309,11 +326,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("service: ingest needs exactly one of edge_list, path, generator"))
 		return
 	}
+	if req.Workers <= 0 {
+		req.Workers = 5
+	}
+	if req.Path != "" {
+		// Server-side files route through the streaming builder: the
+		// graph is never materialised, whatever its size, and the entry
+		// is bit-identical to the in-memory path's.
+		f, err := os.Open(req.Path)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		defer f.Close()
+		entry, _, err := s.cat.IngestStream(req.Name, f, catalog.StreamOptions{
+			Workers: req.Workers, BlocksPer: req.BlocksPer,
+			Codec: req.Codec, MemBudget: req.MemBudget})
+		if err != nil {
+			writeErr(w, ingestStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, entry.Manifest())
+		return
+	}
 	switch {
 	case req.EdgeList != "":
 		g, err = graph.ReadEdgeList(strings.NewReader(req.EdgeList))
-	case req.Path != "":
-		g, err = graph.LoadEdgeList(req.Path)
 	default:
 		g, err = req.Generator.Generate()
 	}
@@ -321,15 +359,67 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Workers <= 0 {
-		req.Workers = 5
-	}
 	entry, err := s.cat.Ingest(req.Name, g, req.Workers, req.BlocksPer, req.Codec)
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, entry.Manifest())
+}
+
+// ingestStatus maps a streaming-ingest failure to an HTTP status:
+// malformed input is the client's fault, everything else (name taken,
+// bad codec, disk trouble) keeps the legacy conflict mapping.
+func ingestStatus(err error) int {
+	if errors.Is(err, ingest.ErrFormat) {
+		return http.StatusBadRequest
+	}
+	return http.StatusConflict
+}
+
+// handleIngestStream is the bulk-import endpoint: POST /api/ingest with
+// the edge list as the request body (text, binary "HGE1", or either
+// gzip-wrapped — sniffed, so curl --data-binary @file.gz just works), or
+// with ?path= naming a server-side file to stream instead. Geometry and
+// budget ride as query parameters since the body is the payload.
+func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	so := catalog.StreamOptions{Workers: 5, Codec: q.Get("codec")}
+	var err error
+	if v := q.Get("workers"); v != "" {
+		if so.Workers, err = strconv.Atoi(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad workers %q", v))
+			return
+		}
+	}
+	if v := q.Get("blocks"); v != "" {
+		if so.BlocksPer, err = strconv.Atoi(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad blocks %q", v))
+			return
+		}
+	}
+	if v := q.Get("mem_budget"); v != "" {
+		if so.MemBudget, err = ingest.ParseBytes(v); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	var src io.Reader = r.Body
+	if p := q.Get("path"); p != "" {
+		f, err := os.Open(p)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		defer f.Close()
+		src = f
+	}
+	entry, st, err := s.cat.IngestStream(q.Get("name"), src, so)
+	if err != nil {
+		writeErr(w, ingestStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, IngestStreamResponse{Manifest: entry.Manifest(), Stats: st})
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
